@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Standalone full-budget Table-I reproduction.
+
+Unlike the pytest benchmark (which shares the session model zoo and
+respects REPRO_BENCH_SCALE), this script trains each of the paper's
+four models with an explicit step budget and prints the finished
+table with the paper's numbers alongside.
+
+Usage:
+    python benchmarks/run_table1.py                 # default budgets
+    python benchmarks/run_table1.py --steps 2000    # heavier training
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import Ratatouille  # noqa: E402
+from repro.core.registry import get_spec, table1_models  # noqa: E402
+from repro.evaluate import EvaluationReport, ModelEvaluation  # noqa: E402
+from repro.models import GenerationConfig  # noqa: E402
+from repro.preprocess import preprocess  # noqa: E402
+from repro.recipedb import generate_corpus  # noqa: E402
+from repro.training import (LMDataset, Trainer, TrainingConfig,  # noqa: E402
+                            train_val_split)
+
+LEARNING_RATES = {"char-lstm": 5e-3, "word-lstm": 6e-3,
+                  "distilgpt2": 3e-3, "gpt2-medium": 2e-3}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=1000,
+                        help="training steps per model (default 1000)")
+    parser.add_argument("--recipes", type=int, default=400,
+                        help="corpus size (default 400)")
+    parser.add_argument("--eval-samples", type=int, default=12)
+    args = parser.parse_args()
+
+    print(f"Corpus: {args.recipes} recipes; {args.steps} steps per model\n")
+    texts, _ = preprocess(generate_corpus(args.recipes, seed=0))
+    train_texts, _ = train_val_split(texts, 0.1, seed=0)
+    eval_texts, _ = preprocess(generate_corpus(40, seed=77))
+    greedy = GenerationConfig(strategy="greedy", max_new_tokens=1)
+
+    report = EvaluationReport(title="Table I — Performance statistics of models")
+    for name in table1_models():
+        spec = get_spec(name)
+        start = time.time()
+        tokenizer = spec.build_tokenizer(train_texts)
+        model = spec.build_model(tokenizer.vocab_size, 0)
+        dataset = LMDataset(train_texts, tokenizer, seq_len=128)
+        trainer = Trainer(model, TrainingConfig(
+            max_steps=args.steps, batch_size=8,
+            learning_rate=LEARNING_RATES[name], eval_every=10**9))
+        result = trainer.train(dataset)
+        app = Ratatouille(model, tokenizer)
+        bleu, _ = app.evaluate_bleu(eval_texts, max_samples=args.eval_samples,
+                                    generation=greedy, seed=5)
+        elapsed = time.time() - start
+        print(f"  {spec.display_name:16s} loss={result.final_train_loss:.3f} "
+              f"BLEU={bleu:.3f}  ({elapsed:.0f}s)")
+        report.add(ModelEvaluation(
+            model_name=spec.display_name, bleu=bleu,
+            params=model.num_parameters(), train_seconds=elapsed,
+            extra={"paper_bleu": spec.paper_bleu}))
+
+    print()
+    print(report.to_table(columns=("bleu", "paper_bleu", "params",
+                                   "train_seconds")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""E8 — ablation: decoding strategy (BLEU vs diversity trade-off).
+
+The paper generates with its fine-tuned GPT-2 but does not study the
+decoder; DESIGN.md calls this out as the design choice to ablate.
+Greedy maximizes reference overlap (BLEU) but collapses diversity;
+sampling trades BLEU for novel recipes — the system's stated goal is
+*novel and diverse* recipes, so the operating point matters.
+"""
+
+import pytest
+
+from repro.evaluate import distinct_n, self_bleu
+from repro.models import GenerationConfig
+
+from .conftest import shape_checks_enabled, write_result
+
+STRATEGIES = {
+    "greedy": GenerationConfig(strategy="greedy", max_new_tokens=1),
+    "temp=0.7": GenerationConfig(temperature=0.7, max_new_tokens=1),
+    "top-k=20": GenerationConfig(temperature=1.0, top_k=20, max_new_tokens=1),
+    "top-p=0.9": GenerationConfig(temperature=1.0, top_p=0.9, max_new_tokens=1),
+    "beam=4": GenerationConfig(strategy="beam", beam_size=4, max_new_tokens=1),
+}
+
+PROMPT = ["chicken breast", "garlic", "basmati rice", "coconut milk"]
+
+
+@pytest.fixture(scope="module")
+def decoding_results(zoo, eval_texts):
+    app, _ = zoo.get("gpt2-medium")
+    rows = {}
+    for label, base in STRATEGIES.items():
+        bleu, _ = app.evaluate_bleu(eval_texts, max_samples=6,
+                                    generation=base, seed=5)
+        # diversity: 5 generations from the same prompt, different seeds
+        gens = []
+        for seed in range(5):
+            config = GenerationConfig(
+                max_new_tokens=120, strategy=base.strategy,
+                temperature=base.temperature, top_k=base.top_k,
+                top_p=base.top_p, beam_size=base.beam_size, seed=seed)
+            out = app.generate(PROMPT, config)
+            gens.append(out.raw_text.split())
+        rows[label] = {
+            "bleu": bleu,
+            "distinct2": distinct_n(gens, 2),
+            "self_bleu": self_bleu(gens),
+        }
+    return rows
+
+
+def test_decoding_tradeoff_table(decoding_results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["Ablation — decoding strategy (GPT-2 medium preset)",
+             f"{'strategy':10s} {'BLEU':>6s} {'distinct-2':>10s} "
+             f"{'self-BLEU':>10s}"]
+    for label, row in decoding_results.items():
+        lines.append(f"{label:10s} {row['bleu']:6.3f} "
+                     f"{row['distinct2']:10.3f} {row['self_bleu']:10.3f}")
+    lines += ["", "Deterministic decoders (greedy/beam) repeat themselves",
+              "across seeds (self-BLEU 1.0); sampling delivers the paper's",
+              "'novel and diverse' goal. At partial-convergence budgets",
+              "moderate sampling can also beat greedy on BLEU by escaping",
+              "greedy's repetition loops."]
+    write_result("ablation_decoding", "\n".join(lines))
+
+    greedy = decoding_results["greedy"]
+    sampled = decoding_results["top-k=20"]
+    # Deterministic decoding repeats itself across seeds.
+    if shape_checks_enabled():
+        assert greedy["self_bleu"] >= sampled["self_bleu"]
+
+
+def test_sampling_is_diverse(decoding_results):
+    sampled = decoding_results["top-k=20"]
+    if shape_checks_enabled():
+        assert sampled["distinct2"] > 0.05
+        assert sampled["self_bleu"] < 1.0
+
+
+def test_beam_latency(zoo, benchmark):
+    """Beam search costs ~beam_size x the sampling latency."""
+    app, _ = zoo.get("distilgpt2")
+    config = GenerationConfig(strategy="beam", beam_size=4, max_new_tokens=40)
+    out = benchmark.pedantic(app.generate, args=(PROMPT, config),
+                             rounds=2, iterations=1)
+    assert out.raw_text

@@ -1,0 +1,83 @@
+"""E3 — the recipe-size distribution and the 2000-char ≈ 2σ claim.
+
+Sec. III: "fixing the length of recipes to 2000 characters as on
+plotting recipe size distribution it is seen that most of the recipes
+covers the range of 2000 characters"; Sec. IV-B: "We have considered
+approximately 2σ (95.46 percent) in recipe size distribution curve".
+
+This benchmark plots (as a text histogram) the corpus size
+distribution and checks that the 2000-character cap sits near
+mean + 2σ and covers ≈95% of recipes, and that −3σ short recipes are
+the merge candidates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.preprocess import (PreprocessingPipeline, measure_lengths,
+                              size_distribution)
+from repro.recipedb import generate_corpus
+
+from .conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def serialized():
+    pipe = PreprocessingPipeline()
+    recipes = generate_corpus(800, seed=3)
+    return [pipe.serialize(recipe) for recipe in recipes]
+
+
+def text_histogram(lengths: np.ndarray, bins: int = 14,
+                   width: int = 40) -> str:
+    counts, edges = np.histogram(lengths, bins=bins)
+    peak = counts.max() or 1
+    lines = []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  {int(lo):5d}-{int(hi):5d} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def test_size_distribution_shape(serialized, benchmark):
+    dist = benchmark.pedantic(size_distribution, args=(serialized,),
+                              rounds=3, iterations=1)
+    lengths = measure_lengths(serialized)
+    report = [
+        "Recipe size distribution (characters per serialized recipe)",
+        text_histogram(lengths),
+        "",
+        f"count:        {dist.count}",
+        f"mean:         {dist.mean:.0f}",
+        f"std:          {dist.std:.0f}",
+        f"mean + 2σ:    {dist.two_sigma_point:.0f}   (paper cap: 2000)",
+        f"coverage at 2000: {dist.coverage_at_cap:.2%}   (paper: ≈95.46%)",
+        f"mean − 3σ:    {dist.minus_three_sigma_point:.0f}   (merge threshold)",
+    ]
+    write_result("fig_size_distribution", "\n".join(report))
+
+    # The paper's 2σ claim, as assertions on our corpus:
+    assert 1500 < dist.two_sigma_point < 2500
+    assert 0.90 <= dist.coverage_at_cap <= 1.0
+
+
+def test_truncation_affects_only_the_tail(serialized, benchmark):
+    from repro.preprocess import truncate_corpus
+    capped, truncated = benchmark.pedantic(
+        truncate_corpus, args=(serialized,), rounds=3, iterations=1)
+    dist = size_distribution(serialized)
+    expected_tail = sum(1 for text in serialized if len(text) > 2000)
+    assert truncated == expected_tail
+    # consistent with ≈2σ: the tail is a few percent of the corpus
+    assert truncated / len(serialized) < 0.10
+    assert all(len(text) <= 2000 for text in capped)
+
+
+def test_minus_three_sigma_merge_is_rare(serialized, benchmark):
+    """−3σ recipes are 'few' (paper's wording) — near zero here."""
+    dist = size_distribution(serialized)
+    short = benchmark.pedantic(
+        lambda: sum(1 for t in serialized
+                    if len(t) < dist.minus_three_sigma_point),
+        rounds=1, iterations=1)
+    assert short / len(serialized) < 0.01

@@ -1,0 +1,90 @@
+"""E1 — Table I: BLEU of the four recipe-generation models.
+
+Paper (Table I): Char-level LSTM 0.347 < Word-level LSTM 0.412 <
+DistilGPT2 0.442 < GPT-2 medium 0.806.
+
+This benchmark trains the four scaled presets on the same synthetic
+RecipeDB corpus, evaluates each with the greedy-continuation corpus
+BLEU protocol, and regenerates the table.  Absolute values are lower
+than the paper's (its models are 100–1000× larger and pretrained); the
+assertions check the paper's *shape*: BLEU increases down the table
+and GPT-2-medium wins by a clear margin.
+"""
+
+import pytest
+
+from repro.core.registry import get_spec, table1_models
+from repro.evaluate import EvaluationReport, ModelEvaluation
+from repro.models import GenerationConfig
+
+from .conftest import shape_checks_enabled, write_result
+
+GREEDY = GenerationConfig(strategy="greedy", max_new_tokens=1)
+
+
+@pytest.fixture(scope="module")
+def table1(zoo, eval_texts):
+    """Train and evaluate all four models once."""
+    report = EvaluationReport(title="Table I — Performance statistics of models")
+    for name in table1_models():
+        app, result = zoo.get(name)
+        bleu, _ = app.evaluate_bleu(eval_texts, max_samples=12,
+                                    generation=GREEDY, seed=5)
+        spec = get_spec(name)
+        report.add(ModelEvaluation(
+            model_name=spec.display_name, bleu=bleu,
+            params=app.model.num_parameters(),
+            train_seconds=result.wall_seconds,
+            extra={"paper_bleu": spec.paper_bleu,
+                   "train_loss": result.final_train_loss}))
+    write_result("table1_bleu", report.to_table(
+        columns=("bleu", "paper_bleu", "train_loss", "params",
+                 "train_seconds")))
+    return report
+
+
+def test_gpt2_medium_wins(table1, benchmark):
+    """The paper's headline: GPT-2 medium has the best BLEU."""
+    benchmark.pedantic(lambda: table1.ranking(), rounds=1, iterations=1)
+    if shape_checks_enabled():
+        assert table1.ranking()[0] == "GPT-2 medium"
+
+
+def test_transformers_beat_char_lstm(table1, benchmark):
+    char = table1.get("Char-level LSTM").bleu
+    distil = table1.get("DistilGPT2").bleu
+    medium = table1.get("GPT-2 medium").bleu
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if shape_checks_enabled():
+        assert distil > char
+        assert medium > char + 0.05
+
+
+def test_word_lstm_beats_char_lstm(table1, benchmark):
+    char = table1.get("Char-level LSTM").bleu
+    word = table1.get("Word-level LSTM").bleu
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if shape_checks_enabled():
+        assert word > char
+
+
+def test_medium_beats_distil_clearly(table1, benchmark):
+    """Paper: 0.806 vs 0.442 — the medium model wins by a wide margin."""
+    distil = table1.get("DistilGPT2").bleu
+    medium = table1.get("GPT-2 medium").bleu
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if shape_checks_enabled():
+        assert medium > distil
+
+
+def test_generation_latency_of_winner(table1, zoo, benchmark):
+    """Time one end-to-end recipe generation with the best model."""
+    app, _ = zoo.get("gpt2-medium")
+    config = GenerationConfig(max_new_tokens=100, top_k=20, seed=0)
+
+    def generate_once():
+        return app.generate(["chicken breast", "garlic", "basmati rice"],
+                            config)
+
+    result = benchmark.pedantic(generate_once, rounds=3, iterations=1)
+    assert result.raw_text

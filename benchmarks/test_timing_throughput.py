@@ -1,0 +1,133 @@
+"""E5 — training/generation timing (Sec. V's hardware observations).
+
+The paper reports: GPU training ≈16 h vs 2–3 days on CPU, and claims
+its system generates "a new recipe within lesser time" than prior
+systems.  Without an A100 we report what is measurable here:
+
+* training throughput (tokens/s) for every model at several batch
+  sizes — the batch-scaling curve whose saturation point is what a
+  GPU shifts;
+* per-recipe generation latency as a function of model size — the
+  serving-time story, where the smaller distilled model is the
+  'lesser time' option.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.registry import get_spec, table1_models
+from repro.models import GenerationConfig
+from repro.training import LMDataset, Trainer, TrainingConfig
+
+from .conftest import write_result
+
+BATCH_SIZES = (2, 8, 16)
+PROBE_STEPS = 12
+
+
+@pytest.fixture(scope="module")
+def throughput_table(corpus_split):
+    train_texts, _ = corpus_split
+    rows = []
+    for name in table1_models():
+        spec = get_spec(name)
+        tokenizer = spec.build_tokenizer(train_texts)
+        dataset = LMDataset(train_texts, tokenizer, seq_len=128)
+        per_batch = {}
+        for batch_size in BATCH_SIZES:
+            model = spec.build_model(tokenizer.vocab_size, 0)
+            trainer = Trainer(model, TrainingConfig(
+                max_steps=PROBE_STEPS, batch_size=batch_size,
+                eval_every=10**9))
+            result = trainer.train(dataset)
+            per_batch[batch_size] = result.tokens_per_second
+        rows.append((spec.display_name, per_batch))
+    return rows
+
+
+def test_training_throughput_scaling(throughput_table, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["Training throughput (tokens/second) vs batch size",
+             f"{'model':18s} " + "  ".join(f"b={b:<3d}" for b in BATCH_SIZES)]
+    for name, per_batch in throughput_table:
+        cells = "  ".join(f"{per_batch[b]:5.0f}" for b in BATCH_SIZES)
+        lines.append(f"{name:18s} {cells}")
+    lines += [
+        "",
+        "Context: the paper trained GPT-2 medium in ≈16 h on an A100 vs",
+        "2–3 days on CPU (≈3-4x). The curve above shows the CPU saturates",
+        "with batch size — the headroom a GPU's parallelism unlocks.",
+    ]
+    write_result("timing_throughput", "\n".join(lines))
+
+    # Larger batches amortize Python overhead: throughput should not
+    # collapse as batch grows, for every model.
+    for name, per_batch in throughput_table:
+        assert per_batch[16] > per_batch[2] * 0.8, name
+
+
+def test_batching_improves_transformer_throughput(throughput_table):
+    """Transformers vectorize over the batch: b=16 beats b=2 clearly."""
+    table = dict(throughput_table)
+    assert table["DistilGPT2"][16] > table["DistilGPT2"][2]
+
+
+@pytest.fixture(scope="module")
+def latency_table(zoo):
+    rows = []
+    config = GenerationConfig(max_new_tokens=120, top_k=20, seed=0)
+    for name in ("distilgpt2", "gpt2-medium"):
+        app, _ = zoo.get(name)
+        timings = []
+        for trial in range(3):
+            start = time.perf_counter()
+            app.generate(["chicken breast", "garlic", "rice"], config)
+            timings.append(time.perf_counter() - start)
+        rows.append((get_spec(name).display_name, float(np.median(timings)),
+                     app.model.num_parameters()))
+    return rows
+
+
+def test_generation_latency_vs_model_size(latency_table, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["Per-recipe generation latency (120 new tokens, median of 3)"]
+    for name, seconds, params in latency_table:
+        lines.append(f"  {name:16s} {seconds:6.2f}s   ({params:,} params)")
+    lines += ["",
+              "The distilled model is the 'lesser time' serving option the",
+              "paper targets; the medium model buys BLEU with latency."]
+    write_result("timing_latency", "\n".join(lines))
+
+    distil_seconds = latency_table[0][1]
+    medium_seconds = latency_table[1][1]
+    assert medium_seconds > distil_seconds  # bigger model, slower serve
+
+
+def test_forward_backward_step_benchmark(corpus_split, benchmark):
+    """pytest-benchmark timing of one training step (gpt2-medium)."""
+    train_texts, _ = corpus_split
+    spec = get_spec("gpt2-medium")
+    tokenizer = spec.build_tokenizer(train_texts)
+    model = spec.build_model(tokenizer.vocab_size, 0)
+    dataset = LMDataset(train_texts, tokenizer, seq_len=128)
+    trainer = Trainer(model, TrainingConfig(max_steps=1, batch_size=8,
+                                            eval_every=10**9))
+
+    rng = np.random.default_rng(0)
+    inputs, targets = next(iter(dataset.batches(8, rng)))
+
+    from repro.nn import functional as F
+
+    def step():
+        trainer.optimizer.zero_grad()
+        logits = model(inputs)
+        loss = F.cross_entropy(logits.reshape(-1, model.vocab_size),
+                               targets.reshape(-1))
+        loss.backward()
+        trainer.optimizer.step()
+        return loss.item()
+
+    loss = benchmark.pedantic(step, rounds=3, iterations=1)
+    assert np.isfinite(loss)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Table-I-style model comparison at example scale.
+
+Trains all four of the paper's models (char-LSTM, word-LSTM,
+DistilGPT2, GPT-2-medium presets) on the same corpus with a small step
+budget and compares BLEU, perplexity and validity.  The full-budget
+version of this experiment is ``benchmarks/test_table1_bleu.py``.
+
+Run:  python examples/compare_models.py        (~10 minutes on 1 CPU)
+      python examples/compare_models.py --fast (~3 minutes, 2 models)
+"""
+
+import sys
+import time
+
+from repro.core import Ratatouille
+from repro.core.registry import get_spec, table1_models
+from repro.evaluate import EvaluationReport, ModelEvaluation, perplexity
+from repro.models import GenerationConfig
+from repro.preprocess import preprocess
+from repro.recipedb import generate_corpus
+from repro.training import LMDataset, Trainer, TrainingConfig, train_val_split
+
+STEPS = {"char-lstm": 600, "word-lstm": 400,
+         "distilgpt2": 400, "gpt2-medium": 400}
+LEARNING_RATES = {"char-lstm": 5e-3, "word-lstm": 6e-3,
+                  "distilgpt2": 3e-3, "gpt2-medium": 2e-3}
+
+
+def main(fast: bool = False) -> None:
+    print("=== Model comparison (Table-I style) ===\n")
+    recipes = generate_corpus(250, seed=0)
+    texts, _ = preprocess(recipes)
+    train_texts, val_texts = train_val_split(texts, 0.1, seed=0)
+    eval_texts, _ = preprocess(generate_corpus(30, seed=77))
+    print(f"corpus: {len(train_texts)} train / {len(val_texts)} val texts\n")
+
+    models = table1_models()
+    if fast:
+        models = ["word-lstm", "distilgpt2"]
+
+    report = EvaluationReport(title="Model comparison (scaled Table I)")
+    for name in models:
+        spec = get_spec(name)
+        start = time.time()
+        tokenizer = spec.build_tokenizer(train_texts)
+        model = spec.build_model(tokenizer.vocab_size, 0)
+        dataset = LMDataset(train_texts, tokenizer, seq_len=128)
+        val_set = LMDataset(val_texts, tokenizer, seq_len=128)
+        trainer = Trainer(model, TrainingConfig(
+            max_steps=STEPS[name] // (2 if fast else 1),
+            batch_size=8, learning_rate=LEARNING_RATES[name],
+            eval_every=10**9))
+        result = trainer.train(dataset)
+
+        app = Ratatouille(model, tokenizer)
+        bleu, _ = app.evaluate_bleu(
+            eval_texts, max_samples=8,
+            generation=GenerationConfig(strategy="greedy", max_new_tokens=1))
+        ppl = perplexity(model, val_set, max_batches=4)
+        elapsed = time.time() - start
+        print(f"  {spec.display_name:16s} loss={result.final_train_loss:.3f} "
+              f"BLEU={bleu:.3f} ppl={ppl:.1f} ({elapsed:.0f}s)")
+        report.add(ModelEvaluation(
+            model_name=spec.display_name, bleu=bleu, perplexity=ppl,
+            params=model.num_parameters(),
+            train_seconds=elapsed,
+            extra={"paper_bleu": spec.paper_bleu}))
+
+    print()
+    print(report.to_table(columns=("bleu", "paper_bleu", "perplexity",
+                                   "params")))
+    print("\nExpected shape: BLEU increases down the table, as in the paper.")
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv)

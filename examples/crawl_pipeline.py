@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The Fig. 1 → Fig. 2 journey: from messy crawl pages to training text.
+
+The paper's Figs. 1–2 contrast the dataset before and after
+preprocessing.  This example makes the whole journey concrete:
+
+1. render the structured corpus down to messy crawl pages
+   (inconsistent headers, bullets, casing — Fig. 1);
+2. parse the pages back into sections with the robust crawl parser;
+3. emit tagged training texts (Fig. 2) and verify they round-trip;
+4. train briefly on the recovered corpus to prove it is usable.
+
+Run:  python examples/crawl_pipeline.py
+"""
+
+from repro.core import PipelineConfig, Ratatouille
+from repro.preprocess import (crawl_corpus_to_texts, parse_crawl_text,
+                              structure_errors)
+from repro.recipedb import generate_corpus, render_crawl_text
+from repro.training import TrainingConfig
+
+
+def main() -> None:
+    print("=== Crawl pipeline (Fig. 1 -> Fig. 2) ===\n")
+
+    recipes = generate_corpus(120, seed=6)
+    pages = [render_crawl_text(recipe) for recipe in recipes]
+
+    print("[1/4] A crawl page, as scraped (Fig. 1 style):\n")
+    for line in pages[0].splitlines()[:12]:
+        print(f"      {line}")
+    print("      ...\n")
+
+    print("[2/4] Parsed back into sections:")
+    parsed = parse_crawl_text(pages[0])
+    print(f"      title:        {parsed.title}")
+    print(f"      ingredients:  {len(parsed.ingredients)} lines "
+          f"(first: {parsed.ingredients[0]})")
+    print(f"      instructions: {len(parsed.instructions)} steps\n")
+
+    print("[3/4] Converting the whole crawl to tagged training text ...")
+    texts, dropped = crawl_corpus_to_texts(pages + ["not a recipe at all"])
+    invalid = sum(1 for t in texts if structure_errors(t))
+    print(f"      {len(texts)} training texts, {dropped} unusable pages "
+          f"dropped, {invalid} invalid after conversion")
+    print(f"      sample (Fig. 2 style): {texts[0][:160]}...\n")
+
+    print("[4/4] Training briefly on the recovered corpus ...")
+    config = PipelineConfig(
+        model_name="distilgpt2",
+        training=TrainingConfig(max_steps=150, batch_size=8,
+                                eval_every=10**9))
+    app = Ratatouille.from_texts(texts, config=config)
+    result = app.training_result
+    print(f"      loss {result.train_losses[0]:.2f} -> "
+          f"{result.final_train_loss:.2f} over {result.steps} steps — "
+          f"the crawl-recovered corpus trains like the native one.")
+
+
+if __name__ == "__main__":
+    main()

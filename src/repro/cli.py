@@ -1,0 +1,201 @@
+"""Command-line interface: the full pipeline as shell commands.
+
+Mirrors how the paper's system is operated end-to-end::
+
+    python -m repro.cli corpus --num 300 --out data/corpus.jsonl
+    python -m repro.cli preprocess --input data/corpus.jsonl --out data/texts.txt
+    python -m repro.cli train --texts data/texts.txt --model distilgpt2 \
+        --steps 400 --out checkpoints/distil
+    python -m repro.cli generate --checkpoint checkpoints/distil \
+        --ingredients "chicken breast, garlic, basmati rice"
+    python -m repro.cli evaluate --checkpoint checkpoints/distil \
+        --texts data/texts.txt
+    python -m repro.cli info
+
+Every command is a thin shell over the library API, so anything the
+CLI does is equally scriptable from Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import PipelineConfig, Ratatouille
+from .core.registry import get_spec, model_names
+from .models import GenerationConfig
+from .preprocess import PreprocessConfig, preprocess
+from .recipedb import export_csv, generate_corpus, load_jsonl, save_jsonl
+from .training import TrainingConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Ratatouille recipe generation pipeline")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    corpus = sub.add_parser("corpus", help="synthesize a RecipeDB corpus")
+    corpus.add_argument("--num", type=int, default=300)
+    corpus.add_argument("--seed", type=int, default=0)
+    corpus.add_argument("--out", required=True, help="JSONL output path")
+    corpus.add_argument("--csv", default=None, help="also export CSV here")
+    corpus.add_argument("--duplicate-rate", type=float, default=0.0)
+    corpus.add_argument("--incomplete-rate", type=float, default=0.0)
+    corpus.add_argument("--oversize-rate", type=float, default=0.0)
+
+    prep = sub.add_parser("preprocess", help="clean + serialize a corpus")
+    prep.add_argument("--input", required=True, help="JSONL corpus path")
+    prep.add_argument("--out", required=True,
+                      help="output path (one training text per line)")
+    prep.add_argument("--max-chars", type=int, default=2000)
+    prep.add_argument("--no-number-tokens", action="store_true")
+
+    train = sub.add_parser("train", help="train a model on texts")
+    train.add_argument("--texts", required=True,
+                       help="file with one training text per line")
+    train.add_argument("--model", default="distilgpt2", choices=model_names())
+    train.add_argument("--steps", type=int, default=400)
+    train.add_argument("--batch-size", type=int, default=8)
+    train.add_argument("--learning-rate", type=float, default=3e-3)
+    train.add_argument("--seq-len", type=int, default=128)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", required=True, help="checkpoint directory")
+
+    gen = sub.add_parser("generate", help="generate a recipe")
+    gen.add_argument("--checkpoint", required=True)
+    gen.add_argument("--ingredients", required=True,
+                     help="comma-separated ingredient list")
+    gen.add_argument("--max-new-tokens", type=int, default=220)
+    gen.add_argument("--temperature", type=float, default=0.8)
+    gen.add_argument("--top-k", type=int, default=20)
+    gen.add_argument("--greedy", action="store_true")
+    gen.add_argument("--checklist", action="store_true")
+    gen.add_argument("--seed", type=int, default=0)
+
+    ev = sub.add_parser("evaluate", help="BLEU-evaluate a checkpoint")
+    ev.add_argument("--checkpoint", required=True)
+    ev.add_argument("--texts", required=True)
+    ev.add_argument("--samples", type=int, default=8)
+    ev.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("info", help="library and registry information")
+    return parser
+
+
+def _read_texts(path: str) -> List[str]:
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    texts = [line for line in lines if line.strip()]
+    if not texts:
+        raise SystemExit(f"error: no texts found in {path}")
+    return texts
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    recipes = generate_corpus(
+        args.num, seed=args.seed, duplicate_rate=args.duplicate_rate,
+        incomplete_rate=args.incomplete_rate, oversize_rate=args.oversize_rate)
+    count = save_jsonl(recipes, args.out)
+    print(f"wrote {count} recipes to {args.out}")
+    if args.csv:
+        export_csv(recipes, args.csv)
+        print(f"exported CSV to {args.csv}")
+    return 0
+
+
+def cmd_preprocess(args: argparse.Namespace) -> int:
+    recipes = load_jsonl(args.input)
+    config = PreprocessConfig(
+        max_chars=args.max_chars,
+        number_special_tokens=not args.no_number_tokens)
+    texts, report = preprocess(recipes, config)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text("\n".join(texts) + "\n", encoding="utf-8")
+    print(f"in: {report.cleaning.total_in}  "
+          f"removed: {report.cleaning.total_removed} "
+          f"(incomplete {report.cleaning.incomplete_removed}, "
+          f"duplicates {report.cleaning.duplicates_removed})  "
+          f"truncated: {report.truncated}  out: {report.texts_out}")
+    print(f"wrote {len(texts)} training texts to {args.out}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    texts = _read_texts(args.texts)
+    config = PipelineConfig(
+        model_name=args.model,
+        seq_len=args.seq_len,
+        corpus_seed=args.seed,
+        model_seed=args.seed,
+        training=TrainingConfig(
+            max_steps=args.steps, batch_size=args.batch_size,
+            learning_rate=args.learning_rate, eval_every=max(args.steps // 4, 1)))
+    app = Ratatouille.from_texts(texts, config=config)
+    result = app.training_result
+    app.save(args.out)
+    print(f"{get_spec(args.model).display_name}: {result.steps} steps, "
+          f"loss {result.train_losses[0]:.3f} -> {result.final_train_loss:.3f}, "
+          f"{result.tokens_per_second:.0f} tokens/s")
+    print(f"checkpoint saved to {args.out}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    ingredients = [part.strip() for part in args.ingredients.split(",")
+                   if part.strip()]
+    if not ingredients:
+        raise SystemExit("error: --ingredients parsed to an empty list")
+    app = Ratatouille.load(args.checkpoint)
+    config = GenerationConfig(
+        max_new_tokens=args.max_new_tokens,
+        strategy="greedy" if args.greedy else "sample",
+        temperature=args.temperature, top_k=args.top_k, seed=args.seed)
+    recipe = app.generate(ingredients, config, checklist=args.checklist)
+    print(recipe.pretty())
+    print(f"\n[valid={recipe.is_valid} coverage={recipe.ingredient_coverage:.0%} "
+          f"latency={recipe.generation_seconds:.2f}s]")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    app = Ratatouille.load(args.checkpoint)
+    texts = _read_texts(args.texts)
+    bleu, _ = app.evaluate_bleu(
+        texts, max_samples=args.samples,
+        generation=GenerationConfig(strategy="greedy", max_new_tokens=1),
+        seed=args.seed)
+    print(f"corpus BLEU over {min(args.samples, len(texts))} samples: {bleu:.3f}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from . import __version__
+    print(f"repro {__version__} — Ratatouille reproduction")
+    print("registered models:")
+    for name in model_names():
+        spec = get_spec(name)
+        paper = (f"paper BLEU {spec.paper_bleu}"
+                 if spec.paper_bleu == spec.paper_bleu else "future work")
+        print(f"  {name:12s} {spec.display_name:22s} ({paper})")
+    return 0
+
+
+_COMMANDS = {
+    "corpus": cmd_corpus,
+    "preprocess": cmd_preprocess,
+    "train": cmd_train,
+    "generate": cmd_generate,
+    "evaluate": cmd_evaluate,
+    "info": cmd_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

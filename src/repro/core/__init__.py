@@ -1,0 +1,13 @@
+"""Core: the Ratatouille pipeline, configs, registry, checkpoints."""
+
+from .checkpoints import load_checkpoint, save_checkpoint
+from .config import PipelineConfig
+from .pipeline import GeneratedRecipe, Ratatouille
+from .registry import (ModelSpec, build_from_config, get_spec, model_names,
+                       table1_models)
+
+__all__ = [
+    "GeneratedRecipe", "ModelSpec", "PipelineConfig", "Ratatouille",
+    "build_from_config", "get_spec", "load_checkpoint", "model_names",
+    "save_checkpoint", "table1_models",
+]

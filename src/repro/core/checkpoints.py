@@ -1,0 +1,61 @@
+"""Checkpoint store: model weights + config + tokenizer in one directory.
+
+Layout::
+
+    <dir>/
+      config.json     # model config_dict() + format version
+      weights.npz     # state_dict arrays
+      tokenizer.json  # tokenizer vocabulary and extra state
+
+Weights round-trip exactly (float32 bit-for-bit); loading validates
+shapes against the reconstructed architecture.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..models.base import LanguageModel
+from ..tokenizers import Tokenizer, load_any
+from .registry import build_from_config
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+def save_checkpoint(model: LanguageModel, tokenizer: Tokenizer,
+                    directory: PathLike) -> Path:
+    """Write a complete checkpoint; returns the directory path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    config = {"format_version": FORMAT_VERSION, "model": model.config_dict()}
+    (directory / "config.json").write_text(json.dumps(config, indent=2),
+                                           encoding="utf-8")
+    np.savez(directory / "weights.npz", **model.state_dict())
+    tokenizer.save(directory / "tokenizer.json")
+    return directory
+
+
+def load_checkpoint(directory: PathLike) -> Tuple[LanguageModel, Tokenizer]:
+    """Reconstruct (model, tokenizer) from :func:`save_checkpoint` output."""
+    directory = Path(directory)
+    config_path = directory / "config.json"
+    if not config_path.exists():
+        raise FileNotFoundError(f"no checkpoint at {directory}")
+    config = json.loads(config_path.read_text(encoding="utf-8"))
+    version = config.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"checkpoint format {version} not supported (expected {FORMAT_VERSION})")
+    model = build_from_config(config["model"])
+    with np.load(directory / "weights.npz") as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    model.eval()
+    tokenizer = load_any(directory / "tokenizer.json")
+    return model, tokenizer

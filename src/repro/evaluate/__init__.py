@@ -1,0 +1,22 @@
+"""Evaluation: BLEU (Table I), perplexity, diversity, structure."""
+
+from .bleu import BleuResult, brevity_penalty, corpus_bleu, ngrams, sentence_bleu
+from .diversity import corpus_novelty, distinct_n, novelty, self_bleu
+from .perplexity import bits_per_token, perplexity
+from .report import EvaluationReport, ModelEvaluation
+from .significance import (BootstrapResult, PermutationResult,
+                           bootstrap_interval, paired_permutation_test,
+                           segment_bleu_scores)
+from .rouge import RougeScore, corpus_rouge, rouge_l, rouge_n
+from .structure import (StructureScore, content_words, score_structure,
+                        validity_rate)
+
+__all__ = [
+    "BleuResult", "EvaluationReport", "ModelEvaluation", "StructureScore",
+    "bits_per_token", "brevity_penalty", "content_words", "corpus_bleu",
+    "corpus_novelty", "distinct_n", "ngrams", "novelty", "perplexity",
+    "RougeScore", "corpus_rouge", "rouge_l", "rouge_n",
+    "BootstrapResult", "PermutationResult", "bootstrap_interval",
+    "paired_permutation_test", "segment_bleu_scores",
+    "score_structure", "self_bleu", "sentence_bleu", "validity_rate",
+]

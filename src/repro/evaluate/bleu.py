@@ -1,0 +1,178 @@
+"""BLEU score — the paper's evaluation metric (Table I).
+
+A from-scratch implementation of Papineni et al. (2002):
+
+* modified n-gram precision with reference clipping;
+* brevity penalty;
+* corpus-level aggregation (sum clipped counts over segments first,
+  then combine — the correct corpus BLEU, not a mean of sentence
+  BLEUs);
+* smoothing methods 0–3 after Chen & Cherry (2014), because short
+  generated recipes can have zero higher-order matches.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+TokenSeq = Sequence[str]
+
+
+def ngrams(tokens: TokenSeq, n: int) -> Counter:
+    """Multiset of n-grams of order ``n``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return Counter(tuple(tokens[i:i + n]) for i in range(len(tokens) - n + 1))
+
+
+def _clipped_matches(candidate: TokenSeq, references: Sequence[TokenSeq],
+                     n: int) -> Tuple[int, int]:
+    """(clipped match count, total candidate n-grams) for order ``n``."""
+    cand_counts = ngrams(candidate, n)
+    total = sum(cand_counts.values())
+    if not cand_counts:
+        return 0, 0
+    max_ref: Counter = Counter()
+    for reference in references:
+        for gram, count in ngrams(reference, n).items():
+            if count > max_ref[gram]:
+                max_ref[gram] = count
+    matches = sum(min(count, max_ref[gram]) for gram, count in cand_counts.items())
+    return matches, total
+
+
+def _closest_ref_length(candidate: TokenSeq,
+                        references: Sequence[TokenSeq]) -> int:
+    """Reference length closest to the candidate's (ties -> shorter)."""
+    cand_len = len(candidate)
+    return min((abs(len(ref) - cand_len), len(ref)) for ref in references)[1]
+
+
+def brevity_penalty(candidate_length: int, reference_length: int) -> float:
+    if candidate_length == 0:
+        return 0.0
+    if candidate_length >= reference_length:
+        return 1.0
+    return math.exp(1.0 - reference_length / candidate_length)
+
+
+def _smooth(matches: List[int], totals: List[int],
+            method: int) -> List[float]:
+    """Apply a Chen & Cherry smoothing method to precision fractions.
+
+    With smoothing enabled, an order the candidate is too short to form
+    at all (zero total n-grams) contributes a neutral ``1.0`` — there
+    are no n-grams to be wrong about — instead of zeroing the geometric
+    mean.  Method 0 keeps the strict behaviour (score collapses to 0).
+    """
+    if method == 0:
+        return [m / t if t else 0.0 for m, t in zip(matches, totals)]
+    if method == 1:
+        # Add epsilon to zero match counts.
+        return [(m if m else 0.1) / t if t else 1.0
+                for m, t in zip(matches, totals)]
+    if method == 2:
+        # Add 1 to both numerator and denominator for n >= 2.
+        out = []
+        for order, (m, t) in enumerate(zip(matches, totals), start=1):
+            if t == 0:
+                out.append(1.0)
+            elif order == 1:
+                out.append(m / t)
+            else:
+                out.append((m + 1) / (t + 1))
+        return out
+    if method == 3:
+        # NIST geometric: each zero precision is 1 / (2^k * t).
+        out = []
+        invcnt = 1
+        for m, t in zip(matches, totals):
+            if t == 0:
+                out.append(1.0)
+            elif m == 0:
+                invcnt *= 2
+                out.append(1.0 / (invcnt * t))
+            else:
+                out.append(m / t)
+        return out
+    raise ValueError(f"unknown smoothing method {method}; choose 0-3")
+
+
+@dataclass(frozen=True)
+class BleuResult:
+    """BLEU with its components, for the Table-I report."""
+
+    bleu: float
+    precisions: Tuple[float, ...]
+    brevity_penalty: float
+    candidate_length: int
+    reference_length: int
+
+    def __float__(self) -> float:
+        return self.bleu
+
+
+def corpus_bleu(candidates: Sequence[TokenSeq],
+                references_list: Sequence[Sequence[TokenSeq]],
+                max_n: int = 4,
+                weights: Sequence[float] = (),
+                smoothing: int = 1) -> BleuResult:
+    """Corpus-level BLEU.
+
+    Parameters
+    ----------
+    candidates:
+        One tokenized hypothesis per segment.
+    references_list:
+        For each segment, one or more tokenized references.
+    max_n:
+        Highest n-gram order (default BLEU-4).
+    weights:
+        Per-order weights; default uniform ``1/max_n``.
+    smoothing:
+        Chen & Cherry method 0–3 (default 1).
+    """
+    if len(candidates) != len(references_list):
+        raise ValueError(
+            f"{len(candidates)} candidates vs {len(references_list)} reference sets")
+    if not candidates:
+        raise ValueError("corpus_bleu needs at least one segment")
+    weights = tuple(weights) or tuple(1.0 / max_n for _ in range(max_n))
+    if len(weights) != max_n:
+        raise ValueError(f"need {max_n} weights, got {len(weights)}")
+
+    matches = [0] * max_n
+    totals = [0] * max_n
+    cand_len = 0
+    ref_len = 0
+    for candidate, references in zip(candidates, references_list):
+        if not references:
+            raise ValueError("every segment needs at least one reference")
+        cand_len += len(candidate)
+        ref_len += _closest_ref_length(candidate, references)
+        for order in range(1, max_n + 1):
+            m, t = _clipped_matches(candidate, references, order)
+            matches[order - 1] += m
+            totals[order - 1] += t
+
+    precisions = _smooth(matches, totals, smoothing)
+    bp = brevity_penalty(cand_len, ref_len)
+    if any(p <= 0.0 for p, w in zip(precisions, weights) if w > 0):
+        bleu = 0.0
+    else:
+        log_sum = sum(w * math.log(p) for w, p in zip(weights, precisions) if w > 0)
+        bleu = bp * math.exp(log_sum)
+    return BleuResult(bleu=bleu, precisions=tuple(precisions),
+                      brevity_penalty=bp, candidate_length=cand_len,
+                      reference_length=ref_len)
+
+
+def sentence_bleu(candidate: TokenSeq, references: Sequence[TokenSeq],
+                  max_n: int = 4, weights: Sequence[float] = (),
+                  smoothing: int = 1) -> BleuResult:
+    """BLEU for a single segment."""
+    return corpus_bleu([candidate], [references], max_n=max_n,
+                       weights=weights, smoothing=smoothing)

@@ -1,0 +1,81 @@
+"""Diversity and novelty metrics for generated recipes.
+
+"Our objective is that ... model generates novel and diverse recipes"
+(Sec. I).  These metrics quantify exactly that:
+
+* ``distinct_n`` — fraction of unique n-grams across generations (Li
+  et al., 2016); low values mean the decoder loops;
+* ``self_bleu`` — BLEU of each generation against the others; high
+  values mean the generations collapse onto each other;
+* ``novelty`` — 1 minus the maximum n-gram overlap with any training
+  recipe; high values mean the model is not parroting the corpus.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .bleu import corpus_bleu, ngrams
+
+
+def distinct_n(generations: Sequence[Sequence[str]], n: int = 2) -> float:
+    """Unique n-grams / total n-grams, pooled over all generations."""
+    total = 0
+    unique = set()
+    for tokens in generations:
+        grams = list(ngrams(tokens, n))
+        counts = ngrams(tokens, n)
+        total += sum(counts.values())
+        unique.update(grams)
+    if total == 0:
+        return 0.0
+    return len(unique) / total
+
+
+def self_bleu(generations: Sequence[Sequence[str]], max_n: int = 4) -> float:
+    """Mean BLEU of each generation against all the others.
+
+    Needs at least two generations; returns 0.0 for a single one.
+    """
+    if len(generations) < 2:
+        return 0.0
+    scores: List[float] = []
+    for index, candidate in enumerate(generations):
+        references = [g for j, g in enumerate(generations) if j != index]
+        scores.append(corpus_bleu([candidate], [references],
+                                  max_n=max_n, smoothing=1).bleu)
+    return sum(scores) / len(scores)
+
+
+def novelty(generation: Sequence[str],
+            training_corpus: Sequence[Sequence[str]], n: int = 4) -> float:
+    """1 − max fraction of the generation's n-grams found in one
+    training recipe.
+
+    1.0 means no training recipe shares any n-gram of order ``n``;
+    0.0 means some training recipe contains every one (a copy).
+    """
+    gen_grams = ngrams(generation, n)
+    total = sum(gen_grams.values())
+    if total == 0:
+        return 1.0
+    worst_overlap = 0.0
+    for reference in training_corpus:
+        ref_keys = set(ngrams(reference, n))
+        matched = sum(count for gram, count in gen_grams.items()
+                      if gram in ref_keys)
+        overlap = matched / total
+        if overlap > worst_overlap:
+            worst_overlap = overlap
+            if worst_overlap >= 1.0:
+                break
+    return 1.0 - worst_overlap
+
+
+def corpus_novelty(generations: Sequence[Sequence[str]],
+                   training_corpus: Sequence[Sequence[str]],
+                   n: int = 4) -> float:
+    """Mean :func:`novelty` over a batch of generations."""
+    if not generations:
+        raise ValueError("need at least one generation")
+    return sum(novelty(g, training_corpus, n=n) for g in generations) / len(generations)

@@ -1,0 +1,50 @@
+"""Perplexity evaluation.
+
+Perplexity is the metric the inverse-cooking line of work the paper
+cites uses (Salvador et al., 2019); we report it alongside BLEU so
+model comparisons do not rest on a single number.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..models.base import LanguageModel
+from ..nn import no_grad
+from ..nn import functional as F
+from ..training.dataset import LMDataset
+
+
+def perplexity(model: LanguageModel, dataset: LMDataset,
+               batch_size: int = 8, max_batches: Optional[int] = None,
+               seed: int = 0) -> float:
+    """exp(mean token cross-entropy) of ``model`` on ``dataset``."""
+    model.eval()
+    rng = np.random.default_rng(seed)
+    total_loss = 0.0
+    total_tokens = 0
+    with no_grad():
+        for index, (inputs, targets) in enumerate(
+                dataset.batches(batch_size, rng, drop_last=False)):
+            if max_batches is not None and index >= max_batches:
+                break
+            logits = model(inputs)
+            flat = logits.reshape(-1, model.vocab_size)
+            loss = F.cross_entropy(flat, targets.reshape(-1))
+            count = targets.size
+            total_loss += loss.item() * count
+            total_tokens += count
+    if total_tokens == 0:
+        raise ValueError("dataset produced no evaluation tokens")
+    return math.exp(total_loss / total_tokens)
+
+
+def bits_per_token(model: LanguageModel, dataset: LMDataset,
+                   batch_size: int = 8, max_batches: Optional[int] = None,
+                   seed: int = 0) -> float:
+    """Cross-entropy in bits (log2 of perplexity)."""
+    return math.log2(perplexity(model, dataset, batch_size=batch_size,
+                                max_batches=max_batches, seed=seed))

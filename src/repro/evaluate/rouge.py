@@ -1,0 +1,102 @@
+"""ROUGE metrics: recall-oriented counterparts to BLEU.
+
+Recipe-generation papers report ROUGE alongside BLEU (RecipeGPT does
+exactly this for instruction generation), because BLEU's precision
+orientation under-penalizes dropped content — and dropped steps are
+the characteristic failure of recipe generators.  Implemented from
+Lin (2004):
+
+* ROUGE-N — n-gram recall/precision/F1;
+* ROUGE-L — longest-common-subsequence F-measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .bleu import ngrams
+
+TokenSeq = Sequence[str]
+
+
+@dataclass(frozen=True)
+class RougeScore:
+    """Precision/recall/F1 triple for one ROUGE variant."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+def _f_measure(precision: float, recall: float, beta: float = 1.0) -> float:
+    if precision <= 0.0 or recall <= 0.0:
+        return 0.0
+    beta2 = beta * beta
+    return (1 + beta2) * precision * recall / (recall + beta2 * precision)
+
+
+def rouge_n(candidate: TokenSeq, reference: TokenSeq, n: int = 1) -> RougeScore:
+    """N-gram overlap ROUGE (clipped counts, like BLEU's numerator)."""
+    cand = ngrams(candidate, n)
+    ref = ngrams(reference, n)
+    overlap = sum(min(count, ref[gram]) for gram, count in cand.items())
+    cand_total = sum(cand.values())
+    ref_total = sum(ref.values())
+    precision = overlap / cand_total if cand_total else 0.0
+    recall = overlap / ref_total if ref_total else 0.0
+    return RougeScore(precision=precision, recall=recall,
+                      f1=_f_measure(precision, recall))
+
+
+def _lcs_length(a: TokenSeq, b: TokenSeq) -> int:
+    """Length of the longest common subsequence (O(len(a)*len(b)))."""
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    for token_a in a:
+        current = [0]
+        for j, token_b in enumerate(b, start=1):
+            if token_a == token_b:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[-1]))
+        previous = current
+    return previous[-1]
+
+
+def rouge_l(candidate: TokenSeq, reference: TokenSeq) -> RougeScore:
+    """LCS-based ROUGE-L F-measure."""
+    lcs = _lcs_length(candidate, reference)
+    precision = lcs / len(candidate) if candidate else 0.0
+    recall = lcs / len(reference) if reference else 0.0
+    return RougeScore(precision=precision, recall=recall,
+                      f1=_f_measure(precision, recall))
+
+
+def corpus_rouge(candidates: Sequence[TokenSeq],
+                 references: Sequence[TokenSeq],
+                 variant: str = "l") -> RougeScore:
+    """Mean per-segment ROUGE over a corpus.
+
+    ``variant`` is ``"1"``, ``"2"`` or ``"l"``.
+    """
+    if len(candidates) != len(references):
+        raise ValueError(
+            f"{len(candidates)} candidates vs {len(references)} references")
+    if not candidates:
+        raise ValueError("corpus_rouge needs at least one segment")
+    scores: List[RougeScore] = []
+    for cand, ref in zip(candidates, references):
+        if variant == "l":
+            scores.append(rouge_l(cand, ref))
+        elif variant in ("1", "2"):
+            scores.append(rouge_n(cand, ref, n=int(variant)))
+        else:
+            raise ValueError(f"unknown ROUGE variant {variant!r}")
+    count = len(scores)
+    return RougeScore(
+        precision=sum(s.precision for s in scores) / count,
+        recall=sum(s.recall for s in scores) / count,
+        f1=sum(s.f1 for s in scores) / count,
+    )

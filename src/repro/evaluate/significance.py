@@ -1,0 +1,122 @@
+"""Statistical significance for metric comparisons.
+
+A model-comparison table without uncertainty is folklore; this module
+adds the two standard tools used for MT/generation metrics:
+
+* :func:`bootstrap_interval` — percentile bootstrap confidence
+  interval for a corpus-level metric over its segments;
+* :func:`paired_permutation_test` — significance of a *difference*
+  between two systems evaluated on the same segments (Koehn, 2004).
+
+Both operate on per-segment score arrays, so they work for BLEU,
+ROUGE, validity or anything else the harness computes per segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+Aggregate = Callable[[np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A point estimate with its bootstrap confidence interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+    resamples: int
+
+    def __str__(self) -> str:
+        percent = int(self.confidence * 100)
+        return (f"{self.estimate:.3f} "
+                f"[{percent}% CI {self.lower:.3f}–{self.upper:.3f}]")
+
+
+def bootstrap_interval(scores: Sequence[float], confidence: float = 0.95,
+                       resamples: int = 2000, seed: int = 0,
+                       aggregate: Optional[Aggregate] = None) -> BootstrapResult:
+    """Percentile-bootstrap CI for an aggregate of per-segment scores."""
+    scores = np.asarray(list(scores), dtype=np.float64)
+    if scores.size < 2:
+        raise ValueError("need at least 2 segments to bootstrap")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if resamples < 10:
+        raise ValueError("resamples must be >= 10")
+    agg: Aggregate = aggregate or (lambda arr: float(arr.mean()))
+    rng = np.random.default_rng(seed)
+    n = scores.size
+    stats = np.empty(resamples)
+    for i in range(resamples):
+        sample = scores[rng.integers(0, n, size=n)]
+        stats[i] = agg(sample)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        estimate=agg(scores),
+        lower=float(np.quantile(stats, alpha)),
+        upper=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+@dataclass(frozen=True)
+class PermutationResult:
+    """Outcome of a paired permutation test."""
+
+    observed_difference: float
+    p_value: float
+    permutations: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def paired_permutation_test(scores_a: Sequence[float],
+                            scores_b: Sequence[float],
+                            permutations: int = 5000,
+                            seed: int = 0) -> PermutationResult:
+    """Two-sided paired permutation test on mean score difference.
+
+    Under the null hypothesis the two systems are interchangeable per
+    segment; randomly swapping each segment's pair of scores gives the
+    null distribution of the mean difference.
+    """
+    a = np.asarray(list(scores_a), dtype=np.float64)
+    b = np.asarray(list(scores_b), dtype=np.float64)
+    if a.shape != b.shape or a.size < 2:
+        raise ValueError("score vectors must be equal-length with >= 2 segments")
+    if permutations < 100:
+        raise ValueError("permutations must be >= 100")
+    rng = np.random.default_rng(seed)
+    observed = float((a - b).mean())
+    diffs = a - b
+    count = 0
+    for _ in range(permutations):
+        signs = rng.integers(0, 2, size=diffs.size) * 2 - 1
+        permuted = float((diffs * signs).mean())
+        if abs(permuted) >= abs(observed) - 1e-15:
+            count += 1
+    # add-one smoothing: the observed labelling is itself a permutation
+    p_value = (count + 1) / (permutations + 1)
+    return PermutationResult(observed_difference=observed, p_value=p_value,
+                             permutations=permutations)
+
+
+def segment_bleu_scores(candidates: Sequence[Sequence[str]],
+                        references_list: Sequence[Sequence[Sequence[str]]],
+                        max_n: int = 4, smoothing: int = 1) -> np.ndarray:
+    """Per-segment sentence-BLEU vector (input for the tests above)."""
+    from .bleu import sentence_bleu
+    if len(candidates) != len(references_list):
+        raise ValueError("candidates and references must align")
+    return np.array([
+        sentence_bleu(cand, refs, max_n=max_n, smoothing=smoothing).bleu
+        for cand, refs in zip(candidates, references_list)
+    ])

@@ -1,0 +1,73 @@
+"""Structural validity scoring of generated recipes.
+
+The paper's motivation for the tagged format is that prior systems'
+recipes "are not well structured".  This module scores exactly that:
+does a generated string parse into title/ingredients/instructions, and
+do the instructions use the prompt's ingredients?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..preprocess.formatting import parse_recipe, structure_errors
+from ..preprocess.numbers import decode_numbers
+
+#: function words ignored when checking ingredient mentions
+_STOPWORDS = frozenset(
+    "a an and of the with in to for fresh frozen dried canned organic baby "
+    "wild roasted smoked ripe raw whole ground crushed pickled sweet spicy "
+    "large small local".split())
+
+
+def content_words(text: str) -> List[str]:
+    """Lowercased non-stopword alphabetic words of a string."""
+    words = [w.strip(".,;:!?") for w in decode_numbers(text).lower().split()]
+    return [w for w in words if w and w.isalpha() and w not in _STOPWORDS]
+
+
+@dataclass(frozen=True)
+class StructureScore:
+    """Validity breakdown for one generated recipe string."""
+
+    is_valid: bool
+    errors: Sequence[str]
+    num_ingredients: int
+    num_instructions: int
+    #: fraction of prompt ingredients mentioned in the instructions
+    ingredient_coverage: float
+
+
+def score_structure(text: str,
+                    prompt_ingredients: Sequence[str] = ()) -> StructureScore:
+    """Score one generated tagged string."""
+    errors = structure_errors(text)
+    parsed = parse_recipe(text)
+    instruction_words = set()
+    for line in parsed.instructions:
+        instruction_words.update(content_words(line))
+
+    coverage = 1.0
+    if prompt_ingredients:
+        mentioned = 0
+        for name in prompt_ingredients:
+            words = content_words(name)
+            if words and any(word in instruction_words for word in words):
+                mentioned += 1
+        coverage = mentioned / len(prompt_ingredients)
+
+    return StructureScore(
+        is_valid=not errors,
+        errors=tuple(errors),
+        num_ingredients=len(parsed.ingredients),
+        num_instructions=len(parsed.instructions),
+        ingredient_coverage=coverage,
+    )
+
+
+def validity_rate(texts: Sequence[str]) -> float:
+    """Fraction of generations that parse into a complete recipe."""
+    if not texts:
+        raise ValueError("need at least one generation")
+    return sum(1 for t in texts if score_structure(t).is_valid) / len(texts)

@@ -1,0 +1,32 @@
+"""Generative models: LSTM baselines, GPT-2, GPT-Neo, decoding.
+
+The four Table-I models map to:
+
+* ``char_lstm`` / ``word_lstm`` — :mod:`repro.models.lstm`;
+* ``distilgpt2`` / ``gpt2_medium`` — :mod:`repro.models.gpt2`;
+
+plus the future-work :mod:`repro.models.gpt_neo` extension and the
+decoding strategies in :mod:`repro.models.generation`.
+"""
+
+from .base import LanguageModel
+from .generation import (ChecklistBonus, GenerationConfig, LogitsProcessor,
+                         RepetitionPenalty, generate)
+from .gpt2 import GPT2Config, GPT2Model, GPT2State, distilgpt2, gpt2_medium
+from .gpt_neo import GPTNeoConfig, GPTNeoModel, gpt_neo_small
+from .lstm import LSTMConfig, LSTMLanguageModel, char_lstm, word_lstm
+from .ngram import NGramLanguageModel
+from .inspection import (attention_maps, render_attention_ascii, surprisal,
+                         top_next_tokens)
+from .summary import group_by_top_level, memory_megabytes, summarize
+
+__all__ = [
+    "ChecklistBonus", "GenerationConfig", "GPT2Config", "GPT2Model",
+    "GPT2State", "GPTNeoConfig", "GPTNeoModel", "LanguageModel",
+    "LogitsProcessor", "LSTMConfig", "LSTMLanguageModel",
+    "NGramLanguageModel", "RepetitionPenalty", "attention_maps",
+    "char_lstm", "distilgpt2", "generate", "render_attention_ascii",
+    "surprisal", "top_next_tokens", "group_by_top_level",
+    "memory_megabytes", "summarize",
+    "gpt2_medium", "gpt_neo_small", "word_lstm",
+]

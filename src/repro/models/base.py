@@ -1,0 +1,90 @@
+"""Language-model interface shared by the LSTM and transformer families.
+
+A model is anything that scores next tokens.  Two call paths:
+
+* :meth:`LanguageModel.forward` — teacher-forced training: a whole
+  ``(batch, time)`` id matrix in, ``(batch, time, vocab)`` logits out.
+* the incremental API (:meth:`start_state` / :meth:`next_logits`) —
+  autoregressive generation: feed one token per call, carrying opaque
+  model state (LSTM hidden state or transformer KV cache).
+
+Keeping generation behind the incremental API lets the decoding
+strategies in :mod:`repro.models.generation` work with every model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+import numpy as np
+
+from ..nn import Module, Tensor
+
+
+class LanguageModel(Module):
+    """Abstract autoregressive language model over a token vocabulary."""
+
+    #: subclasses set this for checkpoint metadata
+    model_type = "base"
+
+    def __init__(self, vocab_size: int) -> None:
+        super().__init__()
+        if vocab_size < 2:
+            raise ValueError(f"vocab_size must be >= 2, got {vocab_size}")
+        self.vocab_size = vocab_size
+
+    # ------------------------------------------------------------------
+    # Training path
+    # ------------------------------------------------------------------
+    def forward(self, ids: np.ndarray) -> Tensor:
+        """Teacher-forced logits.
+
+        Parameters
+        ----------
+        ids:
+            Integer array ``(batch, time)``.
+
+        Returns
+        -------
+        Tensor
+            Logits ``(batch, time, vocab_size)``; position ``t`` scores
+            token ``t+1``.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Generation path
+    # ------------------------------------------------------------------
+    def start_state(self, batch_size: int) -> Any:
+        """Fresh decoding state for ``batch_size`` parallel sequences."""
+        raise NotImplementedError
+
+    def next_logits(self, ids: np.ndarray, state: Any) -> Tuple[np.ndarray, Any]:
+        """Advance one step.
+
+        Parameters
+        ----------
+        ids:
+            ``(batch,)`` int array: the token just produced (or the
+            next prompt token during prefill).
+        state:
+            Whatever :meth:`start_state` / the previous call returned.
+
+        Returns
+        -------
+        (logits, state):
+            ``(batch, vocab_size)`` float array of next-token logits
+            and the updated state.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def config_dict(self) -> dict:
+        """JSON-serializable hyperparameters (for checkpoints)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return (f"{type(self).__name__}(vocab={self.vocab_size}, "
+                f"params={self.num_parameters():,})")

@@ -1,0 +1,258 @@
+"""Decoding strategies: greedy, temperature, top-k, top-p, beam search.
+
+All strategies drive any :class:`~repro.models.base.LanguageModel`
+through its incremental API under ``no_grad``, so generation builds no
+autograd graph.  Logits processors implement repetition penalty and
+the checklist-coverage extension (boosting ingredients the generation
+has not yet mentioned — the neural-checklist idea the paper cites as
+related work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import no_grad
+from .base import LanguageModel
+
+
+@dataclass
+class GenerationConfig:
+    """Decoding knobs.
+
+    ``strategy`` is one of ``greedy``, ``sample``, ``beam``.  For
+    ``sample``, ``temperature``/``top_k``/``top_p`` apply (set
+    ``top_k=0`` / ``top_p=1.0`` to disable each filter).
+    """
+
+    max_new_tokens: int = 200
+    strategy: str = "sample"
+    temperature: float = 1.0
+    top_k: int = 0
+    top_p: float = 1.0
+    beam_size: int = 4
+    repetition_penalty: float = 1.0
+    stop_token_id: Optional[int] = None
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.strategy not in ("greedy", "sample", "beam"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be > 0")
+        if self.top_k < 0:
+            raise ValueError("top_k must be >= 0")
+        if not 0.0 < self.top_p <= 1.0:
+            raise ValueError("top_p must be in (0, 1]")
+        if self.beam_size < 1:
+            raise ValueError("beam_size must be >= 1")
+        if self.repetition_penalty < 1.0:
+            raise ValueError("repetition_penalty must be >= 1.0")
+
+
+class LogitsProcessor:
+    """Hook that rewrites next-token logits given the history."""
+
+    def __call__(self, logits: np.ndarray, generated: List[int]) -> np.ndarray:
+        raise NotImplementedError
+
+
+class RepetitionPenalty(LogitsProcessor):
+    """CTRL-style penalty: dampen logits of already-generated tokens."""
+
+    def __init__(self, penalty: float) -> None:
+        if penalty < 1.0:
+            raise ValueError("penalty must be >= 1.0")
+        self.penalty = penalty
+
+    def __call__(self, logits: np.ndarray, generated: List[int]) -> np.ndarray:
+        if self.penalty == 1.0 or not generated:
+            return logits
+        logits = logits.copy()
+        seen = np.unique(np.asarray(generated))
+        values = logits[seen]
+        logits[seen] = np.where(values > 0, values / self.penalty,
+                                values * self.penalty)
+        return logits
+
+
+class ChecklistBonus(LogitsProcessor):
+    """Boost tokens of prompt ingredients not yet mentioned.
+
+    A lightweight take on the neural-checklist model (Kiddon et al.,
+    2016, cited by the paper): each prompt ingredient contributes a
+    set of token ids; once any of them is generated the ingredient is
+    checked off and its boost disappears.
+    """
+
+    def __init__(self, ingredient_token_ids: Sequence[Sequence[int]],
+                 bonus: float = 2.0) -> None:
+        self.ingredient_token_ids = [list(ids) for ids in ingredient_token_ids]
+        self.bonus = bonus
+        self._done = [False] * len(self.ingredient_token_ids)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of prompt ingredients mentioned so far."""
+        if not self._done:
+            return 1.0
+        return sum(self._done) / len(self._done)
+
+    def __call__(self, logits: np.ndarray, generated: List[int]) -> np.ndarray:
+        generated_set = set(generated)
+        logits = logits.copy()
+        for index, token_ids in enumerate(self.ingredient_token_ids):
+            if self._done[index]:
+                continue
+            if any(t in generated_set for t in token_ids):
+                self._done[index] = True
+                continue
+            for token in token_ids:
+                if 0 <= token < logits.shape[0]:
+                    logits[token] += self.bonus
+        return logits
+
+
+def _filter_top_k(logits: np.ndarray, k: int) -> np.ndarray:
+    if k <= 0 or k >= logits.shape[0]:
+        return logits
+    threshold = np.partition(logits, -k)[-k]
+    filtered = np.where(logits < threshold, -np.inf, logits)
+    return filtered
+
+
+def _filter_top_p(logits: np.ndarray, p: float) -> np.ndarray:
+    if p >= 1.0:
+        return logits
+    order = np.argsort(logits)[::-1]
+    sorted_logits = logits[order]
+    probs = _softmax(sorted_logits)
+    cumulative = np.cumsum(probs)
+    # Keep the smallest prefix whose mass reaches p (always >= 1 token).
+    cutoff = int(np.searchsorted(cumulative, p) + 1)
+    filtered = np.full_like(logits, -np.inf)
+    keep = order[:cutoff]
+    filtered[keep] = logits[keep]
+    return filtered
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+def _prefill(model: LanguageModel, prompt_ids: Sequence[int]):
+    """Feed the prompt through the incremental API; return (logits, state)."""
+    state = model.start_state(1)
+    logits = None
+    for token in prompt_ids:
+        logits, state = model.next_logits(np.array([token]), state)
+    if logits is None:
+        raise ValueError("prompt must contain at least one token")
+    return logits[0], state
+
+
+def generate(model: LanguageModel, prompt_ids: Sequence[int],
+             config: Optional[GenerationConfig] = None,
+             processors: Sequence[LogitsProcessor] = ()) -> List[int]:
+    """Generate a continuation of ``prompt_ids``; returns new ids only."""
+    config = config or GenerationConfig()
+    config.validate()
+    model.eval()
+    with no_grad():
+        if config.strategy == "beam":
+            return _beam_search(model, prompt_ids, config)
+        return _sample_loop(model, prompt_ids, config, processors)
+
+
+def _sample_loop(model: LanguageModel, prompt_ids: Sequence[int],
+                 config: GenerationConfig,
+                 processors: Sequence[LogitsProcessor]) -> List[int]:
+    rng = np.random.default_rng(config.seed)
+    logits, state = _prefill(model, prompt_ids)
+    generated: List[int] = []
+    all_processors = list(processors)
+    if config.repetition_penalty > 1.0:
+        all_processors.append(RepetitionPenalty(config.repetition_penalty))
+
+    for _ in range(config.max_new_tokens):
+        scores = logits.astype(np.float64)
+        for processor in all_processors:
+            scores = processor(scores, generated)
+        if config.strategy == "greedy":
+            token = int(scores.argmax())
+        else:
+            scores = scores / config.temperature
+            scores = _filter_top_k(scores, config.top_k)
+            scores = _filter_top_p(scores, config.top_p)
+            token = int(rng.choice(scores.shape[0], p=_softmax(scores)))
+        generated.append(token)
+        if config.stop_token_id is not None and token == config.stop_token_id:
+            break
+        batch_logits, state = model.next_logits(np.array([token]), state)
+        logits = batch_logits[0]
+    return generated
+
+
+@dataclass
+class _Beam:
+    tokens: List[int] = field(default_factory=list)
+    log_prob: float = 0.0
+    state: object = None
+    logits: Optional[np.ndarray] = None
+    finished: bool = False
+
+    def score(self, length_penalty: float = 0.7) -> float:
+        length = max(len(self.tokens), 1)
+        return self.log_prob / (length ** length_penalty)
+
+
+def _beam_search(model: LanguageModel, prompt_ids: Sequence[int],
+                 config: GenerationConfig) -> List[int]:
+    """Standard length-normalized beam search (no sampling)."""
+    logits, state = _prefill(model, prompt_ids)
+    beams = [_Beam(state=state, logits=logits)]
+    completed: List[_Beam] = []
+
+    for _ in range(config.max_new_tokens):
+        candidates: List[_Beam] = []
+        for beam in beams:
+            if beam.finished:
+                completed.append(beam)
+                continue
+            log_probs = np.log(_softmax(beam.logits.astype(np.float64)) + 1e-12)
+            top = np.argsort(log_probs)[::-1][:config.beam_size]
+            for token in top:
+                candidates.append(_Beam(
+                    tokens=beam.tokens + [int(token)],
+                    log_prob=beam.log_prob + float(log_probs[token]),
+                    state=beam.state,
+                    logits=None,
+                    finished=(config.stop_token_id is not None
+                              and int(token) == config.stop_token_id),
+                ))
+        if not candidates:
+            break
+        candidates.sort(key=lambda b: b.score(), reverse=True)
+        beams = candidates[:config.beam_size]
+        # Advance the survivors one step (states are immutable snapshots,
+        # so siblings from the same parent can safely share the input state).
+        for beam in beams:
+            if beam.finished:
+                continue
+            logits, new_state = model.next_logits(
+                np.array([beam.tokens[-1]]), beam.state)
+            beam.logits = logits[0]
+            beam.state = new_state
+        if all(beam.finished for beam in beams):
+            completed.extend(beams)
+            break
+    completed.extend(beam for beam in beams if not beam.finished)
+    best = max(completed, key=lambda b: b.score()) if completed else beams[0]
+    return best.tokens

@@ -1,0 +1,169 @@
+"""GPT-2 language model (the paper's main model, Sec. IV-B).
+
+Architecture-faithful to Radford et al. (2019): learned token and
+position embeddings, a stack of pre-LN transformer blocks with causal
+multi-head attention and GELU MLPs, a final LayerNorm, and a weight-
+tied output head (logits = h @ W_embedᵀ).
+
+The paper fine-tunes HuggingFace's pretrained ``distilgpt2`` (6 layers,
+d=768) and ``gpt2-medium`` (24 layers, d=1024).  Pretrained weights
+are unavailable offline, so the presets below keep the two models'
+*relative* capacity ordering at a scale trainable on one CPU core;
+the Table-I benchmark documents the scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import (Dropout, Embedding, KVCache, LayerNorm, ModuleList, Tensor,
+                  TransformerBlock)
+from .base import LanguageModel
+
+
+@dataclass(frozen=True)
+class GPT2Config:
+    """Hyperparameters for :class:`GPT2Model`."""
+
+    vocab_size: int
+    context_length: int = 256
+    d_model: int = 128
+    num_layers: int = 4
+    num_heads: int = 4
+    d_ff: int = 512
+    dropout: float = 0.1
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.context_length < 2:
+            raise ValueError("context_length must be >= 2")
+        if self.d_model % self.num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+
+
+@dataclass
+class GPT2State:
+    """Decoding state: per-layer KV caches + absolute position cursor."""
+
+    caches: List[KVCache]
+    position: int
+
+
+class GPT2Model(LanguageModel):
+    """GPT-2: token+position embeddings → blocks → LN → tied head."""
+
+    model_type = "gpt2"
+
+    def __init__(self, config: GPT2Config) -> None:
+        config.validate()
+        super().__init__(config.vocab_size)
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.wte = Embedding(config.vocab_size, config.d_model, rng)
+        self.wpe = Embedding(config.context_length, config.d_model, rng, std=0.01)
+        self.drop = Dropout(config.dropout, rng)
+        self.blocks = ModuleList([
+            TransformerBlock(config.d_model, config.num_heads, config.d_ff,
+                             config.dropout, rng, num_layers=config.num_layers)
+            for _ in range(config.num_layers)
+        ])
+        self.ln_f = LayerNorm(config.d_model)
+
+    # ------------------------------------------------------------------
+    # Shared trunk
+    # ------------------------------------------------------------------
+    def _trunk(self, ids: np.ndarray, position_offset: int,
+               caches: Optional[List[Optional[KVCache]]] = None
+               ) -> Tuple[Tensor, List[Optional[KVCache]]]:
+        batch, time = ids.shape
+        if position_offset + time > self.config.context_length:
+            raise ValueError(
+                f"sequence of length {position_offset + time} exceeds context "
+                f"length {self.config.context_length}")
+        positions = np.arange(position_offset, position_offset + time)
+        x = self.wte(ids) + self.wpe(np.broadcast_to(positions, (batch, time)))
+        x = self.drop(x)
+        new_caches: List[Optional[KVCache]] = []
+        for index, block in enumerate(self.blocks):
+            cache = caches[index] if caches is not None else None
+            x, new_cache = block(x, cache=cache)
+            new_caches.append(new_cache)
+        x = self.ln_f(x)
+        return x, new_caches
+
+    def _project(self, hidden: Tensor) -> Tensor:
+        """Weight-tied output projection: ``hidden @ wteᵀ``."""
+        return hidden @ self.wte.weight.swapaxes(0, 1)
+
+    # ------------------------------------------------------------------
+    # Training path
+    # ------------------------------------------------------------------
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids)
+        if ids.ndim != 2:
+            raise ValueError(f"expected (batch, time) ids, got shape {ids.shape}")
+        hidden, _ = self._trunk(ids, position_offset=0)
+        return self._project(hidden)
+
+    # ------------------------------------------------------------------
+    # Generation path
+    # ------------------------------------------------------------------
+    def start_state(self, batch_size: int) -> GPT2State:
+        head_dim = self.config.d_model // self.config.num_heads
+        empty = lambda: KVCache(  # noqa: E731 - tiny local factory
+            k=np.zeros((batch_size, self.config.num_heads, 0, head_dim),
+                       dtype=np.float32),
+            v=np.zeros((batch_size, self.config.num_heads, 0, head_dim),
+                       dtype=np.float32))
+        return GPT2State(caches=[empty() for _ in self.blocks], position=0)
+
+    def next_logits(self, ids: np.ndarray,
+                    state: GPT2State) -> Tuple[np.ndarray, GPT2State]:
+        ids = np.asarray(ids).reshape(-1, 1)  # (B, 1)
+        # Sliding window: once the context fills up, evict the oldest
+        # cached key/value and saturate the position index, so
+        # generation can run past ``context_length`` (attending to the
+        # most recent window) instead of raising.
+        position = state.position
+        caches = state.caches
+        if position >= self.config.context_length:
+            keep = self.config.context_length - 1
+            caches = [KVCache(k=c.k[:, :, -keep:, :], v=c.v[:, :, -keep:, :])
+                      for c in caches]
+            position = keep
+        hidden, new_caches = self._trunk(ids, position_offset=position,
+                                         caches=caches)
+        logits = self._project(hidden)
+        new_state = GPT2State(caches=new_caches, position=position + 1)
+        return logits.data[:, 0, :], new_state
+
+    def config_dict(self) -> dict:
+        return {"model_type": self.model_type, **asdict(self.config)}
+
+
+def distilgpt2(vocab_size: int, seed: int = 0,
+               context_length: int = 256) -> GPT2Model:
+    """DistilGPT2 preset (scaled: 2 layers, d=128 — the *smaller* GPT-2)."""
+    return GPT2Model(GPT2Config(
+        vocab_size=vocab_size, context_length=context_length,
+        d_model=128, num_layers=2, num_heads=4, d_ff=512,
+        dropout=0.1, seed=seed))
+
+
+def gpt2_medium(vocab_size: int, seed: int = 0,
+                context_length: int = 256) -> GPT2Model:
+    """GPT-2 medium preset (scaled: 4 layers, d=192 — the *larger* GPT-2).
+
+    Relative to :func:`distilgpt2` this doubles depth and widens the
+    model ~1.5×, preserving the paper's DistilGPT2 < GPT-2-medium
+    capacity ordering at CPU-trainable scale.
+    """
+    return GPT2Model(GPT2Config(
+        vocab_size=vocab_size, context_length=context_length,
+        d_model=192, num_layers=4, num_heads=6, d_ff=768,
+        dropout=0.1, seed=seed))

@@ -1,0 +1,127 @@
+"""Model inspection: attention maps and next-token analysis.
+
+Demo tooling for the transformer models: extract per-layer, per-head
+attention probability maps (the paper highlights attention as "the
+principal component" of its best model, Sec. IV-B), and inspect the
+model's next-token beliefs for a prompt — both used by the analysis
+example and handy when debugging a training run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Tensor, no_grad
+from ..nn import functional as F
+from ..tokenizers import Tokenizer
+from .base import LanguageModel
+from .gpt2 import GPT2Model
+
+
+def attention_maps(model: GPT2Model, ids: np.ndarray) -> List[np.ndarray]:
+    """Per-layer attention probabilities for a single sequence.
+
+    Parameters
+    ----------
+    model:
+        A (trained) :class:`GPT2Model`.
+    ids:
+        Integer array ``(time,)``.
+
+    Returns
+    -------
+    list of arrays
+        One ``(heads, time, time)`` array per layer; each row is a
+        probability distribution over attendable positions (causal
+        zeros above the diagonal).
+    """
+    ids = np.asarray(ids).reshape(1, -1)
+    batch, time = ids.shape
+    maps: List[np.ndarray] = []
+    model.eval()
+    with no_grad():
+        positions = np.arange(time)
+        x = model.wte(ids) + model.wpe(np.broadcast_to(positions, (1, time)))
+        for block in model.blocks:
+            normed = block.ln1(x)
+            attn = block.attn
+            qkv = attn.qkv(normed)
+            q = attn._split_heads(qkv[:, :, :attn.d_model], batch, time)
+            k = attn._split_heads(
+                qkv[:, :, attn.d_model:2 * attn.d_model], batch, time)
+            v = attn._split_heads(qkv[:, :, 2 * attn.d_model:], batch, time)
+            scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(attn.head_dim))
+            mask = np.where(np.triu(np.ones((time, time)), k=1) > 0,
+                            -1e9, 0.0).astype(np.float32)
+            weights = F.softmax(F.add_mask(scores, mask), axis=-1)
+            maps.append(weights.data[0].copy())
+            # finish the block so the next layer sees the right input
+            context = weights @ v
+            merged = context.transpose(0, 2, 1, 3).reshape(1, time, attn.d_model)
+            x = x + attn.proj(merged)
+            x = x + block.mlp(block.ln2(x))
+    return maps
+
+
+def top_next_tokens(model: LanguageModel, tokenizer: Tokenizer,
+                    prompt: str, k: int = 5) -> List[Tuple[str, float]]:
+    """The model's top-k next tokens (and probabilities) after a prompt."""
+    ids = tokenizer.encode(prompt)
+    if not ids:
+        raise ValueError("prompt tokenized to nothing")
+    model.eval()
+    with no_grad():
+        state = model.start_state(1)
+        logits = None
+        for token in ids:
+            logits, state = model.next_logits(np.array([token]), state)
+    scores = logits[0].astype(np.float64)
+    probs = np.exp(scores - scores.max())
+    probs /= probs.sum()
+    order = np.argsort(probs)[::-1][:k]
+    return [(tokenizer.id_to_token(int(i)), float(probs[i])) for i in order]
+
+
+def render_attention_ascii(weights: np.ndarray, tokens: Sequence[str],
+                           head: int = 0, max_tokens: int = 12) -> str:
+    """Crude terminal heatmap of one head's attention pattern."""
+    shades = " .:-=+*#%@"
+    weights = weights[head][:max_tokens, :max_tokens]
+    tokens = [t[:8] for t in tokens[:max_tokens]]
+    width = max(len(t) for t in tokens)
+    lines = []
+    for i, row in enumerate(weights):
+        cells = "".join(
+            shades[min(int(value * (len(shades) - 1) / max(row.max(), 1e-9)),
+                       len(shades) - 1)]
+            for value in row[:i + 1])
+        lines.append(f"{tokens[i]:>{width}s} |{cells}")
+    return "\n".join(lines)
+
+
+def surprisal(model: LanguageModel, tokenizer: Tokenizer,
+              text: str) -> List[Tuple[str, float]]:
+    """Per-token negative log-probability (nats) under the model.
+
+    High-surprisal tokens show where the model finds a recipe
+    'surprising' — a quick diagnostic for what it has and hasn't
+    learned.
+    """
+    ids = tokenizer.encode(text)
+    if len(ids) < 2:
+        raise ValueError("need at least 2 tokens to score transitions")
+    model.eval()
+    results: List[Tuple[str, float]] = []
+    with no_grad():
+        state = model.start_state(1)
+        logits, state = model.next_logits(np.array([ids[0]]), state)
+        for token in ids[1:]:
+            scores = logits[0].astype(np.float64)
+            log_probs = scores - scores.max()
+            log_probs -= np.log(np.exp(log_probs).sum())
+            results.append((tokenizer.id_to_token(token),
+                            float(-log_probs[token])))
+            logits, state = model.next_logits(np.array([token]), state)
+    return results

@@ -1,0 +1,107 @@
+"""LSTM language models — the paper's baselines (Sec. IV-A).
+
+One architecture serves both baselines; they differ in tokenizer and
+capacity:
+
+* *char-level LSTM*: small embeddings over a ~100-symbol vocabulary;
+* *word-level LSTM*: larger embeddings over the word vocabulary.
+
+"For each character or word, the model looks up the embedding and
+applies the dense layer to generate logits which predicts the
+log-likelihood of next character or word."  That is exactly this
+module: Embedding → stacked LSTM → Linear head, with dropout between
+layers (the paper notes LSTM overfitting pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..nn import Dropout, Embedding, Linear, LSTM, LSTMState, Tensor
+from ..nn import functional as F
+from .base import LanguageModel
+
+
+@dataclass(frozen=True)
+class LSTMConfig:
+    """Hyperparameters for :class:`LSTMLanguageModel`."""
+
+    vocab_size: int
+    d_embed: int = 64
+    d_hidden: int = 128
+    num_layers: int = 2
+    dropout: float = 0.1
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.d_embed < 1 or self.d_hidden < 1:
+            raise ValueError("embedding and hidden sizes must be positive")
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+
+
+class LSTMLanguageModel(LanguageModel):
+    """Embedding → stacked LSTM → tied-free Linear head."""
+
+    model_type = "lstm"
+
+    def __init__(self, config: LSTMConfig) -> None:
+        config.validate()
+        super().__init__(config.vocab_size)
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.embed = Embedding(config.vocab_size, config.d_embed, rng)
+        self.lstm = LSTM(config.d_embed, config.d_hidden, config.num_layers, rng)
+        self.dropout = Dropout(config.dropout, rng)
+        self.head = Linear(config.d_hidden, config.vocab_size, rng)
+
+    # ------------------------------------------------------------------
+    # Training path
+    # ------------------------------------------------------------------
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids)
+        if ids.ndim != 2:
+            raise ValueError(f"expected (batch, time) ids, got shape {ids.shape}")
+        batch, time = ids.shape
+        embedded = self.embed(ids)  # (B, T, E)
+        steps = [embedded[:, t, :] for t in range(time)]
+        outputs, _ = self.lstm(steps)
+        hidden = F.stack(outputs, axis=1)  # (B, T, H)
+        hidden = self.dropout(hidden)
+        return self.head(hidden)
+
+    # ------------------------------------------------------------------
+    # Generation path
+    # ------------------------------------------------------------------
+    def start_state(self, batch_size: int) -> List[LSTMState]:
+        return self.lstm.initial_state(batch_size)
+
+    def next_logits(self, ids: np.ndarray,
+                    state: List[LSTMState]) -> Tuple[np.ndarray, List[LSTMState]]:
+        ids = np.asarray(ids).reshape(-1)
+        embedded = self.embed(ids)  # (B, E)
+        output, new_state = self.lstm.step(embedded, state)
+        logits = self.head(output)
+        return logits.data, new_state
+
+    def config_dict(self) -> dict:
+        return {"model_type": self.model_type, **asdict(self.config)}
+
+
+def char_lstm(vocab_size: int, seed: int = 0) -> LSTMLanguageModel:
+    """The char-level LSTM baseline preset."""
+    return LSTMLanguageModel(LSTMConfig(
+        vocab_size=vocab_size, d_embed=32, d_hidden=128, num_layers=2,
+        dropout=0.1, seed=seed))
+
+
+def word_lstm(vocab_size: int, seed: int = 0) -> LSTMLanguageModel:
+    """The word-level LSTM baseline preset."""
+    return LSTMLanguageModel(LSTMConfig(
+        vocab_size=vocab_size, d_embed=96, d_hidden=192, num_layers=2,
+        dropout=0.1, seed=seed))

@@ -1,0 +1,125 @@
+"""Count-based n-gram language model — the pre-neural baseline.
+
+Before LSTMs, recipe generation meant n-gram models (the EPICURE era
+the paper's related work reaches back to).  This model completes the
+baseline ladder below the char/word LSTMs: it trains in seconds (one
+counting pass), implements the same :class:`LanguageModel` interface,
+and gives the benchmarks a floor that any neural model must beat.
+
+Smoothing is stupid-backoff (Brants et al., 2007): score with the
+longest matching context, backing off with a constant factor — simple,
+fast and surprisingly competitive at small scale.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Tensor
+from .base import LanguageModel
+
+_BACKOFF = 0.4
+
+
+class NGramLanguageModel(LanguageModel):
+    """Stupid-backoff n-gram model over token ids.
+
+    Parameters
+    ----------
+    vocab_size:
+        Size of the id space.
+    order:
+        Maximum n-gram order (3 = trigram).
+    """
+
+    model_type = "ngram"
+
+    def __init__(self, vocab_size: int, order: int = 3) -> None:
+        super().__init__(vocab_size)
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.order = order
+        #: context tuple -> Counter of next-token counts, per order
+        self._tables: List[Dict[Tuple[int, ...], Counter]] = [
+            defaultdict(Counter) for _ in range(order)]
+        self._unigram = np.ones(vocab_size, dtype=np.float64)  # add-one
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Training (a counting pass, not gradient descent)
+    # ------------------------------------------------------------------
+    def fit(self, sequences: Sequence[Sequence[int]]) -> "NGramLanguageModel":
+        """Count n-grams over token-id sequences."""
+        for sequence in sequences:
+            sequence = list(sequence)
+            for index, token in enumerate(sequence):
+                self._unigram[token] += 1
+                for n in range(1, self.order):
+                    if index >= n:
+                        context = tuple(sequence[index - n:index])
+                        self._tables[n][context][token] += 1
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _distribution(self, context: Sequence[int]) -> np.ndarray:
+        """Next-token distribution for a context via stupid backoff."""
+        context = list(context)
+        for n in range(min(len(context), self.order - 1), 0, -1):
+            counts = self._tables[n].get(tuple(context[-n:]))
+            if counts:
+                dist = np.zeros(self.vocab_size, dtype=np.float64)
+                for token, count in counts.items():
+                    dist[token] = count
+                total = dist.sum()
+                dist /= total
+                # blend in the backed-off distribution for unseen tokens
+                backoff = self._unigram / self._unigram.sum()
+                return (1 - _BACKOFF * 0.1) * dist + _BACKOFF * 0.1 * backoff
+        return self._unigram / self._unigram.sum()
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        """Teacher-forced log-probability "logits" (no gradients)."""
+        ids = np.asarray(ids)
+        if ids.ndim != 2:
+            raise ValueError(f"expected (batch, time) ids, got {ids.shape}")
+        batch, time = ids.shape
+        logits = np.empty((batch, time, self.vocab_size), dtype=np.float32)
+        for b in range(batch):
+            for t in range(time):
+                dist = self._distribution(ids[b, :t + 1])
+                logits[b, t] = np.log(dist + 1e-12)
+        return Tensor(logits)
+
+    # ------------------------------------------------------------------
+    # Generation interface
+    # ------------------------------------------------------------------
+    def start_state(self, batch_size: int) -> List[List[int]]:
+        return [[] for _ in range(batch_size)]
+
+    def next_logits(self, ids: np.ndarray,
+                    state: List[List[int]]) -> Tuple[np.ndarray, List[List[int]]]:
+        ids = np.asarray(ids).reshape(-1)
+        new_state = []
+        logits = np.empty((len(ids), self.vocab_size), dtype=np.float32)
+        for index, token in enumerate(ids):
+            history = state[index] + [int(token)]
+            # only the last (order-1) tokens matter; trim to bound memory
+            history = history[-(self.order - 1):] if self.order > 1 else []
+            logits[index] = np.log(self._distribution(history) + 1e-12)
+            new_state.append(history)
+        return logits, new_state
+
+    def config_dict(self) -> dict:
+        return {"model_type": self.model_type, "vocab_size": self.vocab_size,
+                "order": self.order}
+
+    @property
+    def num_ngrams(self) -> int:
+        """Distinct contexts stored across all orders."""
+        return sum(len(table) for table in self._tables)

@@ -1,0 +1,63 @@
+"""Model summaries: parameter tables and memory estimates.
+
+``summarize(model)`` renders the per-submodule parameter breakdown
+(the ``torchsummary`` idiom) so the scaled presets' capacity ordering
+— the fact Table I turns on — is inspectable at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..nn import Module
+
+
+@dataclass(frozen=True)
+class SummaryRow:
+    name: str
+    shape: tuple
+    params: int
+
+
+def parameter_rows(model: Module) -> List[SummaryRow]:
+    """One row per parameter tensor, in traversal order."""
+    return [SummaryRow(name=name, shape=tuple(param.shape), params=param.size)
+            for name, param in model.named_parameters()]
+
+
+def group_by_top_level(model: Module) -> Dict[str, int]:
+    """Parameter counts grouped by the top-level submodule."""
+    groups: Dict[str, int] = {}
+    for row in parameter_rows(model):
+        top = row.name.split(".")[0]
+        groups[top] = groups.get(top, 0) + row.params
+    return groups
+
+
+def memory_megabytes(model: Module, optimizer_states: int = 2) -> float:
+    """Rough float32 training footprint: weights + grads + Adam moments."""
+    params = sum(row.params for row in parameter_rows(model))
+    tensors = 1 + 1 + optimizer_states  # weights, grads, m, v
+    return params * 4 * tensors / (1024 ** 2)
+
+
+def summarize(model: Module, max_rows: int = 40) -> str:
+    """Human-readable architecture summary."""
+    rows = parameter_rows(model)
+    total = sum(row.params for row in rows)
+    lines = [f"{type(model).__name__} — {total:,} parameters "
+             f"(≈{memory_megabytes(model):.1f} MB to train)"]
+    lines.append(f"{'parameter':44s} {'shape':>18s} {'count':>12s}")
+    lines.append("-" * 78)
+    for row in rows[:max_rows]:
+        shape = "x".join(str(d) for d in row.shape) or "scalar"
+        lines.append(f"{row.name:44s} {shape:>18s} {row.params:>12,d}")
+    if len(rows) > max_rows:
+        rest = sum(row.params for row in rows[max_rows:])
+        lines.append(f"... {len(rows) - max_rows} more tensors "
+                     f"({rest:,} params)")
+    lines.append("-" * 78)
+    for group, count in group_by_top_level(model).items():
+        lines.append(f"{group:44s} {'':>18s} {count:>12,d}")
+    return "\n".join(lines)

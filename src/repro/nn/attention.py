@@ -1,0 +1,138 @@
+"""Causal multi-head self-attention and the GPT-2 transformer block.
+
+This is the architectural core of the paper's best model (Sec. IV-B):
+pre-LayerNorm transformer blocks with learned positional embeddings,
+GELU MLPs and a causal attention mask.  A key/value cache is supported
+so that autoregressive generation is O(T) per new token instead of
+O(T^2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dropout, LayerNorm, Linear
+from .module import Module
+from .tensor import Tensor
+
+# Large negative constant used to mask future positions before softmax.
+# Finite (rather than -inf) to avoid NaNs from (-inf) - (-inf) in the
+# stable-softmax shift.
+MASK_VALUE = -1e9
+
+
+@dataclass
+class KVCache:
+    """Cached keys and values for one attention layer.
+
+    Arrays have shape ``(batch, heads, seq, head_dim)`` and grow along
+    the sequence axis as generation proceeds.
+    """
+
+    k: np.ndarray
+    v: np.ndarray
+
+    @property
+    def seq_len(self) -> int:
+        return self.k.shape[2]
+
+
+class CausalSelfAttention(Module):
+    """Multi-head scaled dot-product attention with a causal mask."""
+
+    def __init__(self, d_model: int, num_heads: int, dropout: float,
+                 rng: np.random.Generator, proj_std: Optional[float] = None) -> None:
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by num_heads={num_heads}")
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.qkv = Linear(d_model, 3 * d_model, rng, std=0.02)
+        self.proj = Linear(d_model, d_model, rng, std=proj_std or 0.02)
+        self.attn_dropout = Dropout(dropout, rng)
+        self.resid_dropout = Dropout(dropout, rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, T, D) -> (B, H, T, Hd)
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor,
+                cache: Optional[KVCache] = None
+                ) -> Tuple[Tensor, Optional[KVCache]]:
+        """Attend over ``x`` (shape ``(B, T, D)``).
+
+        When ``cache`` is given (generation), keys/values from previous
+        steps are prepended; gradients do not flow through the cache.
+        """
+        batch, seq, _ = x.shape
+        qkv = self.qkv(x)  # (B, T, 3D)
+        q = self._split_heads(qkv[:, :, :self.d_model], batch, seq)
+        k = self._split_heads(qkv[:, :, self.d_model:2 * self.d_model], batch, seq)
+        v = self._split_heads(qkv[:, :, 2 * self.d_model:], batch, seq)
+
+        past_len = 0
+        new_cache = None
+        if cache is not None:
+            past_len = cache.seq_len
+            if past_len:
+                k = Tensor(np.concatenate([cache.k, k.data], axis=2))
+                v = Tensor(np.concatenate([cache.v, v.data], axis=2))
+            new_cache = KVCache(k=k.data, v=v.data)
+
+        total = past_len + seq
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        # Causal mask: query i (absolute position past_len + i) may only
+        # attend to keys at absolute positions <= past_len + i.
+        if seq > 1 or past_len == 0:
+            query_pos = np.arange(past_len, total)[:, None]
+            key_pos = np.arange(total)[None, :]
+            mask = np.where(key_pos > query_pos, MASK_VALUE, 0.0).astype(np.float32)
+            scores = F.add_mask(scores, mask)
+        weights = F.softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+        context = weights @ v  # (B, H, T, Hd)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
+        out = self.resid_dropout(self.proj(merged))
+        return out, new_cache
+
+
+class MLP(Module):
+    """Position-wise feed-forward network with GELU (GPT-2 style)."""
+
+    def __init__(self, d_model: int, d_ff: int, dropout: float,
+                 rng: np.random.Generator, proj_std: Optional[float] = None) -> None:
+        super().__init__()
+        self.fc = Linear(d_model, d_ff, rng, std=0.02)
+        self.proj = Linear(d_ff, d_model, rng, std=proj_std or 0.02)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.proj(self.fc(x).gelu()))
+
+
+class TransformerBlock(Module):
+    """Pre-LN transformer block: ``x + Attn(LN(x))`` then ``x + MLP(LN(x))``."""
+
+    def __init__(self, d_model: int, num_heads: int, d_ff: int, dropout: float,
+                 rng: np.random.Generator, num_layers: int = 1) -> None:
+        super().__init__()
+        # GPT-2 scales residual projections by 1/sqrt(2 * n_layers).
+        proj_std = 0.02 / np.sqrt(2 * num_layers)
+        self.ln1 = LayerNorm(d_model)
+        self.attn = CausalSelfAttention(d_model, num_heads, dropout, rng,
+                                        proj_std=proj_std)
+        self.ln2 = LayerNorm(d_model)
+        self.mlp = MLP(d_model, d_ff, dropout, rng, proj_std=proj_std)
+
+    def forward(self, x: Tensor,
+                cache: Optional[KVCache] = None
+                ) -> Tuple[Tensor, Optional[KVCache]]:
+        attn_out, new_cache = self.attn(self.ln1(x), cache=cache)
+        x = x + attn_out
+        x = x + self.mlp(self.ln2(x))
+        return x, new_cache

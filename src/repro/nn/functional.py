@@ -1,0 +1,193 @@
+"""Functional operations on :class:`~repro.nn.tensor.Tensor`.
+
+These are the graph-building primitives that do not naturally live as
+``Tensor`` methods: fused softmax/cross-entropy, embedding lookup with
+scatter-add backward, concatenation, dropout, and layer normalization.
+Each fuses its backward pass into a single numpy expression for speed
+on the single-core CPU this reproduction targets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        # d softmax = out * (grad - sum(grad * out))
+        inner = (grad * out).sum(axis=axis, keepdims=True)
+        x._accumulate(out * (grad - inner))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))`` along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+
+    def backward(grad: np.ndarray) -> None:
+        softmax_vals = np.exp(out)
+        x._accumulate(grad - softmax_vals * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: Optional[int] = None) -> Tensor:
+    """Mean token-level cross-entropy between ``logits`` and ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(N, V)`` — unnormalized scores over a vocabulary of
+        size ``V``.
+    targets:
+        Integer array of shape ``(N,)`` with class indices.
+    ignore_index:
+        Optional target value to mask out of the loss (used for
+        padding tokens).  Masked positions contribute neither loss nor
+        gradient.
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2 or targets.ndim != 1:
+        raise ValueError(
+            f"cross_entropy expects (N, V) logits and (N,) targets, got "
+            f"{logits.shape} and {targets.shape}")
+    n = logits.shape[0]
+    if targets.shape[0] != n:
+        raise ValueError("logits and targets disagree on batch size")
+
+    mask = np.ones(n, dtype=bool)
+    if ignore_index is not None:
+        mask = targets != ignore_index
+    count = max(int(mask.sum()), 1)
+    safe_targets = np.where(mask, targets, 0)
+
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - log_sum
+    picked = log_probs[np.arange(n), safe_targets]
+    loss = -(picked * mask).sum() / count
+
+    def backward(grad: np.ndarray) -> None:
+        # dL/dlogits = (softmax - onehot) / count, zeroed where masked.
+        g = np.exp(log_probs)
+        g[np.arange(n), safe_targets] -= 1.0
+        g *= (mask[:, None] * (float(grad) / count))
+        logits._accumulate(g.astype(logits.data.dtype))
+
+    return Tensor._make(np.asarray(loss, dtype=logits.data.dtype), (logits,), backward)
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Look up rows of ``weight`` by integer ``indices``.
+
+    The backward pass scatter-adds the incoming gradient into the rows
+    that were selected, which is the standard sparse embedding update.
+    """
+    indices = np.asarray(indices)
+    out = weight.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, indices.reshape(-1),
+                      grad.reshape(-1, weight.data.shape[-1]))
+            weight._accumulate(full)
+
+    return Tensor._make(out, (weight,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with split backward."""
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        parts = np.moveaxis(grad, axis, 0)
+        for t, part in zip(tensors, parts):
+            t._accumulate(part)
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: zero activations with probability ``p``.
+
+    At evaluation time (``training=False``) this is the identity, so no
+    rescaling is needed at inference.
+    """
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    out = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis, fused forward/backward."""
+    mu = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mu) * inv_std
+    out = x_hat * weight.data + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            axes = tuple(range(grad.ndim - 1))
+            weight._accumulate((grad * x_hat).sum(axis=axes))
+        if bias.requires_grad:
+            axes = tuple(range(grad.ndim - 1))
+            bias._accumulate(grad.sum(axis=axes))
+        if x.requires_grad:
+            n = x.data.shape[-1]
+            g = grad * weight.data
+            term1 = g
+            term2 = g.mean(axis=-1, keepdims=True)
+            term3 = x_hat * (g * x_hat).mean(axis=-1, keepdims=True)
+            x._accumulate((term1 - term2 - term3) * inv_std)
+
+    return Tensor._make(out, (x, weight, bias), backward)
+
+
+def add_mask(x: Tensor, mask: np.ndarray) -> Tensor:
+    """Add a constant (non-differentiable) mask, e.g. causal ``-inf``."""
+    out = x.data + mask
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad)
+
+    return Tensor._make(out, (x,), backward)

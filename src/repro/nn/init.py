@@ -1,0 +1,65 @@
+"""Weight initializers.
+
+All initializers take a seeded :class:`numpy.random.Generator` so that
+every model in the reproduction is exactly repeatable from a single
+integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import DEFAULT_DTYPE
+
+
+def normal(rng: np.random.Generator, shape, std: float = 0.02) -> np.ndarray:
+    """Gaussian init — GPT-2 uses N(0, 0.02) for most weights."""
+    return (rng.standard_normal(shape) * std).astype(DEFAULT_DTYPE)
+
+
+def uniform(rng: np.random.Generator, shape, bound: float) -> np.ndarray:
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def xavier_uniform(rng: np.random.Generator, shape) -> np.ndarray:
+    """Glorot/Xavier uniform: keeps activation variance stable."""
+    fan_in, fan_out = _fans(shape)
+    bound = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return uniform(rng, shape, bound)
+
+
+def kaiming_uniform(rng: np.random.Generator, shape) -> np.ndarray:
+    """He uniform, matching the default Linear init of major frameworks."""
+    fan_in, _ = _fans(shape)
+    bound = float(np.sqrt(1.0 / fan_in))
+    return uniform(rng, shape, bound)
+
+
+def orthogonal(rng: np.random.Generator, shape, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal init — the standard choice for recurrent weights."""
+    if len(shape) != 2:
+        raise ValueError("orthogonal init requires a 2-D shape")
+    rows, cols = shape
+    a = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q *= np.sign(np.diag(r))  # make the decomposition unique
+    if rows < cols:
+        q = q.T
+    return (gain * q[:rows, :cols]).astype(DEFAULT_DTYPE)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=DEFAULT_DTYPE)
+
+
+def _fans(shape) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

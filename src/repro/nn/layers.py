@@ -1,0 +1,119 @@
+"""Core neural-network layers: Linear, Embedding, LayerNorm, Dropout.
+
+Each layer takes an explicit ``numpy.random.Generator`` for its weight
+initialization so that model construction is fully deterministic given
+a seed (a requirement for the reproduction benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with ``W`` of shape ``(in, out)``.
+
+    Weights are stored input-major so the forward pass is a plain
+    ``x @ W`` without a transpose, which is the fastest layout for
+    numpy's GEMM on row-major arrays.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True,
+                 std: Optional[float] = None) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        if std is None:
+            weight = init.kaiming_uniform(rng, (in_features, out_features))
+        else:
+            weight = init.normal(rng, (in_features, out_features), std=std)
+        self.weight = Parameter(weight, name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token-id to vector lookup table."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator, std: float = 0.02) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            init.normal(rng, (num_embeddings, embedding_dim), std=std),
+            name="weight")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"token id out of range [0, {self.num_embeddings}): "
+                f"min={indices.min()}, max={indices.max()}")
+        return F.embedding(self.weight, indices)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(init.ones((normalized_shape,)), name="weight")
+        self.bias = Parameter(init.zeros((normalized_shape,)), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode.
+
+    The layer owns its own random stream (derived from the supplied
+    generator) so dropout masks do not perturb any other seeded
+    randomness in the program.
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output into the next."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._items = list(modules)
+        for index, module in enumerate(self._items):
+            self._modules[str(index)] = module
+
+    def forward(self, x):
+        for module in self._items:
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]

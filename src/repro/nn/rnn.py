@@ -1,0 +1,123 @@
+"""Recurrent layers: LSTM cell and multi-layer LSTM stack.
+
+These implement the classic LSTM of Hochreiter & Schmidhuber with the
+standard gate fusion trick: one matrix multiply produces all four gate
+pre-activations, which are then split into input / forget / cell /
+output gates.  Forget-gate biases start at 1.0, the well-known fix for
+early-training gradient flow.
+
+The paper's baseline models (`char-level LSTM`, `word-level LSTM`,
+Sec. IV-A) are built from this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .module import Module, ModuleList, Parameter
+from .tensor import Tensor
+
+
+@dataclass
+class LSTMState:
+    """Hidden and cell state for one LSTM layer, each ``(batch, hidden)``."""
+
+    h: Tensor
+    c: Tensor
+
+
+class LSTMCell(Module):
+    """Single LSTM step: ``(x_t, state) -> state'``.
+
+    Gate order in the fused weight matrices is ``[i, f, g, o]``
+    (input, forget, candidate, output), matching the common convention.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            init.xavier_uniform(rng, (input_size, 4 * hidden_size)),
+            name="weight_ih")
+        # Orthogonal recurrent weights, one block per gate.
+        blocks = [init.orthogonal(rng, (hidden_size, hidden_size)) for _ in range(4)]
+        self.weight_hh = Parameter(np.concatenate(blocks, axis=1), name="weight_hh")
+        bias = init.zeros((4 * hidden_size,))
+        bias[hidden_size:2 * hidden_size] = 1.0  # forget-gate bias trick
+        self.bias = Parameter(bias, name="bias")
+
+    def initial_state(self, batch_size: int) -> LSTMState:
+        hidden = np.zeros((batch_size, self.hidden_size), dtype=np.float32)
+        return LSTMState(h=Tensor(hidden.copy()), c=Tensor(hidden.copy()))
+
+    def forward(self, x: Tensor, state: LSTMState) -> LSTMState:
+        hs = self.hidden_size
+        gates = x @ self.weight_ih + state.h @ self.weight_hh + self.bias
+        i = gates[:, 0 * hs:1 * hs].sigmoid()
+        f = gates[:, 1 * hs:2 * hs].sigmoid()
+        g = gates[:, 2 * hs:3 * hs].tanh()
+        o = gates[:, 3 * hs:4 * hs].sigmoid()
+        c = f * state.c + i * g
+        h = o * c.tanh()
+        return LSTMState(h=h, c=c)
+
+
+class LSTM(Module):
+    """Multi-layer unidirectional LSTM over a time-major input sequence.
+
+    ``forward`` consumes a list of per-timestep inputs (each
+    ``(batch, input_size)``) and returns the per-timestep outputs of
+    the top layer plus the final state of every layer.  Processing
+    step-by-step (rather than on a padded 3-D tensor) keeps the
+    autograd graph simple and allows stateful generation.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        cells = []
+        for layer in range(num_layers):
+            size_in = input_size if layer == 0 else hidden_size
+            cells.append(LSTMCell(size_in, hidden_size, rng))
+        self.cells = ModuleList(cells)
+
+    def initial_state(self, batch_size: int) -> List[LSTMState]:
+        return [cell.initial_state(batch_size) for cell in self.cells]
+
+    def forward(self, inputs: List[Tensor],
+                state: Optional[List[LSTMState]] = None
+                ) -> Tuple[List[Tensor], List[LSTMState]]:
+        if not inputs:
+            raise ValueError("LSTM.forward requires at least one timestep")
+        batch = inputs[0].shape[0]
+        if state is None:
+            state = self.initial_state(batch)
+        if len(state) != self.num_layers:
+            raise ValueError(
+                f"state has {len(state)} layers, model has {self.num_layers}")
+
+        outputs: List[Tensor] = []
+        states = list(state)
+        for x_t in inputs:
+            h = x_t
+            for layer, cell in enumerate(self.cells):
+                states[layer] = cell(h, states[layer])
+                h = states[layer].h
+            outputs.append(h)
+        return outputs, states
+
+    def step(self, x: Tensor, state: List[LSTMState]) -> Tuple[Tensor, List[LSTMState]]:
+        """Advance one timestep; used by autoregressive generation."""
+        outputs, new_state = self.forward([x], state)
+        return outputs[0], new_state

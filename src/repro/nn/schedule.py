@@ -1,0 +1,92 @@
+"""Learning-rate schedules.
+
+A schedule is a callable ``step -> lr`` plus a tiny driver that writes
+the value into an optimizer.  Linear-warmup schedules are what
+HuggingFace's GPT-2 fine-tuning (the paper's training setup) uses by
+default.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from .optim import Optimizer
+
+
+class LRSchedule:
+    """Base schedule: maps a 0-based step index to a learning rate."""
+
+    def __init__(self, base_lr: float) -> None:
+        if base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        self.base_lr = base_lr
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def apply(self, optimizer: Optimizer, step: int) -> float:
+        lr = self.lr_at(step)
+        optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRSchedule):
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class LinearWarmupLR(LRSchedule):
+    """Linear warmup to ``base_lr`` then linear decay to ``final_lr``."""
+
+    def __init__(self, base_lr: float, warmup_steps: int, total_steps: int,
+                 final_lr: float = 0.0) -> None:
+        super().__init__(base_lr)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if warmup_steps < 0 or warmup_steps > total_steps:
+            raise ValueError("warmup_steps must be in [0, total_steps]")
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.final_lr = final_lr
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        remaining = max(self.total_steps - self.warmup_steps, 1)
+        progress = min((step - self.warmup_steps) / remaining, 1.0)
+        return self.base_lr + (self.final_lr - self.base_lr) * progress
+
+
+class CosineWarmupLR(LRSchedule):
+    """Linear warmup then cosine decay to ``final_lr``."""
+
+    def __init__(self, base_lr: float, warmup_steps: int, total_steps: int,
+                 final_lr: float = 0.0) -> None:
+        super().__init__(base_lr)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.final_lr = final_lr
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        remaining = max(self.total_steps - self.warmup_steps, 1)
+        progress = min((step - self.warmup_steps) / remaining, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.final_lr + (self.base_lr - self.final_lr) * cosine
+
+
+def schedule_from_name(name: str, base_lr: float, warmup_steps: int,
+                       total_steps: int) -> LRSchedule:
+    """Factory used by training configs (``constant``/``linear``/``cosine``)."""
+    factories: dict[str, Callable[[], LRSchedule]] = {
+        "constant": lambda: ConstantLR(base_lr),
+        "linear": lambda: LinearWarmupLR(base_lr, warmup_steps, total_steps),
+        "cosine": lambda: CosineWarmupLR(base_lr, warmup_steps, total_steps),
+    }
+    if name not in factories:
+        raise ValueError(f"unknown schedule {name!r}; choose from {sorted(factories)}")
+    return factories[name]()

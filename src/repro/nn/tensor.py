@@ -1,0 +1,481 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+This module provides the :class:`Tensor` class, the foundation of the
+neural-network substrate used by every model in this repository.  A
+``Tensor`` wraps a ``numpy.ndarray`` and records the operations applied
+to it so that :meth:`Tensor.backward` can propagate gradients through
+the resulting computation graph.
+
+The design mirrors the small-but-complete autograd engines found in
+modern deep-learning frameworks:
+
+* every differentiable operation creates a new ``Tensor`` whose
+  ``_parents`` reference the inputs and whose ``_backward`` closure
+  accumulates gradients into them;
+* :meth:`Tensor.backward` performs a topological sort of the graph and
+  runs the closures in reverse order;
+* broadcasting follows numpy semantics, with gradients "unbroadcast"
+  (summed) back to the original shapes.
+
+Only ``float32``/``float64`` data participates in differentiation;
+integer tensors (token ids) flow through the graph as constants.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+# Default floating dtype for all parameters and activations.  float32
+# halves memory traffic relative to float64, which matters on the
+# single-core CPU this reproduction targets.
+DEFAULT_DTYPE = np.float32
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+# Switch for graph recording.  Inside a ``no_grad()`` block no
+# backward closures are created, which makes inference (generation)
+# allocation-free apart from the forward activations themselves.
+# The flag is THREAD-LOCAL: the web backend serves concurrent
+# generations from server threads, and a process-global flag would
+# race (two threads nest no_grad; the one that entered second restores
+# False, permanently disabling autograd for every other thread).
+class _GradMode(threading.local):
+    enabled = True
+
+
+_grad_mode = _GradMode()
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling autograd graph construction.
+
+    Thread-safe: only affects the calling thread.
+    """
+    previous = _grad_mode.enabled
+    _grad_mode.enabled = False
+    try:
+        yield
+    finally:
+        _grad_mode.enabled = previous
+
+
+def is_grad_enabled() -> bool:
+    return _grad_mode.enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` so that it has ``shape``, inverting numpy broadcasting.
+
+    When a forward op broadcast an input of ``shape`` up to the shape of
+    ``grad``, the chain rule requires summing the incoming gradient over
+    every broadcast axis.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    arr = np.asarray(value)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    elif arr.dtype == np.float64:
+        arr = arr.astype(DEFAULT_DTYPE)
+    return arr
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to ``numpy.ndarray``.  Float64 input is
+        downcast to :data:`DEFAULT_DTYPE`.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad`
+        during :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False,
+                 name: Optional[str] = None) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, dtype={self.data.dtype}{grad_flag}{label})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Create an op-output tensor, wiring the graph only if needed."""
+        requires = _grad_mode.enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into :attr:`grad`, allocating on first use."""
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this
+            tensor.  Defaults to ``1`` for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # Topological order via iterative DFS (recursion would overflow
+        # on long LSTM unrolls).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: ArrayLike) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(-grad, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / (other.data ** 2), other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Matrix multiplication
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """Matrix product supporting 2-D and batched (>=3-D) operands."""
+        other = self._coerce(other)
+        data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                grad_self = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(grad_self, self.shape))
+            if other.requires_grad:
+                grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(grad_other, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original))
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+        data = self.data.transpose(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        data = np.swapaxes(self.data, axis1, axis2)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.swapaxes(grad, axis1, axis2))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, original).copy())
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = data if keepdims else np.expand_dims(data, axis)
+            g = grad if keepdims else np.expand_dims(grad, axis)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            # Split gradient evenly between ties to keep it well defined.
+            mask /= mask.sum(axis=axis, keepdims=True)
+            self._accumulate(mask * g)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Nonlinearities (fused forward/backward for speed)
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * 0.5 / data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - data * data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * data * (1.0 - data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (self.data > 0))
+
+        return Tensor._make(data, (self,), backward)
+
+    def gelu(self) -> "Tensor":
+        """Gaussian Error Linear Unit, tanh approximation (as in GPT-2)."""
+        x = self.data
+        c = np.float32(np.sqrt(2.0 / np.pi))
+        inner = c * (x + 0.044715 * x ** 3)
+        t = np.tanh(inner)
+        data = 0.5 * x * (1.0 + t)
+
+        def backward(grad: np.ndarray) -> None:
+            dt = (1.0 - t * t) * c * (1.0 + 3 * 0.044715 * x ** 2)
+            self._accumulate(grad * (0.5 * (1.0 + t) + 0.5 * x * dt))
+
+        return Tensor._make(data, (self,), backward)
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(shape: Iterable[int], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(tuple(shape), dtype=DEFAULT_DTYPE), requires_grad)
+
+
+def ones(shape: Iterable[int], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(tuple(shape), dtype=DEFAULT_DTYPE), requires_grad)

@@ -1,0 +1,95 @@
+"""Corpus cleaning: remove incomplete and redundant recipes (Sec. III).
+
+The paper's preprocessing "involves removing incomplete and redundant
+recipes".  Incompleteness is schema-level (missing title, ingredients
+or instructions); redundancy is detected both exactly (identical
+content hash) and near-exactly (same title + ingredient multiset),
+the way crawled recipe corpora actually duplicate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from ..recipedb.schema import Recipe
+
+
+@dataclass
+class CleaningReport:
+    """What the cleaning pass removed, for the Fig. 1-vs-2 benchmark."""
+
+    total_in: int = 0
+    incomplete_removed: int = 0
+    duplicates_removed: int = 0
+    kept: int = 0
+    removed_ids: List[int] = field(default_factory=list)
+
+    @property
+    def total_removed(self) -> int:
+        return self.incomplete_removed + self.duplicates_removed
+
+
+def content_fingerprint(recipe: Recipe) -> str:
+    """Stable hash of the recipe *content* (title + ingredients + steps).
+
+    Ids, region metadata and nutrition are deliberately excluded: two
+    crawl records of the same dish should collide.
+    """
+    payload = "\x1f".join([
+        recipe.title.strip().lower(),
+        "\x1e".join(sorted(ri.display().lower() for ri in recipe.ingredients)),
+        "\x1e".join(step.text.strip().lower() for step in recipe.instructions),
+    ])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def near_duplicate_key(recipe: Recipe) -> Tuple[str, Tuple[str, ...]]:
+    """Looser key: same title and same ingredient multiset."""
+    return (recipe.title.strip().lower(),
+            tuple(sorted(name.lower() for name in recipe.ingredient_names)))
+
+
+def remove_incomplete(recipes: List[Recipe]) -> Tuple[List[Recipe], List[Recipe]]:
+    """Split recipes into (complete, incomplete)."""
+    complete = [r for r in recipes if r.is_complete()]
+    incomplete = [r for r in recipes if not r.is_complete()]
+    return complete, incomplete
+
+
+def remove_duplicates(recipes: List[Recipe],
+                      near: bool = True) -> Tuple[List[Recipe], List[Recipe]]:
+    """Split recipes into (unique, duplicates); first occurrence wins.
+
+    ``near=True`` additionally collapses same-title/same-ingredient
+    records whose instruction text differs trivially.
+    """
+    seen_exact: Set[str] = set()
+    seen_near: Set[Tuple[str, Tuple[str, ...]]] = set()
+    unique: List[Recipe] = []
+    duplicates: List[Recipe] = []
+    for recipe in recipes:
+        exact = content_fingerprint(recipe)
+        loose = near_duplicate_key(recipe)
+        if exact in seen_exact or (near and loose in seen_near):
+            duplicates.append(recipe)
+            continue
+        seen_exact.add(exact)
+        seen_near.add(loose)
+        unique.append(recipe)
+    return unique, duplicates
+
+
+def clean_corpus(recipes: List[Recipe],
+                 near_duplicates: bool = True) -> Tuple[List[Recipe], CleaningReport]:
+    """Full cleaning pass: incomplete removal, then de-duplication."""
+    report = CleaningReport(total_in=len(recipes))
+    complete, incomplete = remove_incomplete(recipes)
+    report.incomplete_removed = len(incomplete)
+    report.removed_ids.extend(r.recipe_id for r in incomplete)
+    unique, duplicates = remove_duplicates(complete, near=near_duplicates)
+    report.duplicates_removed = len(duplicates)
+    report.removed_ids.extend(r.recipe_id for r in duplicates)
+    report.kept = len(unique)
+    return unique, report

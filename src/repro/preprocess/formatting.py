@@ -1,0 +1,177 @@
+"""Tagged recipe serialization — the training text format (Figs. 2–3).
+
+The paper converts every recipe into "one long string ... with
+different tags that differentiate between different sections of the
+recipe".  This module defines that format and the parser that inverts
+it, which the evaluation and web-app layers use to turn generated text
+back into structured recipes.
+
+Format (single line, lowercase, tokens space-separated)::
+
+    <RECIPE_START>
+    <INGR_START> 2 cup flour <NEXT_INGR> 1/2 teaspoon salt <INGR_END>
+    <INSTR_START> mix until smooth . <NEXT_INSTR> bake 10 minutes . <INSTR_END>
+    <TITLE_START> saboob egyptian flatbread <TITLE_END>
+    <RECIPE_END>
+
+The ingredient section comes *first* and the title *last* (the
+RecipeNLG convention the paper builds on): a user's ingredient list is
+then exactly a training prefix, and the model generates instructions
+and finally names the dish.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..recipedb.schema import Recipe
+
+RECIPE_START = "<RECIPE_START>"
+RECIPE_END = "<RECIPE_END>"
+TITLE_START = "<TITLE_START>"
+TITLE_END = "<TITLE_END>"
+INGR_START = "<INGR_START>"
+INGR_END = "<INGR_END>"
+NEXT_INGR = "<NEXT_INGR>"
+INSTR_START = "<INSTR_START>"
+INSTR_END = "<INSTR_END>"
+NEXT_INSTR = "<NEXT_INSTR>"
+
+STRUCTURE_TOKENS: List[str] = [
+    RECIPE_START, RECIPE_END, TITLE_START, TITLE_END,
+    INGR_START, INGR_END, NEXT_INGR,
+    INSTR_START, INSTR_END, NEXT_INSTR,
+]
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize_text(text: str) -> str:
+    """Lowercase and collapse whitespace (the paper's Fig. 2 style)."""
+    return _WHITESPACE.sub(" ", text.lower()).strip()
+
+
+@dataclass
+class FormattedRecipe:
+    """The structured view a tagged string parses into."""
+
+    title: str
+    ingredients: List[str] = field(default_factory=list)
+    instructions: List[str] = field(default_factory=list)
+
+    def is_valid(self) -> bool:
+        """Structurally complete: non-empty title, ingredients, steps."""
+        return bool(self.title) and bool(self.ingredients) and bool(self.instructions)
+
+
+def format_recipe(recipe: Recipe) -> str:
+    """Serialize a :class:`Recipe` into the tagged training format."""
+    ingredient_lines = [normalize_text(ri.display()) for ri in recipe.ingredients]
+    instruction_lines = [normalize_text(step.text) for step in recipe.instructions]
+    parts = [
+        RECIPE_START,
+        INGR_START, f" {NEXT_INGR} ".join(ingredient_lines), INGR_END,
+        INSTR_START, f" {NEXT_INSTR} ".join(instruction_lines), INSTR_END,
+        TITLE_START, normalize_text(recipe.title), TITLE_END,
+        RECIPE_END,
+    ]
+    return " ".join(part for part in parts if part)
+
+
+def format_prompt(ingredients: List[str], title: Optional[str] = None) -> str:
+    """Build the generation prompt for an ingredient list.
+
+    This mirrors the web app's flow: the user supplies ingredients and
+    the model continues the tagged string from ``<INSTR_START>``
+    onwards (or from the title if one is requested).
+    """
+    lines = [normalize_text(name) for name in ingredients if name.strip()]
+    if not lines:
+        raise ValueError("at least one ingredient is required")
+    parts = [RECIPE_START,
+             INGR_START, f" {NEXT_INGR} ".join(lines), INGR_END]
+    if title is not None:
+        # Rarely used: pin the title up front instead of generating it.
+        parts += [TITLE_START, normalize_text(title), TITLE_END]
+    parts.append(INSTR_START)
+    return " ".join(parts)
+
+
+def serialize_sections(title: str, ingredients: List[str],
+                       instructions: List[str]) -> str:
+    """Rebuild a tagged string from parsed sections (inverse of parse)."""
+    parts = [
+        RECIPE_START,
+        INGR_START, f" {NEXT_INGR} ".join(ingredients), INGR_END,
+        INSTR_START, f" {NEXT_INSTR} ".join(instructions), INSTR_END,
+        TITLE_START, title, TITLE_END,
+        RECIPE_END,
+    ]
+    return " ".join(parts)
+
+
+def _section(text: str, start: str, end: str) -> Optional[str]:
+    """Text between the first ``start`` and the following ``end`` tag."""
+    start_idx = text.find(start)
+    if start_idx < 0:
+        return None
+    start_idx += len(start)
+    end_idx = text.find(end, start_idx)
+    if end_idx < 0:
+        return None
+    return text[start_idx:end_idx].strip()
+
+
+def parse_recipe(text: str) -> FormattedRecipe:
+    """Parse a tagged string back into sections.
+
+    Tolerant of truncated generations: missing sections come back
+    empty rather than raising, so validity can be *scored*.
+    """
+    title = _section(text, TITLE_START, TITLE_END) or ""
+    ingredients_blob = _section(text, INGR_START, INGR_END)
+    instructions_blob = _section(text, INSTR_START, INSTR_END)
+    # A truncated generation may open a section and never close it;
+    # salvage what is there up to the next structural tag or the end.
+    if instructions_blob is None:
+        start_idx = text.find(INSTR_START)
+        if start_idx >= 0:
+            tail = text[start_idx + len(INSTR_START):]
+            cut = len(tail)
+            for token in (RECIPE_END, INGR_START, TITLE_START):
+                pos = tail.find(token)
+                if 0 <= pos < cut:
+                    cut = pos
+            instructions_blob = tail[:cut].strip()
+
+    ingredients = ([part.strip() for part in ingredients_blob.split(NEXT_INGR)]
+                   if ingredients_blob else [])
+    instructions = ([part.strip() for part in instructions_blob.split(NEXT_INSTR)]
+                    if instructions_blob else [])
+    return FormattedRecipe(
+        title=title,
+        ingredients=[line for line in ingredients if line],
+        instructions=[line for line in instructions if line],
+    )
+
+
+def structure_errors(text: str) -> List[str]:
+    """List of structural problems in a tagged string (empty == valid)."""
+    errors: List[str] = []
+    for opener, closer in [(RECIPE_START, RECIPE_END), (TITLE_START, TITLE_END),
+                           (INGR_START, INGR_END), (INSTR_START, INSTR_END)]:
+        opens, closes = text.count(opener), text.count(closer)
+        if opens == 0:
+            errors.append(f"missing {opener}")
+        elif opens != closes:
+            errors.append(f"unbalanced {opener}/{closer} ({opens} vs {closes})")
+    parsed = parse_recipe(text)
+    if not parsed.title:
+        errors.append("empty title")
+    if not parsed.ingredients:
+        errors.append("no ingredients")
+    if not parsed.instructions:
+        errors.append("no instructions")
+    return errors

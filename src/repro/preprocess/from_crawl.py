@@ -1,0 +1,101 @@
+"""Crawl-text parsing: recover structure from messy recipe pages.
+
+The counterpart of :mod:`repro.recipedb.crawl`: given the raw
+multi-line text a crawler returns (Fig. 1), detect the title and the
+ingredient/instruction sections by their header keywords, strip
+bullets and numbering, normalize whitespace and casing, and emit a
+:class:`~repro.preprocess.formatting.FormattedRecipe` — which then
+feeds the standard tagged-serialization pipeline (Fig. 2).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .formatting import FormattedRecipe, normalize_text, serialize_sections
+from .numbers import encode_numbers
+
+_INGREDIENT_HEADER = re.compile(
+    r"^\s*(ingredients?|what you need|you will need)\s*:?\s*$",
+    re.IGNORECASE)
+_INSTRUCTION_HEADER = re.compile(
+    r"^\s*(directions?|instructions?|method|preparation|steps)\s*:?\s*$",
+    re.IGNORECASE)
+_BULLET = re.compile(r"^\s*(?:[-*•]|\d+[.)])\s*")
+_METADATA = re.compile(r"^\s*serves\s+\d+", re.IGNORECASE)
+_BOILERPLATE = re.compile(r"saved from the web|enjoy!!", re.IGNORECASE)
+
+
+def _strip_bullet(line: str) -> str:
+    return _BULLET.sub("", line).strip()
+
+
+def parse_crawl_text(text: str) -> FormattedRecipe:
+    """Parse one crawl page into sections.
+
+    Robust to: missing headers (lines before the first header are
+    treated as the title block), numbered or bulleted lists, metadata
+    lines ("Serves 4 | 30 min") and trailing boilerplate.
+    """
+    title_lines: List[str] = []
+    ingredients: List[str] = []
+    instructions: List[str] = []
+    section = "title"
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if _INGREDIENT_HEADER.match(line):
+            section = "ingredients"
+            continue
+        if _INSTRUCTION_HEADER.match(line):
+            section = "instructions"
+            continue
+        if _METADATA.match(line) or _BOILERPLATE.search(line):
+            continue
+        cleaned = normalize_text(_strip_bullet(line))
+        if not cleaned:
+            continue
+        if section == "title":
+            title_lines.append(cleaned)
+        elif section == "ingredients":
+            ingredients.append(cleaned)
+        else:
+            instructions.append(cleaned)
+
+    return FormattedRecipe(
+        title=" ".join(title_lines),
+        ingredients=ingredients,
+        instructions=instructions,
+    )
+
+
+def crawl_to_training_text(text: str,
+                           number_special_tokens: bool = True
+                           ) -> Optional[str]:
+    """Crawl page → tagged training text, or ``None`` if unusable."""
+    parsed = parse_crawl_text(text)
+    if not parsed.is_valid():
+        return None
+    tagged = serialize_sections(parsed.title, parsed.ingredients,
+                                parsed.instructions)
+    if number_special_tokens:
+        tagged = encode_numbers(tagged)
+    return tagged
+
+
+def crawl_corpus_to_texts(pages: List[str],
+                          number_special_tokens: bool = True
+                          ) -> Tuple[List[str], int]:
+    """Parse a whole crawl; returns (training texts, pages dropped)."""
+    texts: List[str] = []
+    dropped = 0
+    for page in pages:
+        tagged = crawl_to_training_text(
+            page, number_special_tokens=number_special_tokens)
+        if tagged is None:
+            dropped += 1
+        else:
+            texts.append(tagged)
+    return texts, dropped

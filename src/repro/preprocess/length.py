@@ -1,0 +1,179 @@
+"""Recipe-size distribution analysis, 2σ truncation, short-recipe merging.
+
+Two length-related operations from the paper (Sec. III and IV-B):
+
+1. "fixing the length of recipes to 2000 characters as on plotting
+   recipe size distribution it is seen that most of the recipes covers
+   the range of 2000 characters" — a character cap at roughly the
+   mean + 2σ point (≈95.46% coverage is quoted);
+2. "Few short length recipes (−3σ) were merged to make the length
+   close to the mean length of the recipe size distribution curve" —
+   a training-efficiency packing step.
+
+This module measures the distribution, applies the cap at a tag
+boundary (never mid-token) and packs short serialized recipes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+DEFAULT_MAX_CHARS = 2000
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """Summary of a corpus's text-length distribution (in characters)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: int
+    maximum: int
+    #: fraction of recipes whose length <= the 2000-char cap
+    coverage_at_cap: float
+    cap: int
+
+    @property
+    def two_sigma_point(self) -> float:
+        """mean + 2σ — the paper's justification for the 2000-char cap."""
+        return self.mean + 2.0 * self.std
+
+    @property
+    def minus_three_sigma_point(self) -> float:
+        """mean − 3σ — below this a recipe is a merge candidate."""
+        return self.mean - 3.0 * self.std
+
+    def histogram(self, bins: int = 20) -> Tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError(
+            "histogram needs the raw lengths; use measure_lengths + np.histogram")
+
+
+def measure_lengths(texts: Sequence[str]) -> np.ndarray:
+    """Character length of every serialized recipe."""
+    return np.array([len(text) for text in texts], dtype=np.int64)
+
+
+def size_distribution(texts: Sequence[str],
+                      cap: int = DEFAULT_MAX_CHARS) -> SizeDistribution:
+    """Measure the corpus size distribution and cap coverage."""
+    if not texts:
+        raise ValueError("cannot measure an empty corpus")
+    lengths = measure_lengths(texts)
+    return SizeDistribution(
+        count=int(lengths.size),
+        mean=float(lengths.mean()),
+        std=float(lengths.std()),
+        minimum=int(lengths.min()),
+        maximum=int(lengths.max()),
+        coverage_at_cap=float((lengths <= cap).mean()),
+        cap=cap,
+    )
+
+
+def truncate_text(text: str, max_chars: int = DEFAULT_MAX_CHARS) -> str:
+    """Cap a serialized recipe at ``max_chars``, cutting on a token edge.
+
+    The cut never splits a ``<...>`` tag or a word: we truncate at the
+    last space before the limit so the remaining string still
+    tokenizes cleanly.
+    """
+    if max_chars < 1:
+        raise ValueError("max_chars must be positive")
+    if len(text) <= max_chars:
+        return text
+    cut = text.rfind(" ", 0, max_chars + 1)
+    if cut <= 0:
+        cut = max_chars
+    return text[:cut].rstrip()
+
+
+def truncate_structured(text: str, max_chars: int = DEFAULT_MAX_CHARS) -> str:
+    """Cap a tagged recipe while keeping it structurally complete.
+
+    Rather than chopping the raw string (which would drop the trailing
+    title and end tags), trailing *instructions* are removed until the
+    re-serialized recipe fits, so the capped text still parses as a
+    valid recipe.  Falls back to a raw cut only if even a one-step
+    recipe cannot fit.
+    """
+    from .formatting import parse_recipe, serialize_sections
+
+    if len(text) <= max_chars:
+        return text
+    parsed = parse_recipe(text)
+    if not parsed.is_valid():
+        return truncate_text(text, max_chars)
+    instructions = list(parsed.instructions)
+    while len(instructions) > 1:
+        instructions.pop()
+        candidate = serialize_sections(parsed.title, parsed.ingredients,
+                                       instructions)
+        if len(candidate) <= max_chars:
+            return candidate
+    return truncate_text(text, max_chars)
+
+
+def truncate_corpus(texts: Sequence[str],
+                    max_chars: int = DEFAULT_MAX_CHARS,
+                    structured: bool = True) -> Tuple[List[str], int]:
+    """Apply the cap to every text; returns (texts, number truncated).
+
+    ``structured=True`` (default) uses :func:`truncate_structured` so
+    capped recipes stay parseable; ``False`` is the raw character cut.
+    """
+    out: List[str] = []
+    truncated = 0
+    for text in texts:
+        if structured:
+            capped = truncate_structured(text, max_chars)
+        else:
+            capped = truncate_text(text, max_chars)
+        if capped != text:
+            truncated += 1
+        out.append(capped)
+    return out, truncated
+
+
+def merge_short_texts(texts: Sequence[str],
+                      distribution: SizeDistribution,
+                      separator: str = " ") -> Tuple[List[str], int]:
+    """Pack −3σ-short serialized recipes toward the corpus mean length.
+
+    Consecutive short texts are concatenated until the pack reaches the
+    mean; normal-length texts pass through untouched.  Returns
+    ``(texts, number of merges performed)``.  Because each text is a
+    complete ``<RECIPE_START> ... <RECIPE_END>`` unit, concatenation
+    keeps the training stream well-formed — this mirrors the paper's
+    trick of fusing short recipes into one training instance.
+    """
+    threshold = max(distribution.minus_three_sigma_point, 0.0)
+    target = distribution.mean
+    out: List[str] = []
+    buffer: List[str] = []
+    buffer_len = 0
+    merges = 0
+
+    def flush() -> None:
+        nonlocal buffer, buffer_len
+        if buffer:
+            out.append(separator.join(buffer))
+            buffer = []
+            buffer_len = 0
+
+    for text in texts:
+        if len(text) >= threshold:
+            flush()
+            out.append(text)
+            continue
+        if buffer:
+            merges += 1
+        buffer.append(text)
+        buffer_len += len(text) + len(separator)
+        if buffer_len >= target:
+            flush()
+    flush()
+    return out, merges

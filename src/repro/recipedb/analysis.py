@@ -1,0 +1,122 @@
+"""Corpus analytics: Zipf fit, distributions, co-occurrence.
+
+RecipeDB's stated purpose is "facilitating scientific explorations of
+the culinary space"; this module provides the exploration toolkit over
+the synthetic corpus: the ingredient rank-frequency (Zipf) law that
+real recipe corpora follow, regional/process usage distributions, and
+the ingredient co-occurrence structure that underlies pairing studies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .database import RecipeDatabase
+
+
+@dataclass(frozen=True)
+class ZipfFit:
+    """Least-squares fit of log(freq) = intercept - slope * log(rank)."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    num_types: int
+
+    @property
+    def is_zipfian(self) -> bool:
+        """Heavy-tailed with a decent power-law fit (rule of thumb)."""
+        return self.slope > 0.5 and self.r_squared > 0.7
+
+
+def zipf_fit(frequencies: Counter) -> ZipfFit:
+    """Fit a power law to a rank-frequency distribution."""
+    counts = np.array(sorted(frequencies.values(), reverse=True),
+                      dtype=np.float64)
+    if counts.size < 3:
+        raise ValueError("need at least 3 types for a Zipf fit")
+    ranks = np.arange(1, counts.size + 1, dtype=np.float64)
+    x = np.log(ranks)
+    y = np.log(counts)
+    slope, intercept = np.polyfit(x, y, deg=1)
+    predicted = slope * x + intercept
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum()) or 1e-12
+    return ZipfFit(slope=-float(slope), intercept=float(intercept),
+                   r_squared=1.0 - ss_res / ss_tot,
+                   num_types=int(counts.size))
+
+
+def region_distribution(db: RecipeDatabase) -> Dict[str, float]:
+    """Region -> fraction of the corpus."""
+    total = len(db) or 1
+    counts = Counter(recipe.region for recipe in db.all())
+    return {region: count / total for region, count in counts.most_common()}
+
+
+def process_distribution(db: RecipeDatabase) -> Dict[str, float]:
+    """Process -> fraction of recipes using it."""
+    total = len(db) or 1
+    return {process: count / total
+            for process, count in db.process_frequencies().most_common()}
+
+
+def cooccurrence(db: RecipeDatabase,
+                 top_k: int = 20) -> List[Tuple[Tuple[str, str], int]]:
+    """Most frequent ingredient pairs appearing in the same recipe."""
+    pairs: Counter = Counter()
+    for recipe in db.all():
+        names = sorted(set(recipe.ingredient_names))
+        pairs.update(combinations(names, 2))
+    return pairs.most_common(top_k)
+
+
+def pmi_pairs(db: RecipeDatabase, min_count: int = 3,
+              top_k: int = 20) -> List[Tuple[Tuple[str, str], float]]:
+    """Ingredient pairs ranked by pointwise mutual information.
+
+    PMI surfaces pairs that co-occur *more than chance given their
+    individual frequencies* — flavor affinities rather than pantry
+    staples.
+    """
+    total = len(db)
+    if total == 0:
+        return []
+    singles = db.ingredient_frequencies()
+    scored: List[Tuple[Tuple[str, str], float]] = []
+    for pair, count in cooccurrence(db, top_k=10**6):
+        if count < min_count:
+            continue
+        a, b = pair
+        p_pair = count / total
+        p_a = singles[a] / total
+        p_b = singles[b] / total
+        pmi = float(np.log(p_pair / (p_a * p_b)))
+        scored.append((pair, pmi))
+    scored.sort(key=lambda item: -item[1])
+    return scored[:top_k]
+
+
+def corpus_report(db: RecipeDatabase) -> str:
+    """Render a human-readable analytics summary."""
+    stats = db.stats()
+    fit = zipf_fit(db.ingredient_frequencies())
+    regions = list(region_distribution(db).items())[:5]
+    processes = list(process_distribution(db).items())[:5]
+    lines = [
+        "Corpus analytics",
+        f"  recipes: {stats.num_recipes}, ingredients: "
+        f"{stats.num_distinct_ingredients}, processes: "
+        f"{stats.num_distinct_processes}",
+        f"  Zipf fit: slope={fit.slope:.2f}, R²={fit.r_squared:.2f} "
+        f"({'heavy-tailed' if fit.is_zipfian else 'not clearly Zipfian'})",
+        "  top regions: " + ", ".join(f"{r} ({f:.0%})" for r, f in regions),
+        "  top processes: " + ", ".join(f"{p} ({f:.0%})"
+                                        for p, f in processes),
+    ]
+    return "\n".join(lines)

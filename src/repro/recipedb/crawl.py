@@ -1,0 +1,80 @@
+"""Crawl-text rendering: what recipes look like *before* preprocessing.
+
+The paper's Fig. 1 shows the dataset before preprocessing — raw
+crawled text with inconsistent casing, headers, bullets and
+whitespace.  Our generator produces structured records; this module
+closes the loop by rendering them down into that messy crawl form
+(seeded, so reproducible), which the crawl *parser* in
+:mod:`repro.preprocess.from_crawl` must then recover — exactly the
+Fig. 1 → Fig. 2 journey.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .schema import Recipe
+
+#: Section-header spellings seen in real recipe crawls.
+INGREDIENT_HEADERS = ["Ingredients", "INGREDIENTS", "Ingredients:",
+                      "What you need", "You will need:"]
+INSTRUCTION_HEADERS = ["Directions", "DIRECTIONS", "Instructions:",
+                       "Method", "Preparation", "Steps:"]
+BULLETS = ["- ", "* ", "• ", "", "1) "]
+
+
+def _messy_case(text: str, rng: np.random.Generator) -> str:
+    """Randomly title-case, upper-case or leave a string."""
+    roll = rng.random()
+    if roll < 0.3:
+        return text.title()
+    if roll < 0.4:
+        return text.upper()
+    return text
+
+
+def _messy_spacing(text: str, rng: np.random.Generator) -> str:
+    """Inject the double spaces and stray tabs crawls are full of."""
+    words = text.split()
+    out: List[str] = []
+    for word in words:
+        out.append(word)
+        if rng.random() < 0.05:
+            out.append("")  # becomes a double space on join
+    return " ".join(out)
+
+
+def render_crawl_text(recipe: Recipe, seed: int = 0) -> str:
+    """Render one recipe as messy multi-line crawl text (Fig. 1 style)."""
+    rng = np.random.default_rng(seed + recipe.recipe_id)
+    lines: List[str] = []
+    lines.append(_messy_case(recipe.title, rng))
+    if rng.random() < 0.5:
+        lines.append(f"Serves {recipe.servings}   |   "
+                     f"{recipe.cook_time_minutes} min")
+    lines.append("")
+    header = INGREDIENT_HEADERS[int(rng.integers(len(INGREDIENT_HEADERS)))]
+    lines.append(header)
+    bullet = BULLETS[int(rng.integers(len(BULLETS)))]
+    for index, item in enumerate(recipe.ingredients):
+        prefix = f"{index + 1}) " if bullet == "1) " else bullet
+        lines.append(_messy_spacing(f"{prefix}{item.display()}", rng))
+    lines.append("")
+    header = INSTRUCTION_HEADERS[int(rng.integers(len(INSTRUCTION_HEADERS)))]
+    lines.append(header)
+    numbered = rng.random() < 0.5
+    for index, step in enumerate(recipe.instructions):
+        text = _messy_case(step.text, rng) if rng.random() < 0.15 else step.text
+        prefix = f"{index + 1}. " if numbered else ""
+        lines.append(_messy_spacing(f"{prefix}{text}", rng))
+    if rng.random() < 0.3:
+        lines.append("")
+        lines.append("Recipe saved from the web — enjoy!!")
+    return "\n".join(lines)
+
+
+def render_crawl_corpus(recipes: List[Recipe], seed: int = 0) -> List[str]:
+    """Crawl-text form of a whole corpus."""
+    return [render_crawl_text(recipe, seed=seed) for recipe in recipes]

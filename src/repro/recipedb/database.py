@@ -1,0 +1,166 @@
+"""In-memory queryable RecipeDB with secondary indices.
+
+This is the database layer the paper's system sits on: recipes are
+stored by id with inverted indices over region, country, ingredient
+and cooking process, plus corpus-level statistics used by the
+preprocessing and benchmark modules.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .schema import Recipe
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Corpus-level summary statistics (used by Fig-style benchmarks)."""
+
+    num_recipes: int
+    num_distinct_ingredients: int
+    num_distinct_processes: int
+    num_regions: int
+    num_countries: int
+    mean_ingredients_per_recipe: float
+    mean_instructions_per_recipe: float
+
+
+class RecipeDatabase:
+    """A collection of recipes with inverted indices.
+
+    The class is intentionally dictionary-backed (not an external DB)
+    so the whole reproduction is self-contained; the query surface
+    mirrors what RecipeDB's web API exposes.
+    """
+
+    def __init__(self, recipes: Optional[Iterable[Recipe]] = None) -> None:
+        self._recipes: Dict[int, Recipe] = {}
+        self._by_region: Dict[str, List[int]] = defaultdict(list)
+        self._by_country: Dict[str, List[int]] = defaultdict(list)
+        self._by_continent: Dict[str, List[int]] = defaultdict(list)
+        self._by_ingredient: Dict[str, List[int]] = defaultdict(list)
+        self._by_process: Dict[str, List[int]] = defaultdict(list)
+        for recipe in recipes or ():
+            self.insert(recipe)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, recipe: Recipe) -> None:
+        """Insert a recipe; raises on duplicate id."""
+        if recipe.recipe_id in self._recipes:
+            raise ValueError(f"duplicate recipe_id {recipe.recipe_id}")
+        self._recipes[recipe.recipe_id] = recipe
+        self._by_region[recipe.region].append(recipe.recipe_id)
+        self._by_country[recipe.country].append(recipe.recipe_id)
+        self._by_continent[recipe.continent].append(recipe.recipe_id)
+        for name in set(recipe.ingredient_names):
+            self._by_ingredient[name].append(recipe.recipe_id)
+        for process in recipe.processes:
+            self._by_process[process].append(recipe.recipe_id)
+
+    def remove(self, recipe_id: int) -> Recipe:
+        """Remove and return a recipe; raises ``KeyError`` if absent."""
+        recipe = self._recipes.pop(recipe_id)
+        self._by_region[recipe.region].remove(recipe_id)
+        self._by_country[recipe.country].remove(recipe_id)
+        self._by_continent[recipe.continent].remove(recipe_id)
+        for name in set(recipe.ingredient_names):
+            self._by_ingredient[name].remove(recipe_id)
+        for process in recipe.processes:
+            self._by_process[process].remove(recipe_id)
+        return recipe
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._recipes)
+
+    def __contains__(self, recipe_id: int) -> bool:
+        return recipe_id in self._recipes
+
+    def get(self, recipe_id: int) -> Recipe:
+        try:
+            return self._recipes[recipe_id]
+        except KeyError:
+            raise KeyError(f"no recipe with id {recipe_id}") from None
+
+    def all(self) -> List[Recipe]:
+        return list(self._recipes.values())
+
+    def ids(self) -> List[int]:
+        return list(self._recipes)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def by_region(self, region: str) -> List[Recipe]:
+        return [self._recipes[i] for i in self._by_region.get(region, [])]
+
+    def by_country(self, country: str) -> List[Recipe]:
+        return [self._recipes[i] for i in self._by_country.get(country, [])]
+
+    def by_continent(self, continent: str) -> List[Recipe]:
+        return [self._recipes[i] for i in self._by_continent.get(continent, [])]
+
+    def with_ingredient(self, name: str) -> List[Recipe]:
+        """Recipes containing the exact ingredient name."""
+        return [self._recipes[i] for i in self._by_ingredient.get(name, [])]
+
+    def with_process(self, process: str) -> List[Recipe]:
+        return [self._recipes[i] for i in self._by_process.get(process, [])]
+
+    def with_all_ingredients(self, names: Sequence[str]) -> List[Recipe]:
+        """Recipes containing *every* listed ingredient (index intersect)."""
+        if not names:
+            return self.all()
+        id_sets = [set(self._by_ingredient.get(name, ())) for name in names]
+        common = set.intersection(*id_sets) if id_sets else set()
+        return [self._recipes[i] for i in sorted(common)]
+
+    def with_any_ingredient(self, names: Sequence[str]) -> List[Recipe]:
+        """Recipes containing *at least one* listed ingredient."""
+        ids: set = set()
+        for name in names:
+            ids.update(self._by_ingredient.get(name, ()))
+        return [self._recipes[i] for i in sorted(ids)]
+
+    def ingredient_frequencies(self) -> Counter:
+        """Ingredient -> number of recipes using it (the Zipf curve)."""
+        return Counter({name: len(ids) for name, ids in self._by_ingredient.items()})
+
+    def process_frequencies(self) -> Counter:
+        return Counter({name: len(ids) for name, ids in self._by_process.items()})
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> CorpusStats:
+        recipes = self.all()
+        if not recipes:
+            return CorpusStats(0, 0, 0, 0, 0, 0.0, 0.0)
+        return CorpusStats(
+            num_recipes=len(recipes),
+            num_distinct_ingredients=len(self._by_ingredient),
+            num_distinct_processes=len(self._by_process),
+            num_regions=len([r for r, ids in self._by_region.items() if ids]),
+            num_countries=len([c for c, ids in self._by_country.items() if ids]),
+            mean_ingredients_per_recipe=float(
+                np.mean([len(r.ingredients) for r in recipes])),
+            mean_instructions_per_recipe=float(
+                np.mean([len(r.instructions) for r in recipes])),
+        )
+
+    def sample(self, n: int, rng: np.random.Generator) -> List[Recipe]:
+        """Uniform sample of ``n`` recipes without replacement."""
+        ids = self.ids()
+        if n > len(ids):
+            raise ValueError(f"cannot sample {n} from {len(ids)} recipes")
+        chosen = rng.choice(len(ids), size=n, replace=False)
+        return [self._recipes[ids[i]] for i in chosen]

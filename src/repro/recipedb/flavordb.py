@@ -1,0 +1,104 @@
+"""FlavorDB substrate: flavor molecules shared across ingredients.
+
+FlavorDB (Garg et al., *NAR* 2018) maps ingredients to the volatile
+molecules responsible for their flavor; RecipeDB links every
+ingredient to that resource.  The food-pairing hypothesis — that
+ingredients sharing molecules combine well — is the basis for the
+``repro.recipedb.pairing`` extension module.
+
+We reproduce the *structure*: a deterministic assignment of molecule
+identifiers to ingredients such that (a) ingredients in the same
+category share a category-characteristic molecule pool and (b) each
+ingredient also carries a few idiosyncratic molecules derived from a
+stable hash of its name.  This preserves the statistics pairing
+algorithms rely on (intra-category overlap >> inter-category overlap).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Tuple
+
+#: Category-characteristic molecule pools.  Names follow real flavor
+#: chemistry families so examples read plausibly.
+CATEGORY_MOLECULES: Dict[str, List[str]] = {
+    "vegetable": ["hexanal", "2-hexenal", "methyl-propyl-disulfide",
+                  "allicin", "dimethyl-sulfide", "geosmin", "2-isobutylthiazole"],
+    "fruit": ["limonene", "citral", "ethyl-butanoate", "hexyl-acetate",
+              "gamma-decalactone", "linalool", "beta-ionone"],
+    "meat": ["2-methyl-3-furanthiol", "bis-2-methyl-3-furyl-disulfide",
+             "12-methyltridecanal", "pyrazine", "4-hydroxy-5-methylfuranone"],
+    "seafood": ["trimethylamine", "1-octen-3-one", "2,6-nonadienal",
+                "dimethyl-sulfide", "bromophenol"],
+    "dairy": ["diacetyl", "delta-decalactone", "butyric-acid",
+              "acetoin", "methyl-ketone"],
+    "grain": ["2-acetyl-1-pyrroline", "maltol", "furfural",
+              "4-vinylguaiacol", "pyrazine"],
+    "legume": ["hexanal", "1-octen-3-ol", "methional", "2-pentylfuran"],
+    "nut": ["filbertone", "benzaldehyde", "2-acetylpyrazine",
+            "gamma-nonalactone", "pyrazine"],
+    "herb": ["linalool", "eugenol", "menthol", "carvone", "thymol",
+             "estragole", "1,8-cineole"],
+    "spice": ["eugenol", "cinnamaldehyde", "piperine", "capsaicin",
+              "curcumin", "safranal", "vanillin", "anethole"],
+    "oil": ["oleic-acid-aldehydes", "hexanal", "2,4-decadienal"],
+    "condiment": ["glutamate", "acetic-acid", "4-ethylguaiacol",
+                  "methanethiol", "soy-furanone"],
+    "sweetener": ["vanillin", "maltol", "furaneol", "caramel-furanone",
+                  "hydroxymethylfurfural"],
+    "baking": ["diacetyl", "vanillin", "2-acetyl-1-pyrroline", "furfural"],
+}
+
+#: Cross-category "bridge" molecules that make pairing graphs connected.
+BRIDGE_MOLECULES: Tuple[str, ...] = (
+    "vanillin", "hexanal", "linalool", "pyrazine", "diacetyl", "maltol",
+)
+
+_MOLECULES_PER_INGREDIENT = 4  # idiosyncratic molecules per ingredient
+
+
+def _stable_hash(text: str) -> int:
+    """Platform-stable hash (python's ``hash`` is salted per process)."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def molecules_for(name: str, category: str) -> Tuple[str, ...]:
+    """Deterministic molecule set for an ingredient.
+
+    Two molecules come from the category pool (selected by name hash)
+    and the rest are idiosyncratic ``mol-<n>`` identifiers — drawn from
+    a 5000-molecule universe to mimic FlavorDB's ~25k molecule space
+    relative to catalog size.
+    """
+    pool = CATEGORY_MOLECULES.get(category, [])
+    seed = _stable_hash(name)
+    picked: List[str] = []
+    if pool:
+        picked.append(pool[seed % len(pool)])
+        picked.append(pool[(seed // 7) % len(pool)])
+    for i in range(_MOLECULES_PER_INGREDIENT):
+        picked.append(f"mol-{(seed // (13 + i)) % 5000}")
+    # Variants share their base ingredient's bridge molecule so pairing
+    # treats "fresh basil" and "basil" as flavor-compatible.
+    base = name.split()[-1]
+    picked.append(BRIDGE_MOLECULES[_stable_hash(base) % len(BRIDGE_MOLECULES)])
+    # De-duplicate preserving order.
+    seen: Dict[str, None] = {}
+    for molecule in picked:
+        seen.setdefault(molecule, None)
+    return tuple(seen)
+
+
+def shared_molecules(mols_a: Tuple[str, ...], mols_b: Tuple[str, ...]) -> List[str]:
+    """Molecules common to both sets, in ``mols_a`` order."""
+    other = set(mols_b)
+    return [m for m in mols_a if m in other]
+
+
+def pairing_score(mols_a: Tuple[str, ...], mols_b: Tuple[str, ...]) -> float:
+    """Jaccard similarity of two molecule sets (food-pairing strength)."""
+    set_a, set_b = set(mols_a), set(mols_b)
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / len(set_a | set_b)

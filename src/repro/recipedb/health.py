@@ -1,0 +1,68 @@
+"""DietRx-style health associations.
+
+RecipeDB links ingredients to empirical disease associations mined
+from Medline (DietRx).  We reproduce the linkage structure: each
+ingredient category carries positive (protective) and negative (risk)
+associations with a fixed disease vocabulary, and recipes aggregate the
+associations of their ingredients.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from .schema import RecipeIngredient
+
+DISEASES: List[str] = [
+    "cardiovascular disease", "type 2 diabetes", "hypertension",
+    "obesity", "colorectal cancer", "osteoporosis", "anemia",
+    "inflammation", "hypercholesterolemia", "gastric disorders",
+]
+
+#: category -> (protective associations, risk associations)
+CATEGORY_ASSOCIATIONS: Dict[str, Tuple[List[str], List[str]]] = {
+    "vegetable": (["cardiovascular disease", "colorectal cancer",
+                   "obesity", "inflammation"], []),
+    "fruit": (["cardiovascular disease", "hypertension", "inflammation"], []),
+    "meat": (["anemia"], ["colorectal cancer", "hypercholesterolemia"]),
+    "seafood": (["cardiovascular disease", "inflammation"], []),
+    "dairy": (["osteoporosis"], ["hypercholesterolemia"]),
+    "grain": (["type 2 diabetes", "gastric disorders"], []),
+    "legume": (["type 2 diabetes", "hypercholesterolemia", "anemia"], []),
+    "nut": (["cardiovascular disease", "hypercholesterolemia"], []),
+    "herb": (["inflammation", "gastric disorders"], []),
+    "spice": (["inflammation", "type 2 diabetes"], ["gastric disorders"]),
+    "oil": (["cardiovascular disease"], ["obesity"]),
+    "condiment": ([], ["hypertension"]),
+    "sweetener": ([], ["type 2 diabetes", "obesity"]),
+    "baking": ([], ["hypertension"]),
+}
+
+
+def associations_for_category(category: str) -> Dict[str, str]:
+    """Disease -> "positive"/"negative" for one ingredient category."""
+    protective, risk = CATEGORY_ASSOCIATIONS.get(category, ([], []))
+    table = {disease: "positive" for disease in protective}
+    table.update({disease: "negative" for disease in risk})
+    return table
+
+
+def aggregate(ingredients: Iterable[RecipeIngredient]) -> Dict[str, str]:
+    """Aggregate ingredient associations to the recipe level.
+
+    A disease ends up "positive" (protective) if protective mentions
+    across the recipe's ingredients outnumber risk mentions, and vice
+    versa; ties are dropped, mirroring how DietRx evidence counts work.
+    """
+    votes: Counter = Counter()
+    for item in ingredients:
+        for disease, polarity in associations_for_category(item.ingredient.category).items():
+            votes[disease] += 1 if polarity == "positive" else -1
+    result: Dict[str, str] = {}
+    for disease, score in votes.items():
+        if score > 0:
+            result[disease] = "positive"
+        elif score < 0:
+            result[disease] = "negative"
+    return result

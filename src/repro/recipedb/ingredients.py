@@ -1,0 +1,229 @@
+"""Ingredient catalog: categories, base ingredients, variant expansion.
+
+RecipeDB links 20,262 ingredients.  Such catalogs explode from a much
+smaller set of culinary *base* ingredients through variants (cuts,
+colors, preparations, brands).  We reproduce that structure: a curated
+base catalog per category, plus a deterministic variant expander that
+can scale the catalog up to tens of thousands of distinct entries.
+
+The catalog is what the recipe generator samples from and what the
+flavor/nutrition/health substrates key on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from .flavordb import molecules_for
+from .schema import Ingredient
+
+#: category -> curated base ingredient names
+BASE_INGREDIENTS: Dict[str, List[str]] = {
+    "vegetable": [
+        "onion", "garlic", "tomato", "potato", "carrot", "celery",
+        "bell pepper", "spinach", "broccoli", "cauliflower", "zucchini",
+        "eggplant", "cabbage", "kale", "leek", "shallot", "cucumber",
+        "mushroom", "green bean", "pea", "corn", "pumpkin", "beet",
+        "radish", "turnip", "asparagus", "artichoke", "okra", "fennel",
+        "scallion", "ginger", "bok choy", "brussels sprout", "squash",
+        "sweet potato", "parsnip", "watercress", "arugula", "lettuce",
+        "chard", "daikon", "bamboo shoot", "taro", "cassava", "plantain",
+    ],
+    "fruit": [
+        "lemon", "lime", "orange", "apple", "banana", "mango", "pineapple",
+        "coconut", "avocado", "strawberry", "blueberry", "raspberry",
+        "grape", "peach", "pear", "plum", "cherry", "apricot", "fig",
+        "date", "pomegranate", "papaya", "guava", "kiwi", "melon",
+        "watermelon", "cranberry", "raisin", "tamarind", "passion fruit",
+    ],
+    "meat": [
+        "chicken breast", "chicken thigh", "whole chicken", "ground beef",
+        "beef steak", "beef brisket", "pork loin", "pork belly",
+        "pork shoulder", "bacon", "ham", "sausage", "lamb leg",
+        "lamb shoulder", "ground lamb", "turkey breast", "ground turkey",
+        "duck breast", "veal", "chorizo", "pancetta", "prosciutto",
+    ],
+    "seafood": [
+        "salmon", "tuna", "cod", "tilapia", "halibut", "trout", "sardine",
+        "anchovy", "mackerel", "sea bass", "shrimp", "prawn", "crab",
+        "lobster", "scallop", "mussel", "clam", "oyster", "squid",
+        "octopus",
+    ],
+    "dairy": [
+        "butter", "milk", "heavy cream", "sour cream", "yogurt",
+        "cream cheese", "cheddar cheese", "mozzarella", "parmesan",
+        "feta cheese", "goat cheese", "ricotta", "blue cheese",
+        "mascarpone", "buttermilk", "ghee", "creme fraiche", "paneer",
+    ],
+    "grain": [
+        "rice", "basmati rice", "jasmine rice", "brown rice", "pasta",
+        "spaghetti", "penne", "noodles", "rice noodles", "bread",
+        "breadcrumbs", "tortilla", "flour", "whole wheat flour",
+        "cornmeal", "oats", "quinoa", "couscous", "bulgur", "barley",
+        "polenta", "semolina", "pita bread", "naan",
+    ],
+    "legume": [
+        "chickpea", "black bean", "kidney bean", "lentil", "red lentil",
+        "pinto bean", "white bean", "edamame", "split pea", "mung bean",
+        "fava bean", "black-eyed pea", "tofu", "tempeh",
+    ],
+    "nut": [
+        "almond", "walnut", "cashew", "peanut", "pistachio", "pecan",
+        "hazelnut", "pine nut", "macadamia", "sesame seed",
+        "sunflower seed", "pumpkin seed", "chia seed", "flaxseed",
+        "peanut butter", "almond butter", "tahini",
+    ],
+    "herb": [
+        "basil", "parsley", "cilantro", "mint", "rosemary", "thyme",
+        "oregano", "sage", "dill", "chive", "tarragon", "bay leaf",
+        "lemongrass", "curry leaf", "marjoram",
+    ],
+    "spice": [
+        "black pepper", "cumin", "coriander", "turmeric", "paprika",
+        "chili powder", "cayenne pepper", "cinnamon", "nutmeg", "clove",
+        "cardamom", "star anise", "fennel seed", "mustard seed",
+        "fenugreek", "saffron", "vanilla", "allspice", "garam masala",
+        "curry powder", "five spice powder", "sumac", "za'atar",
+        "red pepper flakes", "white pepper", "smoked paprika",
+    ],
+    "oil": [
+        "olive oil", "vegetable oil", "canola oil", "sesame oil",
+        "coconut oil", "peanut oil", "sunflower oil", "avocado oil",
+        "mustard oil", "lard",
+    ],
+    "condiment": [
+        "soy sauce", "fish sauce", "oyster sauce", "hoisin sauce",
+        "worcestershire sauce", "hot sauce", "sriracha", "ketchup",
+        "mustard", "mayonnaise", "vinegar", "balsamic vinegar",
+        "rice vinegar", "apple cider vinegar", "miso paste",
+        "tomato paste", "tomato sauce", "salsa", "pesto", "harissa",
+        "gochujang", "tamarind paste", "coconut milk", "chicken stock",
+        "beef stock", "vegetable stock", "white wine", "red wine",
+        "mirin", "sake", "capers", "olives", "pickles", "kimchi",
+    ],
+    "sweetener": [
+        "sugar", "brown sugar", "powdered sugar", "honey", "maple syrup",
+        "molasses", "agave syrup", "corn syrup", "jaggery",
+        "condensed milk", "chocolate", "dark chocolate", "cocoa powder",
+        "white chocolate", "jam",
+    ],
+    "baking": [
+        "egg", "egg white", "egg yolk", "baking powder", "baking soda",
+        "yeast", "cornstarch", "gelatin", "salt", "sea salt",
+        "kosher salt", "vanilla extract", "almond extract",
+        "food coloring", "sprinkles", "marzipan", "puff pastry",
+        "phyllo dough", "pie crust", "graham cracker",
+    ],
+}
+
+CATEGORIES: List[str] = list(BASE_INGREDIENTS)
+
+#: Variant prefixes used to expand the catalog the way mined recipe
+#: corpora do ("fresh basil", "frozen pea", "organic carrot", ...).
+VARIANT_PREFIXES: List[str] = [
+    "fresh", "frozen", "dried", "canned", "organic", "baby", "wild",
+    "roasted", "smoked", "ripe", "raw", "whole", "ground", "crushed",
+    "pickled", "sweet", "spicy", "large", "small", "local",
+]
+
+
+class IngredientCatalog:
+    """The queryable ingredient catalog.
+
+    Parameters
+    ----------
+    expansion_factor:
+        How many prefix variants to create per base ingredient (0 keeps
+        only the curated base set; ~60 reaches RecipeDB's 20k scale).
+    seed:
+        Seed controlling which variant prefixes attach to which bases.
+    """
+
+    def __init__(self, expansion_factor: int = 3, seed: int = 0) -> None:
+        if expansion_factor < 0:
+            raise ValueError("expansion_factor must be >= 0")
+        self._by_name: Dict[str, Ingredient] = {}
+        self._by_category: Dict[str, List[Ingredient]] = {c: [] for c in CATEGORIES}
+        rng = np.random.default_rng(seed)
+        next_id = 0
+        for category, names in BASE_INGREDIENTS.items():
+            for name in names:
+                next_id = self._add(next_id, name, category)
+                prefixes = rng.choice(
+                    len(VARIANT_PREFIXES),
+                    size=min(expansion_factor, len(VARIANT_PREFIXES)),
+                    replace=False)
+                for prefix_idx in prefixes:
+                    variant = f"{VARIANT_PREFIXES[prefix_idx]} {name}"
+                    next_id = self._add(next_id, variant, category)
+
+    def _add(self, next_id: int, name: str, category: str) -> int:
+        if name in self._by_name:
+            return next_id
+        ingredient = Ingredient(
+            ingredient_id=next_id,
+            name=name,
+            category=category,
+            flavor_molecules=molecules_for(name, category),
+        )
+        self._by_name[name] = ingredient
+        self._by_category[category].append(ingredient)
+        return next_id + 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> Ingredient:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown ingredient {name!r}") from None
+
+    def names(self) -> List[str]:
+        return list(self._by_name)
+
+    def all(self) -> List[Ingredient]:
+        return list(self._by_name.values())
+
+    def by_category(self, category: str) -> List[Ingredient]:
+        if category not in self._by_category:
+            raise KeyError(
+                f"unknown category {category!r}; choose from {CATEGORIES}")
+        return list(self._by_category[category])
+
+    def sample(self, category: str, rng: np.random.Generator) -> Ingredient:
+        """Sample one ingredient from ``category`` with a Zipfian skew.
+
+        Real ingredient usage is heavy-tailed: a few staples (onion,
+        garlic, salt) appear in a large share of recipes.  A Zipf-like
+        rank distribution over the category list reproduces that.
+        """
+        pool = self._by_category[category]
+        ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+        weights = 1.0 / ranks
+        weights /= weights.sum()
+        index = rng.choice(len(pool), p=weights)
+        return pool[index]
+
+
+def default_catalog() -> IngredientCatalog:
+    """The catalog used throughout the reproduction (seeded, ~1.3k entries)."""
+    return IngredientCatalog(expansion_factor=3, seed=0)
+
+
+def full_scale_catalog() -> IngredientCatalog:
+    """A catalog at RecipeDB scale (every variant prefix enabled)."""
+    return IngredientCatalog(expansion_factor=len(VARIANT_PREFIXES), seed=0)
+
+
+def categories_of(names: Iterable[str], catalog: IngredientCatalog) -> List[str]:
+    """Map ingredient names to their categories (unknowns are skipped)."""
+    return [catalog.get(name).category for name in names if name in catalog]

@@ -1,0 +1,77 @@
+"""Persistence for recipe corpora: JSONL and CSV.
+
+JSONL is the canonical on-disk format (one recipe per line, full
+schema); CSV export flattens to the tabular view used for spreadsheet
+inspection of corpus statistics.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from .schema import Recipe
+
+PathLike = Union[str, Path]
+
+
+def save_jsonl(recipes: Iterable[Recipe], path: PathLike) -> int:
+    """Write recipes to a JSONL file; returns the number written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for recipe in recipes:
+            handle.write(json.dumps(recipe.to_dict(), ensure_ascii=False))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: PathLike) -> List[Recipe]:
+    """Read recipes from a JSONL file written by :func:`save_jsonl`."""
+    path = Path(path)
+    recipes: List[Recipe] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: invalid JSON") from exc
+            recipes.append(Recipe.from_dict(payload))
+    return recipes
+
+
+def export_csv(recipes: Iterable[Recipe], path: PathLike) -> int:
+    """Flatten recipes to CSV (one row per recipe, list fields joined)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fields = ["recipe_id", "title", "continent", "region", "country",
+              "servings", "num_ingredients", "num_instructions",
+              "ingredients", "processes", "calories_kcal"]
+    count = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields)
+        writer.writeheader()
+        for recipe in recipes:
+            writer.writerow({
+                "recipe_id": recipe.recipe_id,
+                "title": recipe.title,
+                "continent": recipe.continent,
+                "region": recipe.region,
+                "country": recipe.country,
+                "servings": recipe.servings,
+                "num_ingredients": len(recipe.ingredients),
+                "num_instructions": len(recipe.instructions),
+                "ingredients": "; ".join(recipe.ingredient_names),
+                "processes": "; ".join(recipe.processes),
+                "calories_kcal": (recipe.nutrition.calories_kcal
+                                  if recipe.nutrition else ""),
+            })
+            count += 1
+    return count

@@ -1,0 +1,92 @@
+"""USDA-style nutrition substrate.
+
+RecipeDB links ingredients to USDA nutritional profiles and aggregates
+them per recipe.  We reproduce that: per-category macro-nutrient
+densities (per 100 g, values in realistic USDA ranges), a deterministic
+per-ingredient jitter, and a recipe-level aggregator that converts
+quantities to grams and sums.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable
+
+from .schema import NutritionProfile, RecipeIngredient
+
+#: category -> per-100g (kcal, protein g, fat g, carbs g, fiber g, sodium mg)
+CATEGORY_DENSITY: Dict[str, tuple] = {
+    "vegetable": (35.0, 2.0, 0.3, 7.0, 2.5, 30.0),
+    "fruit": (55.0, 0.8, 0.3, 14.0, 2.2, 2.0),
+    "meat": (220.0, 24.0, 14.0, 0.0, 0.0, 75.0),
+    "seafood": (140.0, 22.0, 5.0, 0.5, 0.0, 90.0),
+    "dairy": (150.0, 8.0, 11.0, 5.0, 0.0, 120.0),
+    "grain": (350.0, 10.0, 2.0, 72.0, 4.0, 5.0),
+    "legume": (330.0, 22.0, 2.5, 55.0, 12.0, 10.0),
+    "nut": (580.0, 18.0, 50.0, 20.0, 8.0, 5.0),
+    "herb": (40.0, 3.0, 0.8, 7.0, 3.5, 15.0),
+    "spice": (300.0, 10.0, 10.0, 50.0, 20.0, 30.0),
+    "oil": (880.0, 0.0, 100.0, 0.0, 0.0, 1.0),
+    "condiment": (90.0, 3.0, 3.0, 12.0, 1.0, 800.0),
+    "sweetener": (380.0, 0.5, 2.0, 92.0, 0.5, 15.0),
+    "baking": (200.0, 8.0, 8.0, 25.0, 1.0, 400.0),
+}
+
+#: unit -> approximate grams per unit (culinary conversions)
+UNIT_GRAMS: Dict[str, float] = {
+    "cup": 170.0, "tablespoon": 14.0, "teaspoon": 5.0,
+    "ounce": 28.0, "pound": 454.0, "gram": 1.0, "kilogram": 1000.0,
+    "milliliter": 1.0, "liter": 1000.0, "piece": 80.0, "clove": 4.0,
+    "slice": 25.0, "pinch": 0.5, "bunch": 100.0, "can": 400.0,
+    "sprig": 2.0, "stalk": 40.0, "head": 500.0,
+}
+
+_DEFAULT_GRAMS = 50.0  # fallback when a unit is unknown
+
+
+def _jitter(name: str) -> float:
+    """Deterministic per-ingredient multiplier in [0.8, 1.2]."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:4], "little") / 2 ** 32
+    return 0.8 + 0.4 * fraction
+
+
+def density_for(name: str, category: str) -> NutritionProfile:
+    """Per-100g nutrition for an ingredient (category base × jitter)."""
+    base = CATEGORY_DENSITY.get(category)
+    if base is None:
+        raise KeyError(f"no nutrition density for category {category!r}")
+    factor = _jitter(name)
+    kcal, protein, fat, carbs, fiber, sodium = (v * factor for v in base)
+    return NutritionProfile(
+        calories_kcal=round(kcal, 1), protein_g=round(protein, 2),
+        fat_g=round(fat, 2), carbohydrates_g=round(carbs, 2),
+        fiber_g=round(fiber, 2), sodium_mg=round(sodium, 1))
+
+
+def grams_of(quantity_value: float, unit: str) -> float:
+    """Convert a culinary quantity to grams."""
+    return quantity_value * UNIT_GRAMS.get(unit, _DEFAULT_GRAMS)
+
+
+def aggregate(ingredients: Iterable[RecipeIngredient],
+              servings: int = 1) -> NutritionProfile:
+    """Sum per-ingredient nutrition over a recipe, per serving.
+
+    This is the RecipeDB recipe-level nutrition linkage.
+    """
+    if servings < 1:
+        raise ValueError("servings must be >= 1")
+    totals = [0.0] * 6
+    for item in ingredients:
+        grams = grams_of(item.quantity.value, item.quantity.unit)
+        per100 = density_for(item.ingredient.name, item.ingredient.category)
+        values = (per100.calories_kcal, per100.protein_g, per100.fat_g,
+                  per100.carbohydrates_g, per100.fiber_g, per100.sodium_mg)
+        for index, value in enumerate(values):
+            totals[index] += value * grams / 100.0
+    per_serving = [round(total / servings, 2) for total in totals]
+    return NutritionProfile(
+        calories_kcal=per_serving[0], protein_g=per_serving[1],
+        fat_g=per_serving[2], carbohydrates_g=per_serving[3],
+        fiber_g=per_serving[4], sodium_mg=per_serving[5])

@@ -1,0 +1,136 @@
+"""Cooking-process taxonomy: exactly 268 processes.
+
+RecipeDB catalogues 268 cooking processes ("heat, cook, boil, simmer,
+bake, etc.", Sec. III).  We reconstruct the taxonomy from a curated set
+of base techniques plus systematic modifier variants (e.g. *roast* →
+*slow-roast*, *pan-roast*), which is how such process lists arise from
+recipe text mining in the first place.
+
+Every process carries the phrase templates the corpus generator uses
+to realize it as instruction text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Base techniques grouped by kind.  kind -> [verbs]
+BASE_PROCESSES: Dict[str, List[str]] = {
+    "heat": [
+        "bake", "roast", "grill", "broil", "toast", "sear", "char",
+        "fry", "deep-fry", "stir-fry", "saute", "brown", "blacken",
+        "boil", "simmer", "poach", "steam", "blanch", "parboil", "scald",
+        "braise", "stew", "smoke", "barbecue", "griddle", "flambe",
+        "caramelize", "reduce", "render", "sweat", "heat", "warm",
+        "reheat", "melt", "cook", "microwave", "pressure-cook",
+        "slow-cook", "air-fry", "sous-vide", "temper", "deglaze",
+        "torch", "crisp", "singe", "clarify", "flame",
+    ],
+    "prepare": [
+        "chop", "dice", "mince", "slice", "julienne", "cube", "shred",
+        "grate", "zest", "peel", "core", "pit", "trim", "debone",
+        "fillet", "butterfly", "crush", "grind", "mash", "puree",
+        "blend", "whisk", "beat", "whip", "fold", "stir", "mix",
+        "combine", "toss", "knead", "roll", "flatten", "pound",
+        "tenderize", "score", "cut", "halve", "quarter", "segment",
+        "crumble", "sift", "measure", "rinse", "wash", "drain",
+        "pat-dry", "squeeze", "strain", "press", "scoop",
+        "spiralize", "chiffonade", "devein", "shuck", "scale-fish",
+        "skin", "husk", "hull", "stem", "seed", "flake", "snip",
+        "tear", "smash", "split",
+    ],
+    "season": [
+        "season", "salt", "pepper", "spice", "marinate", "brine",
+        "cure", "pickle", "glaze", "baste", "rub", "coat", "dredge",
+        "bread", "batter", "dust", "drizzle", "sprinkle", "garnish",
+        "stuff", "fill", "top", "layer", "frost", "ice", "dress",
+        "brush", "smear", "lacquer", "enrobe", "swirl", "scatter",
+        "stud", "encrust",
+    ],
+    "combine": [
+        "add", "pour", "transfer", "arrange", "place", "spread",
+        "divide", "portion", "assemble", "wrap", "skewer", "thread",
+        "sandwich", "plate", "serve", "ladle", "spoon",
+        "pipe", "mold", "unmold", "invert", "line", "cover", "seal",
+        "vent", "nestle", "tuck",
+    ],
+    "rest": [
+        "cool", "chill", "refrigerate", "freeze", "thaw", "rest",
+        "proof", "rise", "ferment", "soak", "steep", "infuse", "age",
+        "set", "stand", "defrost", "bloom", "sponge", "autolyse",
+        "mellow", "settle", "hang",
+    ],
+}
+
+#: Modifier variants applied to a subset of heat techniques, the way
+#: process mining splits e.g. "slow roast" from "roast".
+_MODIFIERS: List[Tuple[str, List[str]]] = [
+    ("slow", ["roast", "simmer", "braise", "smoke", "bake", "stew"]),
+    ("flash", ["fry", "sear", "blanch", "freeze", "grill"]),
+    ("pan", ["roast", "sear", "grill", "toast", "fry"]),
+    ("oven", ["roast", "bake", "steam", "braise", "dry"]),
+    ("double", ["boil", "fry", "steam"]),
+    ("dry", ["roast", "toast", "rub", "age", "brine"]),
+    ("gently", ["simmer", "poach", "fold", "stir", "heat", "warm"]),
+    ("quick", ["pickle", "brine", "marinate", "saute", "chill", "mix"]),
+    ("finely", ["chop", "dice", "mince", "grate", "slice", "shred", "grind"]),
+    ("coarsely", ["chop", "grind", "crush", "grate", "mash"]),
+    ("thinly", ["slice", "spread", "roll"]),
+    ("lightly", ["toast", "brown", "coat", "season", "beat", "grease", "oil"]),
+    ("partially", ["cook", "freeze", "thaw", "mash"]),
+    ("twice", ["bake", "fry", "cook"]),
+]
+
+# Orphan verbs referenced only through modifiers.
+_EXTRA_BASES = ["dry", "grease", "oil"]
+
+
+def build_process_list() -> List[str]:
+    """Return the full, ordered, de-duplicated list of 268 processes."""
+    processes: List[str] = []
+    seen = set()
+
+    def push(name: str) -> None:
+        if name not in seen:
+            seen.add(name)
+            processes.append(name)
+
+    for verbs in BASE_PROCESSES.values():
+        for verb in verbs:
+            push(verb)
+    for verb in _EXTRA_BASES:
+        push(verb)
+    for modifier, verbs in _MODIFIERS:
+        for verb in verbs:
+            push(f"{modifier}-{verb}")
+    return processes
+
+
+PROCESSES: List[str] = build_process_list()
+
+#: process -> kind ("heat"/"prepare"/"season"/"combine"/"rest")
+PROCESS_KIND: Dict[str, str] = {}
+for _kind, _verbs in BASE_PROCESSES.items():
+    for _verb in _verbs:
+        PROCESS_KIND[_verb] = _kind
+for _verb in _EXTRA_BASES:
+    PROCESS_KIND.setdefault(_verb, "prepare")
+for _modifier, _verbs in _MODIFIERS:
+    for _verb in _verbs:
+        PROCESS_KIND[f"{_modifier}-{_verb}"] = PROCESS_KIND.get(_verb, "prepare")
+
+
+def processes_of_kind(kind: str) -> List[str]:
+    """All processes of one kind, in taxonomy order."""
+    return [p for p in PROCESSES if PROCESS_KIND[p] == kind]
+
+
+def validate_processes() -> None:
+    """Assert the paper's cardinality: exactly 268 cooking processes."""
+    if len(PROCESSES) != 268:
+        raise AssertionError(f"expected 268 processes, got {len(PROCESSES)}")
+    if len(PROCESSES) != len(set(PROCESSES)):
+        raise AssertionError("duplicate process name")
+    missing = [p for p in PROCESSES if p not in PROCESS_KIND]
+    if missing:
+        raise AssertionError(f"processes without kind: {missing[:5]}")

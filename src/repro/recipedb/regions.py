@@ -1,0 +1,88 @@
+"""Geo-cultural taxonomy: 6 continents, 26 regions, 74 countries.
+
+RecipeDB organizes recipes into exactly this hierarchy (Sec. III of the
+paper).  The mapping below reconstructs a plausible instance with the
+same cardinalities, which is what the synthetic corpus generator and
+the database's region indices are built on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: region -> (continent, [countries])
+REGION_TABLE: Dict[str, Tuple[str, List[str]]] = {
+    # --- Africa (4 regions, 10 countries) ---
+    "Northern Africa": ("Africa", ["Morocco", "Egypt", "Tunisia"]),
+    "Western Africa": ("Africa", ["Nigeria", "Ghana", "Senegal"]),
+    "Eastern Africa": ("Africa", ["Ethiopia", "Kenya"]),
+    "Southern Africa": ("Africa", ["South Africa", "Mozambique"]),
+    # --- Asia (7 regions, 19 countries) ---
+    "Indian Subcontinent": ("Asia", ["India", "Pakistan", "Bangladesh", "Sri Lanka", "Nepal"]),
+    "Chinese": ("Asia", ["China", "Taiwan", "Hong Kong"]),
+    "Japanese": ("Asia", ["Japan"]),
+    "Korean": ("Asia", ["South Korea"]),
+    "Southeast Asian": ("Asia", ["Thailand", "Vietnam", "Indonesia", "Malaysia", "Philippines"]),
+    "Middle Eastern": ("Asia", ["Lebanon", "Turkey", "Iran"]),
+    "Central Asian": ("Asia", ["Uzbekistan"]),
+    # --- Europe (8 regions, 21 countries) ---
+    "British Isles": ("Europe", ["United Kingdom", "Ireland"]),
+    "French": ("Europe", ["France"]),
+    "Italian": ("Europe", ["Italy"]),
+    "Iberian": ("Europe", ["Spain", "Portugal"]),
+    "Central European": ("Europe", ["Germany", "Austria", "Switzerland", "Hungary", "Czech Republic"]),
+    "Scandinavian": ("Europe", ["Sweden", "Norway", "Denmark", "Finland"]),
+    "Eastern European": ("Europe", ["Poland", "Russia", "Ukraine", "Romania"]),
+    "Greek and Balkan": ("Europe", ["Greece", "Croatia", "Serbia"]),
+    # --- North America (3 regions, 8 countries) ---
+    "US and Canadian": ("North America", ["United States", "Canada"]),
+    "Mexican": ("North America", ["Mexico"]),
+    "Caribbean": ("North America", ["Cuba", "Jamaica", "Puerto Rico", "Trinidad and Tobago", "Haiti"]),
+    # --- South America (2 regions, 8 countries) ---
+    "Andean": ("South America", ["Peru", "Bolivia", "Ecuador", "Colombia"]),
+    "Southern Cone": ("South America", ["Brazil", "Argentina", "Chile", "Uruguay"]),
+    # --- Oceania (2 regions, 8 countries) ---
+    "Australian": ("Oceania", ["Australia", "New Zealand"]),
+    "Pacific Islands": ("Oceania", ["Fiji", "Samoa", "Tonga", "Papua New Guinea",
+                                    "Vanuatu"]),
+}
+
+CONTINENTS: List[str] = sorted({continent for continent, _ in REGION_TABLE.values()})
+REGIONS: List[str] = list(REGION_TABLE)
+COUNTRIES: List[str] = [country
+                        for _, countries in REGION_TABLE.values()
+                        for country in countries]
+
+#: country -> (continent, region) reverse lookup
+COUNTRY_INDEX: Dict[str, Tuple[str, str]] = {
+    country: (continent, region)
+    for region, (continent, countries) in REGION_TABLE.items()
+    for country in countries
+}
+
+
+def continent_of(region: str) -> str:
+    """Continent a region belongs to; raises ``KeyError`` if unknown."""
+    return REGION_TABLE[region][0]
+
+
+def countries_of(region: str) -> List[str]:
+    """Countries inside a region (copy; safe to mutate)."""
+    return list(REGION_TABLE[region][1])
+
+
+def locate_country(country: str) -> Tuple[str, str]:
+    """Return ``(continent, region)`` for a country."""
+    return COUNTRY_INDEX[country]
+
+
+def validate_taxonomy() -> None:
+    """Assert the paper's cardinalities: 6 continents, 26 regions, 74 countries."""
+    if len(CONTINENTS) != 6:
+        raise AssertionError(f"expected 6 continents, got {len(CONTINENTS)}")
+    if len(REGIONS) != 26:
+        raise AssertionError(f"expected 26 regions, got {len(REGIONS)}")
+    if len(COUNTRIES) != len(set(COUNTRIES)):
+        raise AssertionError("duplicate country in taxonomy")
+    if len(COUNTRIES) != 74:
+        raise AssertionError(f"expected 74 countries, got {len(COUNTRIES)}")

@@ -1,0 +1,210 @@
+"""Schema for the synthetic RecipeDB substrate.
+
+RecipeDB (Batra et al., *Database* 2020) is a structured compilation of
+recipes: each recipe has a title, a region/country of origin, a list of
+ingredients with quantities and units, cooking instructions built from
+a controlled vocabulary of cooking processes, plus links to flavor
+molecules, nutrition profiles and health associations.  The dataclasses
+here mirror that schema so the rest of the reproduction (preprocessing,
+model training, the web app) is written against the same shape of data
+the paper used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Ingredient:
+    """A catalog ingredient (the *type*, not a usage in a recipe)."""
+
+    ingredient_id: int
+    name: str
+    category: str
+    #: FlavorDB-style molecule identifiers shared across ingredients.
+    flavor_molecules: tuple = ()
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Quantity:
+    """An amount of an ingredient: value + unit, e.g. ``1 1/2 cup``.
+
+    ``value`` is stored as a float; :meth:`display` renders it the way
+    recipe text does (mixed fractions like ``1 1/2``), which is what the
+    paper's special number tokens must round-trip.
+    """
+
+    value: float
+    unit: str
+
+    _FRACTIONS = {
+        0.125: "1/8", 0.25: "1/4", 0.333: "1/3", 0.5: "1/2",
+        0.667: "2/3", 0.75: "3/4",
+    }
+
+    def display(self) -> str:
+        whole = int(self.value)
+        frac = round(self.value - whole, 3)
+        frac_text = self._FRACTIONS.get(frac)
+        if frac_text and whole:
+            amount = f"{whole} {frac_text}"
+        elif frac_text:
+            amount = frac_text
+        elif self.value == whole:
+            amount = str(whole)
+        else:
+            amount = f"{self.value:g}"
+        return f"{amount} {self.unit}".strip()
+
+
+@dataclass(frozen=True)
+class RecipeIngredient:
+    """One ingredient line inside a recipe: quantity + catalog entry."""
+
+    ingredient: Ingredient
+    quantity: Quantity
+    preparation: Optional[str] = None  # e.g. "chopped", "minced"
+
+    def display(self) -> str:
+        text = f"{self.quantity.display()} {self.ingredient.name}"
+        if self.preparation:
+            text = f"{text}, {self.preparation}"
+        return text
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single cooking step referencing a process from the taxonomy."""
+
+    text: str
+    process: str
+
+
+@dataclass(frozen=True)
+class NutritionProfile:
+    """USDA-style per-serving nutrition summary."""
+
+    calories_kcal: float
+    protein_g: float
+    fat_g: float
+    carbohydrates_g: float
+    fiber_g: float
+    sodium_mg: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+
+@dataclass
+class Recipe:
+    """A full recipe record, the unit of the corpus.
+
+    ``continent``/``region``/``country`` follow RecipeDB's geo-cultural
+    hierarchy (6 continents / 26 regions / 74 countries).
+    """
+
+    recipe_id: int
+    title: str
+    continent: str
+    region: str
+    country: str
+    ingredients: List[RecipeIngredient] = field(default_factory=list)
+    instructions: List[Instruction] = field(default_factory=list)
+    servings: int = 4
+    prep_time_minutes: int = 15
+    cook_time_minutes: int = 30
+    nutrition: Optional[NutritionProfile] = None
+    #: DietRx-style associations: disease name -> "positive"/"negative".
+    health_associations: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def processes(self) -> List[str]:
+        """Distinct cooking processes used, in order of first use."""
+        seen: Dict[str, None] = {}
+        for step in self.instructions:
+            seen.setdefault(step.process, None)
+        return list(seen)
+
+    @property
+    def ingredient_names(self) -> List[str]:
+        return [ri.ingredient.name for ri in self.ingredients]
+
+    def is_complete(self) -> bool:
+        """A recipe is complete when it has a title, ingredients and steps.
+
+        The paper's preprocessing removes incomplete recipes (Sec. III).
+        """
+        return bool(self.title.strip()) and bool(self.ingredients) and bool(self.instructions)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form used by JSONL persistence."""
+        return {
+            "recipe_id": self.recipe_id,
+            "title": self.title,
+            "continent": self.continent,
+            "region": self.region,
+            "country": self.country,
+            "servings": self.servings,
+            "prep_time_minutes": self.prep_time_minutes,
+            "cook_time_minutes": self.cook_time_minutes,
+            "ingredients": [
+                {
+                    "ingredient_id": ri.ingredient.ingredient_id,
+                    "name": ri.ingredient.name,
+                    "category": ri.ingredient.category,
+                    "flavor_molecules": list(ri.ingredient.flavor_molecules),
+                    "value": ri.quantity.value,
+                    "unit": ri.quantity.unit,
+                    "preparation": ri.preparation,
+                }
+                for ri in self.ingredients
+            ],
+            "instructions": [
+                {"text": step.text, "process": step.process}
+                for step in self.instructions
+            ],
+            "nutrition": self.nutrition.as_dict() if self.nutrition else None,
+            "health_associations": dict(self.health_associations),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Recipe":
+        ingredients = [
+            RecipeIngredient(
+                ingredient=Ingredient(
+                    ingredient_id=item["ingredient_id"],
+                    name=item["name"],
+                    category=item["category"],
+                    flavor_molecules=tuple(item.get("flavor_molecules", ())),
+                ),
+                quantity=Quantity(value=item["value"], unit=item["unit"]),
+                preparation=item.get("preparation"),
+            )
+            for item in payload.get("ingredients", [])
+        ]
+        instructions = [
+            Instruction(text=item["text"], process=item["process"])
+            for item in payload.get("instructions", [])
+        ]
+        nutrition = None
+        if payload.get("nutrition"):
+            nutrition = NutritionProfile(**payload["nutrition"])
+        return cls(
+            recipe_id=payload["recipe_id"],
+            title=payload["title"],
+            continent=payload["continent"],
+            region=payload["region"],
+            country=payload["country"],
+            ingredients=ingredients,
+            instructions=instructions,
+            servings=payload.get("servings", 4),
+            prep_time_minutes=payload.get("prep_time_minutes", 15),
+            cook_time_minutes=payload.get("cook_time_minutes", 30),
+            nutrition=nutrition,
+            health_associations=dict(payload.get("health_associations", {})),
+        )

@@ -1,0 +1,18 @@
+"""Tokenizers: character-level, word-level and byte-pair encoding.
+
+Each corresponds to one of the paper's model families: char-LSTM,
+word-LSTM, and the GPT-2 variants.  All share the control/special
+token registry in :mod:`repro.tokenizers.special`.
+"""
+
+from .base import Tokenizer, load_any
+from .bpe import BPETokenizer
+from .charlevel import CharTokenizer
+from .special import BOS, CONTROL_TOKENS, EOS, PAD, UNK, is_special, special_tokens
+from .wordlevel import WordTokenizer
+
+__all__ = [
+    "BOS", "BPETokenizer", "CONTROL_TOKENS", "CharTokenizer", "EOS", "PAD",
+    "Tokenizer", "UNK", "WordTokenizer", "is_special", "load_any",
+    "special_tokens",
+]

@@ -1,0 +1,156 @@
+"""Byte-pair encoding tokenizer (the GPT-2 models' input, Sec. IV-B).
+
+A from-scratch implementation of the BPE algorithm GPT-2 uses:
+
+* words are pre-split on whitespace, with an end-of-word marker
+  ``</w>`` on the final symbol so merges cannot cross word boundaries;
+* training greedily merges the most frequent adjacent symbol pair
+  until ``num_merges`` merges are learned (or no pair repeats);
+* encoding replays the learned merges by rank (lowest first), exactly
+  like GPT-2's tokenizer, with an LRU-less dict cache per word;
+* structure tags and ``<QTY_*>``/``<NUM_*>`` special tokens are atomic
+  and never participate in merges.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from .base import Tokenizer
+from .special import is_special
+
+_END = "</w>"
+
+
+def _word_symbols(word: str) -> Tuple[str, ...]:
+    """Initial symbol sequence for a word: chars, last one marked."""
+    if not word:
+        return ()
+    chars = list(word)
+    chars[-1] = chars[-1] + _END
+    return tuple(chars)
+
+
+def _pair_counts(vocab: Dict[Tuple[str, ...], int]) -> Counter:
+    counts: Counter = Counter()
+    for symbols, freq in vocab.items():
+        for pair in zip(symbols, symbols[1:]):
+            counts[pair] += freq
+    return counts
+
+
+def _merge_word(symbols: Tuple[str, ...],
+                pair: Tuple[str, str]) -> Tuple[str, ...]:
+    merged: List[str] = []
+    i = 0
+    target = pair[0] + pair[1]
+    while i < len(symbols):
+        if i + 1 < len(symbols) and symbols[i] == pair[0] and symbols[i + 1] == pair[1]:
+            merged.append(target)
+            i += 2
+        else:
+            merged.append(symbols[i])
+            i += 1
+    return tuple(merged)
+
+
+class BPETokenizer(Tokenizer):
+    kind = "bpe"
+
+    def __init__(self, corpus: Iterable[str], num_merges: int = 2000) -> None:
+        super().__init__()
+        if num_merges < 0:
+            raise ValueError("num_merges must be >= 0")
+        word_freq: Counter = Counter()
+        specials: dict = {}
+        for text in corpus:
+            for token in text.split():
+                if is_special(token):
+                    specials.setdefault(token, None)
+                else:
+                    word_freq[token] += 1
+
+        vocab: Dict[Tuple[str, ...], int] = {
+            _word_symbols(word): freq for word, freq in word_freq.items()}
+        merges: List[Tuple[str, str]] = []
+        for _ in range(num_merges):
+            counts = _pair_counts(vocab)
+            if not counts:
+                break
+            pair, freq = counts.most_common(1)[0]
+            if freq < 2:
+                break
+            merges.append(pair)
+            vocab = {_merge_word(symbols, pair): f for symbols, f in vocab.items()}
+
+        self.merges = merges
+        self._ranks: Dict[Tuple[str, str], int] = {
+            pair: rank for rank, pair in enumerate(merges)}
+        symbols: dict = {}
+        for word_symbols in vocab:
+            for symbol in word_symbols:
+                symbols.setdefault(symbol, None)
+        self._build_vocab(list(specials) + sorted(symbols))
+        self._cache: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def _encode_word(self, word: str) -> List[str]:
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        symbols = list(_word_symbols(word))
+        while len(symbols) > 1:
+            best_rank = None
+            best_index = -1
+            for i in range(len(symbols) - 1):
+                rank = self._ranks.get((symbols[i], symbols[i + 1]))
+                if rank is not None and (best_rank is None or rank < best_rank):
+                    best_rank = rank
+                    best_index = i
+            if best_rank is None:
+                break
+            symbols[best_index:best_index + 2] = [
+                symbols[best_index] + symbols[best_index + 1]]
+        self._cache[word] = symbols
+        return symbols
+
+    def _tokenize(self, text: str) -> List[str]:
+        tokens: List[str] = []
+        for word in text.split():
+            if is_special(word):
+                tokens.append(word)
+            else:
+                tokens.extend(self._encode_word(word))
+        return tokens
+
+    def _detokenize(self, tokens: List[str]) -> str:
+        pieces: List[str] = []
+        word = ""
+        for token in tokens:
+            if is_special(token):
+                if word:
+                    pieces.append(word)
+                    word = ""
+                pieces.append(token)
+            elif token.endswith(_END):
+                pieces.append(word + token[:-len(_END)])
+                word = ""
+            else:
+                word += token
+        if word:
+            pieces.append(word)
+        return " ".join(pieces)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _extra_state(self) -> dict:
+        return {"merges": [list(pair) for pair in self.merges]}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self.merges = [tuple(pair) for pair in state.get("merges", [])]
+        self._ranks = {pair: rank for rank, pair in enumerate(self.merges)}
+        self._cache = {}

@@ -1,0 +1,60 @@
+"""Character-level tokenizer (the paper's char-LSTM input, Sec. IV-A).
+
+Two modes:
+
+* faithful (default): every character is a token, including inside
+  ``<RECIPE_START>`` tags — exactly what a raw char-LSTM sees.  This
+  is deliberately the weakest representation (the model must learn to
+  spell the tags), matching the paper's finding that the char-level
+  LSTM scores lowest.
+* ``atomic_specials=True``: ``<...>`` tokens stay whole, everything
+  else is split per character — used by the E7 tokenization ablation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+from .base import Tokenizer
+from .special import is_special
+
+_SPECIAL_SPLIT = re.compile(r"(<[^<>\s]+>)")
+
+
+class CharTokenizer(Tokenizer):
+    kind = "char"
+
+    def __init__(self, corpus: Iterable[str], atomic_specials: bool = False) -> None:
+        super().__init__()
+        self.atomic_specials = atomic_specials
+        symbols: dict = {}
+        for text in corpus:
+            for token in self._split(text):
+                symbols.setdefault(token, None)
+        self._build_vocab(sorted(symbols))
+
+    def _split(self, text: str) -> List[str]:
+        if not self.atomic_specials:
+            return list(text)
+        tokens: List[str] = []
+        for part in _SPECIAL_SPLIT.split(text):
+            if not part:
+                continue
+            if is_special(part):
+                tokens.append(part)
+            else:
+                tokens.extend(part)
+        return tokens
+
+    def _tokenize(self, text: str) -> List[str]:
+        return self._split(text)
+
+    def _detokenize(self, tokens: List[str]) -> str:
+        return "".join(tokens)
+
+    def _extra_state(self) -> dict:
+        return {"atomic_specials": self.atomic_specials}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self.atomic_specials = bool(state.get("atomic_specials", False))

@@ -1,0 +1,34 @@
+"""Shared special-token registry.
+
+All three tokenizers (char, word, BPE) must agree on the control
+tokens: padding/BOS/EOS/UNK plus the recipe structure tags from
+:mod:`repro.preprocess.formatting`.  This module is the single source
+of truth for that list and its canonical ordering (control tokens
+first, so ``pad_id == 0`` everywhere).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..preprocess.formatting import STRUCTURE_TOKENS
+
+PAD = "<PAD>"
+BOS = "<BOS>"
+EOS = "<EOS>"
+UNK = "<UNK>"
+
+CONTROL_TOKENS: List[str] = [PAD, BOS, EOS, UNK]
+
+
+def special_tokens(include_structure: bool = True) -> List[str]:
+    """Canonical special-token list: controls, then structure tags."""
+    tokens = list(CONTROL_TOKENS)
+    if include_structure:
+        tokens.extend(STRUCTURE_TOKENS)
+    return tokens
+
+
+def is_special(token: str) -> bool:
+    """True for any ``<...>`` token (controls, structure, number tokens)."""
+    return token.startswith("<") and token.endswith(">") and len(token) > 2

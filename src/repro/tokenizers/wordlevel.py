@@ -1,0 +1,54 @@
+"""Word-level tokenizer (the paper's word-LSTM input, Sec. IV-A).
+
+Tokens are whitespace-separated units of the tagged training format;
+structure tags and ``<QTY_*>``/``<NUM_*>`` number tokens are single
+vocabulary items by construction.  Punctuation in the corpus is
+already space-separated by the generator/normalizer, so no further
+splitting is needed.  Rare words below ``min_freq`` fall back to UNK.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List
+
+from .base import Tokenizer
+from .special import is_special
+
+
+class WordTokenizer(Tokenizer):
+    kind = "word"
+
+    def __init__(self, corpus: Iterable[str], min_freq: int = 1,
+                 max_vocab: int = 0) -> None:
+        """Build the vocabulary from ``corpus``.
+
+        Parameters
+        ----------
+        min_freq:
+            Words rarer than this map to UNK.
+        max_vocab:
+            If positive, keep only the most frequent ``max_vocab``
+            non-special words (specials are always kept).
+        """
+        super().__init__()
+        counts: Counter = Counter()
+        specials: dict = {}
+        for text in corpus:
+            for token in text.split():
+                if is_special(token):
+                    specials.setdefault(token, None)
+                else:
+                    counts[token] += 1
+        words = [word for word, freq in counts.most_common() if freq >= min_freq]
+        if max_vocab > 0:
+            words = words[:max_vocab]
+        # Specials first (stable ids across min_freq settings), then
+        # frequency-ordered words.
+        self._build_vocab(list(specials) + words)
+
+    def _tokenize(self, text: str) -> List[str]:
+        return text.split()
+
+    def _detokenize(self, tokens: List[str]) -> str:
+        return " ".join(tokens)

@@ -1,0 +1,106 @@
+"""Trainer callbacks: logging and early stopping.
+
+Callbacks observe training through two hooks; the trainer calls them
+with a read-only view of its progress.  They are deliberately simple —
+enough to reproduce the paper's training runs and to test hook
+ordering — not a framework.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional, TextIO
+
+
+class Callback:
+    """Base callback; override any subset of the hooks."""
+
+    def on_step(self, step: int, loss: float, lr: float) -> None:
+        pass
+
+    def on_eval(self, step: int, val_loss: float) -> None:
+        pass
+
+
+class LossLogger(Callback):
+    """Print progress every ``every`` steps; keeps the loss history."""
+
+    def __init__(self, every: int = 50, stream: Optional[TextIO] = None) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = every
+        self.stream = stream or sys.stderr
+        self.history: List[tuple] = []
+        self._start = time.perf_counter()
+
+    def on_step(self, step: int, loss: float, lr: float) -> None:
+        self.history.append((step, loss))
+        if step % self.every == 0:
+            elapsed = time.perf_counter() - self._start
+            print(f"step {step:5d}  loss {loss:7.4f}  lr {lr:.2e}  "
+                  f"{elapsed:6.1f}s", file=self.stream)
+
+    def on_eval(self, step: int, val_loss: float) -> None:
+        print(f"step {step:5d}  val_loss {val_loss:7.4f}", file=self.stream)
+
+
+class CheckpointCallback(Callback):
+    """Periodically persist the model during training.
+
+    The paper's Colab sessions "crashed after every 5 to 7 epochs"
+    (Sec. VII) — periodic checkpointing is the standard mitigation.
+    Writes ``<directory>/step-<n>/`` checkpoints every ``every`` steps
+    and, when ``keep_best`` is set, ``<directory>/best/`` whenever the
+    validation loss improves.
+    """
+
+    def __init__(self, model, tokenizer, directory, every: int = 200,
+                 keep_best: bool = True) -> None:
+        from pathlib import Path
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.model = model
+        self.tokenizer = tokenizer
+        self.directory = Path(directory)
+        self.every = every
+        self.keep_best = keep_best
+        self.best_val: Optional[float] = None
+        self.saved: List[str] = []
+
+    def _save(self, name: str) -> None:
+        from ..core.checkpoints import save_checkpoint
+        save_checkpoint(self.model, self.tokenizer, self.directory / name)
+        self.saved.append(name)
+
+    def on_step(self, step: int, loss: float, lr: float) -> None:
+        if step % self.every == 0:
+            self._save(f"step-{step}")
+
+    def on_eval(self, step: int, val_loss: float) -> None:
+        if self.keep_best and (self.best_val is None
+                               or val_loss < self.best_val):
+            self.best_val = val_loss
+            self._save("best")
+
+
+class EarlyStopping(Callback):
+    """Request a stop after ``patience`` evals without improvement."""
+
+    def __init__(self, patience: int = 3, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best: Optional[float] = None
+        self.bad_evals = 0
+        self.should_stop = False
+
+    def on_eval(self, step: int, val_loss: float) -> None:
+        if self.best is None or val_loss < self.best - self.min_delta:
+            self.best = val_loss
+            self.bad_evals = 0
+        else:
+            self.bad_evals += 1
+            if self.bad_evals >= self.patience:
+                self.should_stop = True

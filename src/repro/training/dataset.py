@@ -1,0 +1,99 @@
+"""Language-model dataset: packed token stream + window batching.
+
+The paper packs recipes into "one long string with all the recipes"
+(Sec. IV-B) and trains on fixed-length windows.  That is what this
+module does: tokenize every recipe text, join them with EOS, and serve
+``(inputs, targets)`` windows where targets are inputs shifted by one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..tokenizers import Tokenizer
+
+
+class LMDataset:
+    """A packed next-token-prediction dataset.
+
+    Parameters
+    ----------
+    texts:
+        Preprocessed recipe strings.
+    tokenizer:
+        Any :class:`~repro.tokenizers.Tokenizer`.
+    seq_len:
+        Window length; each batch row is ``seq_len`` inputs and
+        ``seq_len`` shifted targets.
+    """
+
+    def __init__(self, texts: Sequence[str], tokenizer: Tokenizer,
+                 seq_len: int = 128) -> None:
+        if seq_len < 2:
+            raise ValueError("seq_len must be >= 2")
+        if not texts:
+            raise ValueError("texts must be non-empty")
+        self.tokenizer = tokenizer
+        self.seq_len = seq_len
+        ids: List[int] = []
+        for text in texts:
+            ids.extend(tokenizer.encode(text, add_eos=True))
+        if len(ids) < seq_len + 1:
+            raise ValueError(
+                f"corpus has only {len(ids)} tokens; need > seq_len={seq_len}")
+        self.stream = np.asarray(ids, dtype=np.int64)
+
+    def __len__(self) -> int:
+        """Number of non-overlapping windows available."""
+        return (len(self.stream) - 1) // self.seq_len
+
+    @property
+    def num_tokens(self) -> int:
+        return int(self.stream.size)
+
+    def window(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``index``-th non-overlapping (inputs, targets) window."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"window {index} out of range [0, {len(self)})")
+        start = index * self.seq_len
+        chunk = self.stream[start:start + self.seq_len + 1]
+        return chunk[:-1], chunk[1:]
+
+    def batches(self, batch_size: int, rng: np.random.Generator,
+                drop_last: bool = True) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """One epoch of shuffled window batches.
+
+        Yields ``(inputs, targets)`` arrays shaped
+        ``(batch_size, seq_len)``.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        order = rng.permutation(len(self))
+        for start in range(0, len(order), batch_size):
+            chosen = order[start:start + batch_size]
+            if drop_last and len(chosen) < batch_size:
+                break
+            pairs = [self.window(i) for i in chosen]
+            inputs = np.stack([p[0] for p in pairs])
+            targets = np.stack([p[1] for p in pairs])
+            yield inputs, targets
+
+
+def train_val_split(texts: Sequence[str], val_fraction: float = 0.1,
+                    seed: int = 0) -> Tuple[List[str], List[str]]:
+    """Shuffle and split texts into (train, validation) lists."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    texts = list(texts)
+    if len(texts) < 2:
+        raise ValueError("need at least 2 texts to split")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(texts))
+    num_val = max(1, int(round(len(texts) * val_fraction)))
+    num_val = min(num_val, len(texts) - 1)
+    val_idx = set(order[:num_val].tolist())
+    train = [texts[i] for i in range(len(texts)) if i not in val_idx]
+    val = [texts[i] for i in range(len(texts)) if i in val_idx]
+    return train, val

@@ -1,0 +1,135 @@
+"""Experiment runner: config sweeps with collected, renderable results.
+
+The benchmarks each hand-roll a small sweep (models × budgets,
+decoders × metrics).  This module factors that pattern into reusable
+infrastructure: declare a grid of configurations, run a train/eval
+function per point, and collect results into a sortable, markdown-
+renderable table — the minimum a reproducible-experiments repo needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A cartesian parameter grid.
+
+    >>> list(Grid({"lr": [1, 2], "model": ["a"]}))
+    [{'lr': 1, 'model': 'a'}, {'lr': 2, 'model': 'a'}]
+    """
+
+    axes: Mapping[str, Sequence[Any]]
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ValueError("grid needs at least one axis")
+        for name, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        names = list(self.axes)
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            yield dict(zip(names, combo))
+
+
+@dataclass
+class RunRecord:
+    """One grid point's outcome."""
+
+    params: Dict[str, Any]
+    metrics: Dict[str, float] = field(default_factory=dict)
+    seconds: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class ExperimentResult:
+    """All runs of one experiment."""
+
+    name: str
+    records: List[RunRecord] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> List[RunRecord]:
+        return [r for r in self.records if r.ok]
+
+    def best(self, metric: str, maximize: bool = True) -> RunRecord:
+        """The run with the best value of ``metric``."""
+        candidates = [r for r in self.succeeded if metric in r.metrics]
+        if not candidates:
+            raise ValueError(f"no successful run recorded metric {metric!r}")
+        key = lambda r: r.metrics[metric]  # noqa: E731
+        return max(candidates, key=key) if maximize else min(candidates, key=key)
+
+    def to_markdown(self, metrics: Optional[Sequence[str]] = None) -> str:
+        """Render all runs as a GitHub-flavored markdown table."""
+        if not self.records:
+            return f"## {self.name}\n\n(no runs)"
+        param_names = sorted({k for r in self.records for k in r.params})
+        if metrics is None:
+            metrics = sorted({k for r in self.records for k in r.metrics})
+        header = param_names + list(metrics) + ["seconds", "status"]
+        lines = [f"## {self.name}", "",
+                 "| " + " | ".join(header) + " |",
+                 "|" + "|".join("---" for _ in header) + "|"]
+        for record in self.records:
+            cells = [str(record.params.get(p, "")) for p in param_names]
+            for metric in metrics:
+                value = record.metrics.get(metric)
+                cells.append(f"{value:.4g}" if value is not None else "")
+            cells.append(f"{record.seconds:.1f}")
+            cells.append("ok" if record.ok else f"error: {record.error}")
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+
+RunFn = Callable[[Dict[str, Any]], Dict[str, float]]
+
+
+def run_experiment(name: str, grid: Grid, run_fn: RunFn,
+                   on_result: Optional[Callable[[RunRecord], None]] = None,
+                   continue_on_error: bool = True) -> ExperimentResult:
+    """Execute ``run_fn`` for every grid point.
+
+    ``run_fn`` receives the parameter dict and returns a metric dict.
+    Exceptions are captured per-run (the sweep continues) unless
+    ``continue_on_error`` is False.
+    """
+    result = ExperimentResult(name=name)
+    for params in grid:
+        record = RunRecord(params=dict(params))
+        start = time.perf_counter()
+        try:
+            metrics = run_fn(params)
+            if not isinstance(metrics, dict):
+                raise TypeError("run_fn must return a dict of metrics")
+            record.metrics = {k: float(v) for k, v in metrics.items()}
+        except Exception as exc:  # noqa: BLE001 - sweeps must survive
+            record.error = f"{type(exc).__name__}: {exc}"
+            if not continue_on_error:
+                record.seconds = time.perf_counter() - start
+                result.records.append(record)
+                raise
+            traceback.format_exc()  # keep the trace constructible
+        record.seconds = time.perf_counter() - start
+        result.records.append(record)
+        if on_result is not None:
+            on_result(record)
+    return result

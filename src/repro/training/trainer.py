@@ -1,0 +1,162 @@
+"""The training loop: AdamW + warmup schedule + clipping + eval.
+
+Drives any :class:`~repro.models.base.LanguageModel` over an
+:class:`~repro.training.dataset.LMDataset`.  Mirrors the fine-tuning
+recipe the paper inherited from HuggingFace: AdamW, linear warmup,
+gradient clipping at 1.0, periodic validation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..models.base import LanguageModel
+from ..nn import AdamW, clip_grad_norm, no_grad
+from ..nn import functional as F
+from ..nn.schedule import schedule_from_name
+from .callbacks import Callback, EarlyStopping
+from .dataset import LMDataset
+
+
+@dataclass
+class TrainingConfig:
+    """Hyperparameters for one training run."""
+
+    max_steps: int = 500
+    batch_size: int = 8
+    learning_rate: float = 3e-3
+    weight_decay: float = 0.01
+    grad_clip: float = 1.0
+    schedule: str = "cosine"
+    warmup_steps: int = 50
+    eval_every: int = 100
+    eval_batches: int = 8
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be > 0")
+        if self.eval_every < 1:
+            raise ValueError("eval_every must be >= 1")
+
+
+@dataclass
+class TrainingResult:
+    """What a run produced: loss curves and throughput."""
+
+    steps: int
+    train_losses: List[float] = field(default_factory=list)
+    val_losses: List[float] = field(default_factory=list)
+    tokens_seen: int = 0
+    wall_seconds: float = 0.0
+    stopped_early: bool = False
+
+    @property
+    def final_train_loss(self) -> float:
+        return self.train_losses[-1] if self.train_losses else float("nan")
+
+    @property
+    def final_val_loss(self) -> float:
+        return self.val_losses[-1] if self.val_losses else float("nan")
+
+    @property
+    def tokens_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.tokens_seen / self.wall_seconds
+
+
+class Trainer:
+    """Runs the optimization loop for one model."""
+
+    def __init__(self, model: LanguageModel,
+                 config: Optional[TrainingConfig] = None,
+                 callbacks: Sequence[Callback] = ()) -> None:
+        self.model = model
+        self.config = config or TrainingConfig()
+        self.config.validate()
+        self.callbacks = list(callbacks)
+        self.optimizer = AdamW(model.parameters(), lr=self.config.learning_rate,
+                               weight_decay=self.config.weight_decay)
+        self.schedule = schedule_from_name(
+            self.config.schedule, self.config.learning_rate,
+            self.config.warmup_steps, self.config.max_steps)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, dataset: LMDataset,
+                 max_batches: Optional[int] = None) -> float:
+        """Mean token-level cross-entropy on up to ``max_batches``."""
+        self.model.eval()
+        rng = np.random.default_rng(self.config.seed + 7919)
+        losses: List[float] = []
+        limit = max_batches or self.config.eval_batches
+        with no_grad():
+            for index, (inputs, targets) in enumerate(
+                    dataset.batches(self.config.batch_size, rng, drop_last=False)):
+                if index >= limit:
+                    break
+                logits = self.model(inputs)
+                flat = logits.reshape(-1, self.model.vocab_size)
+                loss = F.cross_entropy(flat, targets.reshape(-1))
+                losses.append(loss.item())
+        self.model.train()
+        return float(np.mean(losses)) if losses else float("nan")
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(self, dataset: LMDataset,
+              val_dataset: Optional[LMDataset] = None) -> TrainingResult:
+        config = self.config
+        self.model.train()
+        rng = np.random.default_rng(config.seed)
+        result = TrainingResult(steps=0)
+        start = time.perf_counter()
+        step = 0
+        early_stoppers = [c for c in self.callbacks if isinstance(c, EarlyStopping)]
+
+        while step < config.max_steps:
+            for inputs, targets in dataset.batches(config.batch_size, rng):
+                if step >= config.max_steps:
+                    break
+                lr = self.schedule.apply(self.optimizer, step)
+                self.optimizer.zero_grad()
+                logits = self.model(inputs)
+                flat = logits.reshape(-1, self.model.vocab_size)
+                loss = F.cross_entropy(flat, targets.reshape(-1))
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), config.grad_clip)
+                self.optimizer.step()
+
+                step += 1
+                loss_value = loss.item()
+                result.train_losses.append(loss_value)
+                result.tokens_seen += int(inputs.size)
+                for callback in self.callbacks:
+                    callback.on_step(step, loss_value, lr)
+
+                if val_dataset is not None and step % config.eval_every == 0:
+                    val_loss = self.evaluate(val_dataset)
+                    result.val_losses.append(val_loss)
+                    for callback in self.callbacks:
+                        callback.on_eval(step, val_loss)
+                    if any(stopper.should_stop for stopper in early_stoppers):
+                        result.stopped_early = True
+                        break
+            if result.stopped_early:
+                break
+
+        result.steps = step
+        result.wall_seconds = time.perf_counter() - start
+        self.model.eval()
+        return result

@@ -1,0 +1,25 @@
+"""Web application: micro framework, backend + frontend services.
+
+Reproduces Sec. VI: a decoupled two-service architecture — a JSON
+generation backend (Flask in the paper, :mod:`.framework` here) and a
+static ingredient-picker frontend (ReactJS in the paper) — plus the
+dockerized-deployment config emitter (:mod:`.deploy`).
+"""
+
+from .backend import create_backend
+from .client import ApiError, RatatouilleClient
+from .deploy import (DeploymentConfig, ServiceSpec, render_compose,
+                     render_dockerfile, scale_out, write_deployment)
+from .framework import App, Request, Response, Server
+from .jobs import Job, JobQueue, JobStatus, QueueFullError
+from .middleware import AccessRecord, RateLimiter, RequestLog
+from .frontend import create_frontend, render_page
+
+__all__ = [
+    "ApiError", "App", "DeploymentConfig", "RatatouilleClient", "Request",
+    "Response", "Server", "ServiceSpec", "create_backend", "create_frontend",
+    "AccessRecord", "Job", "JobQueue", "JobStatus", "QueueFullError",
+    "RateLimiter", "RequestLog",
+    "render_compose", "render_dockerfile", "render_page", "scale_out",
+    "write_deployment",
+]

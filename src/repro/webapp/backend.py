@@ -1,0 +1,143 @@
+"""The generation backend microservice (the paper's Flask service).
+
+Endpoints:
+
+* ``GET  /api/health``      — liveness + model info;
+* ``GET  /api/ingredients`` — the catalog the frontend's picker lists;
+* ``POST /api/generate``    — ingredients in, structured recipe out
+  (Figs. 4–5 round trip);
+* ``POST /api/suggest``     — flavor-pairing suggestions for a partial
+  ingredient list (FlavorDB extension);
+* ``POST /api/generate_async`` + ``GET /api/job?id=...`` — queued
+  generation with backpressure (429 when the queue is full), the
+  load-handling story of Sec. VI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.pipeline import Ratatouille
+from ..models import GenerationConfig
+from ..recipedb import IngredientCatalog, PairingGraph, default_catalog
+from .framework import App, Request, Response
+from .jobs import JobQueue, QueueFullError
+
+MAX_INGREDIENTS = 20
+
+
+def _parse_generation_request(payload: dict) -> tuple:
+    """Validate a generation payload; returns (names, config, checklist)."""
+    selected = payload.get("ingredients")
+    if not isinstance(selected, list) or not selected:
+        raise ValueError("'ingredients' must be a non-empty list")
+    if len(selected) > MAX_INGREDIENTS:
+        raise ValueError(f"at most {MAX_INGREDIENTS} ingredients supported")
+    names = [str(name) for name in selected]
+    config = GenerationConfig(
+        max_new_tokens=int(payload.get("max_new_tokens", 220)),
+        temperature=float(payload.get("temperature", 0.8)),
+        top_k=int(payload.get("top_k", 20)),
+        seed=int(payload.get("seed", 0)),
+    )
+    return names, config, bool(payload.get("checklist", False))
+
+
+def _recipe_payload(recipe) -> dict:
+    return {
+        "title": recipe.title,
+        "ingredients": recipe.ingredients,
+        "instructions": recipe.instructions,
+        "is_valid": recipe.is_valid,
+        "ingredient_coverage": recipe.ingredient_coverage,
+        "generation_seconds": recipe.generation_seconds,
+    }
+
+
+def create_backend(pipeline: Ratatouille,
+                   catalog: Optional[IngredientCatalog] = None,
+                   pairing: Optional[PairingGraph] = None,
+                   job_queue: Optional[JobQueue] = None) -> App:
+    """Build the backend :class:`~repro.webapp.framework.App`."""
+    catalog = catalog or default_catalog()
+    jobs = job_queue or JobQueue(workers=1, max_pending=16)
+    app = App(name="ratatouille-backend")
+
+    @app.route("/api/health")
+    def health(request: Request) -> Response:
+        return Response.json({
+            "status": "ok",
+            "model": type(pipeline.model).__name__,
+            "parameters": pipeline.model.num_parameters(),
+            "vocab_size": pipeline.tokenizer.vocab_size,
+        })
+
+    @app.route("/api/ingredients")
+    def ingredients(request: Request) -> Response:
+        category = request.query.get("category", [None])[0]
+        if category:
+            items = catalog.by_category(category)
+        else:
+            items = catalog.all()
+        limit = int(request.query.get("limit", ["100"])[0])
+        return Response.json({
+            "ingredients": [
+                {"name": item.name, "category": item.category}
+                for item in items[:limit]
+            ],
+            "total": len(items),
+        })
+
+    @app.route("/api/generate", methods=("POST",))
+    def generate_recipe(request: Request) -> Response:
+        names, config, checklist = _parse_generation_request(request.json())
+        recipe = pipeline.generate(names, generation=config,
+                                   checklist=checklist)
+        return Response.json(_recipe_payload(recipe))
+
+    @app.route("/api/generate_async", methods=("POST",))
+    def generate_async(request: Request) -> Response:
+        names, config, checklist = _parse_generation_request(request.json())
+
+        def work():
+            recipe = pipeline.generate(names, generation=config,
+                                       checklist=checklist)
+            return _recipe_payload(recipe)
+
+        try:
+            job_id = jobs.submit(work)
+        except QueueFullError as exc:
+            return Response.error(str(exc), status=429)
+        return Response.json({"job_id": job_id, "status": "pending"},
+                             status=202)
+
+    @app.route("/api/job")
+    def job_status(request: Request) -> Response:
+        job_id = request.query.get("id", [None])[0]
+        if not job_id:
+            return Response.error("missing 'id' query parameter")
+        try:
+            job = jobs.get(job_id)
+        except KeyError:
+            return Response.error(f"unknown job {job_id}", status=404)
+        return Response.json(job.snapshot())
+
+    @app.route("/api/suggest", methods=("POST",))
+    def suggest(request: Request) -> Response:
+        nonlocal pairing
+        payload = request.json()
+        selected = payload.get("ingredients")
+        if not isinstance(selected, list) or not selected:
+            return Response.error("'ingredients' must be a non-empty list")
+        if pairing is None:
+            pairing = PairingGraph(catalog)
+        suggestions = pairing.suggest([str(s) for s in selected],
+                                      limit=int(payload.get("limit", 5)))
+        return Response.json({
+            "suggestions": [
+                {"name": name, "score": round(score, 4)}
+                for name, score in suggestions
+            ],
+        })
+
+    return app

@@ -1,0 +1,71 @@
+"""HTTP client for the Ratatouille services (stdlib ``urllib``).
+
+Used by the integration tests, the web-app benchmark (E6) and the
+web-app example to exercise the services exactly as a browser would.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+from urllib.error import HTTPError
+from urllib.request import Request as UrlRequest
+from urllib.request import urlopen
+
+
+class ApiError(RuntimeError):
+    """Raised when the service returns an error payload."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class RatatouilleClient:
+    """Thin JSON client bound to one backend base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = UrlRequest(url, data=data, headers=headers, method=method)
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                body = response.read().decode("utf-8")
+                return json.loads(body) if body else None
+        except HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:  # noqa: BLE001 - best-effort error detail
+                detail = exc.reason
+            raise ApiError(exc.code, detail) from exc
+
+    # ------------------------------------------------------------------
+    # Backend API
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/api/health")
+
+    def ingredients(self, category: Optional[str] = None,
+                    limit: int = 100) -> List[Dict[str, str]]:
+        path = f"/api/ingredients?limit={limit}"
+        if category:
+            path += f"&category={category}"
+        return self._request("GET", path)["ingredients"]
+
+    def generate(self, ingredients: List[str], **options) -> Dict[str, Any]:
+        payload = {"ingredients": ingredients, **options}
+        return self._request("POST", "/api/generate", payload)
+
+    def suggest(self, ingredients: List[str], limit: int = 5) -> List[Dict]:
+        payload = {"ingredients": ingredients, "limit": limit}
+        return self._request("POST", "/api/suggest", payload)["suggestions"]

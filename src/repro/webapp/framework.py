@@ -1,0 +1,194 @@
+"""Micro web framework on the standard library (the Flask substitute).
+
+The paper's backend is Flask; offline we build the equivalent from
+``http.server``: decorator-based routing, JSON request/response
+helpers, CORS headers (the frontend is served from a different port —
+the paper's "completely decoupled" microservice split), and a
+threaded server that runs in-process for tests and examples.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+Handler = Callable[["Request"], "Response"]
+
+
+@dataclass
+class Request:
+    """A parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, list]
+    headers: Dict[str, str]
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """Parse the body as JSON; raises ``ValueError`` on bad input."""
+        if not self.body:
+            raise ValueError("empty request body")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON body: {exc}") from exc
+
+
+@dataclass
+class Response:
+    """An HTTP response; use the class helpers to construct one."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200) -> "Response":
+        return cls(status=status,
+                   body=json.dumps(payload, ensure_ascii=False).encode("utf-8"))
+
+    @classmethod
+    def text(cls, text: str, status: int = 200,
+             content_type: str = "text/plain; charset=utf-8") -> "Response":
+        return cls(status=status, body=text.encode("utf-8"),
+                   content_type=content_type)
+
+    @classmethod
+    def html(cls, markup: str, status: int = 200) -> "Response":
+        return cls.text(markup, status=status,
+                        content_type="text/html; charset=utf-8")
+
+    @classmethod
+    def error(cls, message: str, status: int = 400) -> "Response":
+        return cls.json({"error": message}, status=status)
+
+
+class App:
+    """Route table + request dispatch (the Flask-like object)."""
+
+    def __init__(self, name: str = "app") -> None:
+        self.name = name
+        self._routes: Dict[Tuple[str, str], Handler] = {}
+
+    def route(self, path: str, methods: Tuple[str, ...] = ("GET",)):
+        """Decorator registering a handler for ``path``."""
+        def decorator(handler: Handler) -> Handler:
+            for method in methods:
+                key = (method.upper(), path)
+                if key in self._routes:
+                    raise ValueError(f"duplicate route {method} {path}")
+                self._routes[key] = handler
+            return handler
+        return decorator
+
+    def dispatch(self, request: Request) -> Response:
+        """Resolve and invoke the handler; errors become JSON responses."""
+        handler = self._routes.get((request.method, request.path))
+        if handler is None:
+            if any(path == request.path for _, path in self._routes):
+                return Response.error("method not allowed", status=405)
+            return Response.error(f"no route for {request.path}", status=404)
+        try:
+            return handler(request)
+        except ValueError as exc:
+            return Response.error(str(exc), status=400)
+        except Exception as exc:  # noqa: BLE001 - a server must not die
+            return Response.error(f"internal error: {exc}", status=500)
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Bridges ``http.server`` to :class:`App` dispatch."""
+
+    app: App  # injected by Server
+
+    def _handle(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        body = self.rfile.read(length) if length else b""
+        request = Request(
+            method=method,
+            path=parsed.path,
+            query=parse_qs(parsed.query),
+            headers={k.lower(): v for k, v in self.headers.items()},
+            body=body,
+        )
+        response = self.app.dispatch(request)
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        # CORS: the decoupled frontend lives on another origin.
+        self.send_header("Access-Control-Allow-Origin", "*")
+        self.send_header("Access-Control-Allow-Headers", "Content-Type")
+        self.send_header("Access-Control-Allow-Methods", "GET, POST, OPTIONS")
+        for key, value in response.headers.items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def do_OPTIONS(self) -> None:  # noqa: N802 - CORS preflight
+        self.send_response(204)
+        self.send_header("Access-Control-Allow-Origin", "*")
+        self.send_header("Access-Control-Allow-Headers", "Content-Type")
+        self.send_header("Access-Control-Allow-Methods", "GET, POST, OPTIONS")
+        self.end_headers()
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep tests and benchmarks quiet
+
+
+class Server:
+    """A threaded HTTP server hosting one :class:`App`.
+
+    ``port=0`` picks a free port (use :attr:`port` after start).
+    """
+
+    def __init__(self, app: App, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.app = app
+        handler = type(f"{app.name}Handler", (_RequestHandler,), {"app": app})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "Server":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

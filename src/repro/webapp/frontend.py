@@ -1,0 +1,93 @@
+"""The frontend microservice: the ingredient-picker page (Fig. 4).
+
+The paper's frontend is a ReactJS bundle served separately from the
+Flask backend.  We reproduce the architecture — a *static* service on
+its own port that talks to the backend purely over its JSON API — with
+a self-contained HTML page (vanilla JS standing in for React).
+"""
+
+from __future__ import annotations
+
+from .framework import App, Request, Response
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Ratatouille — Novel Recipe Generation</title>
+<style>
+  body {{ font-family: sans-serif; max-width: 760px; margin: 2rem auto; }}
+  h1 {{ color: #c0392b; }}
+  #ingredients button {{ margin: 2px; }}
+  #selected {{ min-height: 2rem; border: 1px dashed #aaa; padding: .5rem; }}
+  #recipe {{ white-space: pre-wrap; background: #f8f8f8; padding: 1rem; }}
+</style>
+</head>
+<body>
+<h1>Ratatouille</h1>
+<p>Pick ingredients, then generate a novel recipe.</p>
+<div id="selected"></div>
+<div id="ingredients">loading ingredient catalog…</div>
+<button id="generate">Generate recipe</button>
+<div id="recipe"></div>
+<script>
+const BACKEND = "{backend_url}";
+const selected = [];
+function renderSelected() {{
+  document.getElementById("selected").textContent =
+    selected.length ? selected.join(", ") : "(nothing selected)";
+}}
+fetch(BACKEND + "/api/ingredients?limit=60")
+  .then(r => r.json())
+  .then(data => {{
+    const box = document.getElementById("ingredients");
+    box.textContent = "";
+    data.ingredients.forEach(item => {{
+      const b = document.createElement("button");
+      b.textContent = item.name;
+      b.onclick = () => {{ selected.push(item.name); renderSelected(); }};
+      box.appendChild(b);
+    }});
+  }});
+document.getElementById("generate").onclick = () => {{
+  fetch(BACKEND + "/api/generate", {{
+    method: "POST",
+    headers: {{"Content-Type": "application/json"}},
+    body: JSON.stringify({{ingredients: selected}}),
+  }})
+    .then(r => r.json())
+    .then(data => {{
+      const out = document.getElementById("recipe");
+      if (data.error) {{ out.textContent = "Error: " + data.error; return; }}
+      out.textContent = data.title + "\\n\\nIngredients:\\n" +
+        data.ingredients.map(i => "  - " + i).join("\\n") +
+        "\\n\\nInstructions:\\n" +
+        data.instructions.map((s, n) => "  " + (n + 1) + ". " + s).join("\\n");
+    }});
+}};
+renderSelected();
+</script>
+</body>
+</html>
+"""
+
+
+def render_page(backend_url: str) -> str:
+    """The ingredient-picker page wired to ``backend_url``."""
+    return _PAGE_TEMPLATE.format(backend_url=backend_url.rstrip("/"))
+
+
+def create_frontend(backend_url: str) -> App:
+    """Build the static frontend :class:`~repro.webapp.framework.App`."""
+    app = App(name="ratatouille-frontend")
+    page = render_page(backend_url)
+
+    @app.route("/")
+    def index(request: Request) -> Response:
+        return Response.html(page)
+
+    @app.route("/health")
+    def health(request: Request) -> Response:
+        return Response.json({"status": "ok", "backend": backend_url})
+
+    return app

@@ -1,0 +1,167 @@
+"""Background job queue for asynchronous generation.
+
+Sec. VI motivates the decoupled backend with load: "To handle more
+user requests and prevents breakage of application".  Synchronous
+generation holds an HTTP worker for the full decode; this module adds
+the standard fix — a bounded job queue with worker threads — which the
+backend exposes as ``POST /api/generate_async`` + ``GET /api/job``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, Optional
+
+
+class JobStatus(str, Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One queued unit of work and its lifecycle."""
+
+    job_id: str
+    func: Callable[[], Any]
+    status: JobStatus = JobStatus.PENDING
+    result: Any = None
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON view of the job (result included once done)."""
+        payload: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "status": self.status.value,
+        }
+        if self.status is JobStatus.DONE:
+            payload["result"] = self.result
+        if self.status is JobStatus.FAILED:
+            payload["error"] = self.error
+        if self.started_at and self.finished_at:
+            payload["seconds"] = round(self.finished_at - self.started_at, 3)
+        return payload
+
+
+class JobQueue:
+    """A bounded FIFO queue drained by daemon worker threads.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker threads (1 is the right choice for CPU-bound
+        generation on one core; more only helps with I/O).
+    max_pending:
+        Submissions beyond this raise :class:`QueueFullError` — the
+        backpressure signal the HTTP layer turns into a 429.
+    """
+
+    def __init__(self, workers: int = 1, max_pending: int = 16) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self._queue: "queue.Queue[Job]" = queue.Queue(maxsize=max_pending)
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"jobqueue-worker-{i}")
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, func: Callable[[], Any]) -> str:
+        """Queue ``func``; returns the job id.
+
+        Raises
+        ------
+        QueueFullError
+            When ``max_pending`` jobs are already waiting.
+        RuntimeError
+            After :meth:`shutdown`.
+        """
+        if self._shutdown:
+            raise RuntimeError("queue is shut down")
+        job = Job(job_id=uuid.uuid4().hex[:12], func=func)
+        with self._lock:
+            self._jobs[job.job_id] = job
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                del self._jobs[job.job_id]
+            raise QueueFullError(
+                f"job queue full ({self._queue.maxsize} pending)") from None
+        return job.job_id
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll: float = 0.02) -> Job:
+        """Block until the job finishes (or ``timeout`` seconds pass)."""
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            job = self.get(job_id)
+            if job.status in (JobStatus.DONE, JobStatus.FAILED):
+                return job
+            time.sleep(poll)
+        raise TimeoutError(f"job {job_id} still {self.get(job_id).status.value} "
+                           f"after {timeout}s")
+
+    @property
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+    def shutdown(self) -> None:
+        """Stop accepting work; workers exit after draining sentinels."""
+        self._shutdown = True
+        for _ in self._threads:
+            try:
+                self._queue.put_nowait(None)  # type: ignore[arg-type]
+            except queue.Full:
+                break
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.status = JobStatus.RUNNING
+            job.started_at = time.time()
+            try:
+                job.result = job.func()
+                job.status = JobStatus.DONE
+            except Exception as exc:  # noqa: BLE001 - job errors are data
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.status = JobStatus.FAILED
+            finally:
+                job.finished_at = time.time()
+                self._queue.task_done()
+
+
+class QueueFullError(RuntimeError):
+    """Raised when the queue is at capacity (HTTP layer: 429)."""

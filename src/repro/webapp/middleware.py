@@ -1,0 +1,124 @@
+"""Framework middleware: request logging and rate limiting.
+
+The paper's scaling story ("if load increase ... replicate the
+docker") needs per-service observability and protection; this module
+adds both as composable wrappers around an :class:`~.framework.App`:
+
+* :class:`RequestLog` — in-memory structured access log with latency
+  percentiles (what you'd ship to a metrics backend);
+* :class:`RateLimiter` — token-bucket limiting per client, returning
+  429 when a client exceeds its budget.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .framework import App, Request, Response
+
+
+@dataclass
+class AccessRecord:
+    """One handled request."""
+
+    method: str
+    path: str
+    status: int
+    seconds: float
+    timestamp: float = field(default_factory=time.time)
+
+
+class RequestLog:
+    """Wraps an app; records every dispatch with latency."""
+
+    def __init__(self, app: App, capacity: int = 1000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.app = app
+        self.capacity = capacity
+        self._records: List[AccessRecord] = []
+        self._lock = threading.Lock()
+        self._inner_dispatch = app.dispatch
+        app.dispatch = self._dispatch  # type: ignore[method-assign]
+
+    def _dispatch(self, request: Request) -> Response:
+        start = time.perf_counter()
+        response = self._inner_dispatch(request)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._records.append(AccessRecord(
+                method=request.method, path=request.path,
+                status=response.status, seconds=elapsed))
+            if len(self._records) > self.capacity:
+                del self._records[:len(self._records) - self.capacity]
+        return response
+
+    @property
+    def records(self) -> List[AccessRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-path request counts and latency percentiles."""
+        by_path: Dict[str, List[float]] = {}
+        errors: Dict[str, int] = {}
+        for record in self.records:
+            by_path.setdefault(record.path, []).append(record.seconds)
+            if record.status >= 400:
+                errors[record.path] = errors.get(record.path, 0) + 1
+        summary: Dict[str, Dict[str, float]] = {}
+        for path, latencies in by_path.items():
+            arr = np.asarray(latencies)
+            summary[path] = {
+                "count": float(arr.size),
+                "p50_ms": float(np.percentile(arr, 50) * 1000),
+                "p95_ms": float(np.percentile(arr, 95) * 1000),
+                "errors": float(errors.get(path, 0)),
+            }
+        return summary
+
+
+class RateLimiter:
+    """Token-bucket rate limiting keyed by a client-id header.
+
+    Each client gets ``burst`` tokens refilled at ``rate`` tokens per
+    second; a request with no tokens left is answered 429 without ever
+    reaching the handlers.
+    """
+
+    CLIENT_HEADER = "x-client-id"
+
+    def __init__(self, app: App, rate: float = 5.0, burst: int = 10,
+                 clock: Optional[callable] = None) -> None:
+        if rate <= 0 or burst < 1:
+            raise ValueError("rate must be > 0 and burst >= 1")
+        self.app = app
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock or time.monotonic
+        self._buckets: Dict[str, tuple] = {}  # client -> (tokens, stamp)
+        self._lock = threading.Lock()
+        self._inner_dispatch = app.dispatch
+        app.dispatch = self._dispatch  # type: ignore[method-assign]
+
+    def _take_token(self, client: str) -> bool:
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.get(client, (float(self.burst), now))
+            tokens = min(self.burst, tokens + (now - stamp) * self.rate)
+            if tokens < 1.0:
+                self._buckets[client] = (tokens, now)
+                return False
+            self._buckets[client] = (tokens - 1.0, now)
+            return True
+
+    def _dispatch(self, request: Request) -> Response:
+        client = request.headers.get(self.CLIENT_HEADER, "anonymous")
+        if not self._take_token(client):
+            return Response.error("rate limit exceeded", status=429)
+        return self._inner_dispatch(request)

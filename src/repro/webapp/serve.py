@@ -1,0 +1,86 @@
+"""Service entry point: ``python -m repro.webapp.serve backend|frontend``.
+
+This is the command the deployment Dockerfiles run.  The backend
+serves a trained checkpoint (or trains a small model on the fly when
+none is given — useful for demos); the frontend serves the picker page
+wired to a backend URL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..core import PipelineConfig, Ratatouille
+from ..training import TrainingConfig
+from .backend import create_backend
+from .framework import Server
+from .frontend import create_frontend
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.webapp.serve",
+        description="Run a Ratatouille microservice.")
+    sub = parser.add_subparsers(dest="service", required=True)
+
+    backend = sub.add_parser("backend", help="the JSON generation API")
+    backend.add_argument("--port", type=int, default=8000,
+                         help="listen port (0 = pick a free one)")
+    backend.add_argument("--host", default="127.0.0.1")
+    backend.add_argument("--checkpoint", default=None,
+                         help="checkpoint directory from Ratatouille.save()")
+    backend.add_argument("--train-recipes", type=int, default=120,
+                         help="corpus size when training on the fly")
+    backend.add_argument("--train-steps", type=int, default=200,
+                         help="training steps when no checkpoint is given")
+
+    frontend = sub.add_parser("frontend", help="the static picker UI")
+    frontend.add_argument("--port", type=int, default=8080)
+    frontend.add_argument("--host", default="127.0.0.1")
+    frontend.add_argument("--backend-url", default="http://127.0.0.1:8000",
+                          help="where the generation API lives")
+    return parser
+
+
+def build_server(argv: List[str]) -> Server:
+    """Construct (but do not block on) the requested service.
+
+    Separated from :func:`main` so tests and embedding code can start
+    and stop the service programmatically.
+    """
+    args = build_parser().parse_args(argv)
+    if args.service == "backend":
+        if args.checkpoint:
+            pipeline = Ratatouille.load(args.checkpoint)
+        else:
+            print(f"no --checkpoint given; training a demo model "
+                  f"({args.train_recipes} recipes, {args.train_steps} steps)",
+                  file=sys.stderr)
+            config = PipelineConfig(
+                model_name="distilgpt2",
+                training=TrainingConfig(max_steps=args.train_steps,
+                                        batch_size=8, eval_every=10**9))
+            pipeline = Ratatouille.quickstart(
+                model_name="distilgpt2", num_recipes=args.train_recipes,
+                seed=0, config=config)
+        app = create_backend(pipeline)
+    else:
+        app = create_frontend(args.backend_url)
+    return Server(app, host=args.host, port=args.port)
+
+
+def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
+    server = build_server(argv if argv is not None else sys.argv[1:])
+    server.start()
+    print(f"serving on {server.url} — Ctrl+C to stop", file=sys.stderr)
+    try:
+        import threading
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        server.stop()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

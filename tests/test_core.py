@@ -1,0 +1,151 @@
+"""Unit + integration tests for registry, checkpoints, pipeline (repro.core)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (PipelineConfig, Ratatouille, build_from_config,
+                        get_spec, load_checkpoint, model_names,
+                        save_checkpoint, table1_models)
+from repro.models import GenerationConfig
+from repro.preprocess import preprocess
+from repro.recipedb import generate_corpus
+from repro.training import TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def texts():
+    corpus, _ = preprocess(generate_corpus(40, seed=29))
+    return corpus
+
+
+@pytest.fixture(scope="module")
+def trained(texts):
+    """A small distilgpt2 pipeline trained just enough to be coherent."""
+    config = PipelineConfig(
+        model_name="distilgpt2",
+        training=TrainingConfig(max_steps=40, batch_size=4, warmup_steps=5,
+                                eval_every=20))
+    return Ratatouille.from_texts(texts, config=config)
+
+
+class TestRegistry:
+    def test_table1_models_registered(self):
+        for name in table1_models():
+            spec = get_spec(name)
+            assert spec.display_name
+
+    def test_table1_order_matches_paper(self):
+        assert table1_models() == ["char-lstm", "word-lstm", "distilgpt2",
+                                   "gpt2-medium"]
+
+    def test_paper_bleu_values(self):
+        assert get_spec("char-lstm").paper_bleu == 0.347
+        assert get_spec("word-lstm").paper_bleu == 0.412
+        assert get_spec("distilgpt2").paper_bleu == 0.442
+        assert get_spec("gpt2-medium").paper_bleu == 0.806
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("gpt5")
+
+    def test_model_names_includes_future_work(self):
+        assert "gpt-neo" in model_names()
+
+    def test_build_from_config_unknown_type(self):
+        with pytest.raises(ValueError):
+            build_from_config({"model_type": "rnn", "vocab_size": 10})
+
+    def test_specs_build_working_models(self, texts):
+        for name in model_names():
+            spec = get_spec(name)
+            tokenizer = spec.build_tokenizer(texts[:10])
+            model = spec.build_model(tokenizer.vocab_size, 0)
+            assert model.vocab_size == tokenizer.vocab_size
+
+
+class TestCheckpoints:
+    def test_roundtrip_bitexact(self, trained, tmp_path):
+        directory = tmp_path / "ckpt"
+        save_checkpoint(trained.model, trained.tokenizer, directory)
+        model, tokenizer = load_checkpoint(directory)
+        for (na, pa), (nb, pb) in zip(trained.model.named_parameters(),
+                                      model.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+        assert tokenizer.vocab_size == trained.tokenizer.vocab_size
+
+    def test_loaded_model_same_logits(self, trained, tmp_path):
+        directory = tmp_path / "ckpt"
+        save_checkpoint(trained.model, trained.tokenizer, directory)
+        model, _ = load_checkpoint(directory)
+        ids = np.arange(12).reshape(1, 12) % trained.model.vocab_size
+        np.testing.assert_allclose(trained.model(ids).data, model(ids).data,
+                                   atol=1e-6)
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nope")
+
+    def test_pipeline_save_load(self, trained, tmp_path):
+        trained.save(tmp_path / "pipe")
+        restored = Ratatouille.load(tmp_path / "pipe")
+        out = restored.generate(["chicken breast", "garlic"],
+                                GenerationConfig(max_new_tokens=20, seed=0))
+        assert out.raw_text
+
+
+class TestPipeline:
+    def test_training_result_attached(self, trained):
+        assert trained.training_result is not None
+        assert trained.training_result.steps == 40
+        assert trained.training_result.val_losses
+
+    def test_generate_structure(self, trained):
+        out = trained.generate(["chicken breast", "garlic", "rice"],
+                               GenerationConfig(max_new_tokens=40, seed=1))
+        assert out.prompt_ingredients == ["chicken breast", "garlic", "rice"]
+        assert out.raw_text.startswith("<RECIPE_START>")
+        assert out.generation_seconds > 0
+        assert isinstance(out.is_valid, bool)
+
+    def test_generate_empty_raises(self, trained):
+        with pytest.raises(ValueError):
+            trained.generate([])
+
+    def test_generate_deterministic_with_seed(self, trained):
+        config = GenerationConfig(max_new_tokens=30, seed=9)
+        a = trained.generate(["salt"], config)
+        config2 = GenerationConfig(max_new_tokens=30, seed=9)
+        b = trained.generate(["salt"], config2)
+        assert a.raw_text == b.raw_text
+
+    def test_generate_with_checklist(self, trained):
+        out = trained.generate(["garlic", "onion"],
+                               GenerationConfig(max_new_tokens=30, seed=2),
+                               checklist=True)
+        assert out.raw_text
+
+    def test_pretty_rendering(self, trained):
+        out = trained.generate(["salt"], GenerationConfig(max_new_tokens=30,
+                                                          seed=3))
+        pretty = out.pretty()
+        assert "Ingredients:" in pretty
+        assert "Instructions:" in pretty
+
+    def test_evaluate_bleu_runs(self, trained, texts):
+        bleu, gens = trained.evaluate_bleu(texts[:6], max_samples=3,
+                                           generation=GenerationConfig(
+                                               strategy="greedy",
+                                               max_new_tokens=1))
+        assert 0.0 <= bleu <= 1.0
+        assert len(gens) == 3
+
+    def test_evaluate_bleu_no_valid_texts(self, trained):
+        with pytest.raises(ValueError):
+            trained.evaluate_bleu(["no tags here"], max_samples=2)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(num_recipes=1).validate()
+        with pytest.raises(ValueError):
+            PipelineConfig(val_fraction=0.0).validate()

@@ -1,0 +1,113 @@
+"""Additional core-path coverage: checkpoint versioning, prompt
+construction edge cases, pipeline configuration interactions."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig, Ratatouille
+from repro.core.checkpoints import FORMAT_VERSION, load_checkpoint
+from repro.models import GenerationConfig
+from repro.preprocess import (PreprocessConfig, format_prompt, preprocess)
+from repro.recipedb import generate_corpus
+from repro.training import TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_app():
+    texts, _ = preprocess(generate_corpus(20, seed=81))
+    config = PipelineConfig(
+        model_name="distilgpt2",
+        training=TrainingConfig(max_steps=15, batch_size=4, warmup_steps=2,
+                                eval_every=10**9))
+    return Ratatouille.from_texts(texts, config=config)
+
+
+class TestCheckpointVersioning:
+    def test_future_version_rejected(self, tiny_app, tmp_path):
+        tiny_app.save(tmp_path / "ckpt")
+        config_path = tmp_path / "ckpt" / "config.json"
+        payload = json.loads(config_path.read_text())
+        payload["format_version"] = FORMAT_VERSION + 1
+        config_path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_corrupt_weights_detected(self, tiny_app, tmp_path):
+        tiny_app.save(tmp_path / "ckpt")
+        weights_path = tmp_path / "ckpt" / "weights.npz"
+        # remove one array from the archive
+        with np.load(weights_path) as archive:
+            state = {name: archive[name] for name in archive.files}
+        some_key = next(iter(state))
+        del state[some_key]
+        np.savez(weights_path, **state)
+        with pytest.raises(KeyError):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_checkpoint_files_complete(self, tiny_app, tmp_path):
+        tiny_app.save(tmp_path / "ckpt")
+        for name in ("config.json", "weights.npz", "tokenizer.json"):
+            assert (tmp_path / "ckpt" / name).exists()
+
+
+class TestGenerationEdgeCases:
+    def test_single_ingredient(self, tiny_app):
+        out = tiny_app.generate(["salt"],
+                                GenerationConfig(max_new_tokens=10, seed=0))
+        assert out.prompt_ingredients == ["salt"]
+
+    def test_unknown_ingredient_tokenizes_to_unk(self, tiny_app):
+        # BPE decomposes unknown words; generation must not crash
+        out = tiny_app.generate(["quixotic zanthum gum"],
+                                GenerationConfig(max_new_tokens=10, seed=0))
+        assert out.raw_text
+
+    def test_quantity_in_prompt_preserved(self, tiny_app):
+        out = tiny_app.generate(["2 1/4 cup flour"],
+                                GenerationConfig(max_new_tokens=5, seed=0))
+        assert out.ingredients[0] == "2 1/4 cup flour"
+
+    def test_generation_stops_at_eos_budget(self, tiny_app):
+        config = GenerationConfig(max_new_tokens=500, seed=0)
+        out = tiny_app.generate(["salt"], config)
+        # either hit EOS early or used the full budget — never crashed
+        assert len(out.raw_text) > 0
+
+    def test_whitespace_only_ingredient_rejected(self):
+        with pytest.raises(ValueError):
+            format_prompt(["  ", "\t"])
+
+
+class TestPipelineConfigInteractions:
+    def test_no_number_tokens_pipeline(self):
+        texts, _ = preprocess(generate_corpus(15, seed=82),
+                              PreprocessConfig(number_special_tokens=False))
+        config = PipelineConfig(
+            model_name="word-lstm",
+            training=TrainingConfig(max_steps=5, batch_size=4,
+                                    eval_every=10**9))
+        app = Ratatouille.from_texts(texts, config=config)
+        assert "<QTY_" not in " ".join(
+            app.tokenizer.id_to_token(i) for i in range(app.tokenizer.vocab_size))
+
+    def test_all_registry_models_trainable_one_step(self):
+        from repro.core.registry import model_names
+        texts, _ = preprocess(generate_corpus(15, seed=83))
+        for name in model_names():
+            config = PipelineConfig(
+                model_name=name, seq_len=64,
+                training=TrainingConfig(max_steps=2, batch_size=2,
+                                        eval_every=10**9))
+            app = Ratatouille.from_texts(texts, config=config)
+            assert app.training_result.steps == 2
+
+    def test_seq_len_respected(self):
+        texts, _ = preprocess(generate_corpus(15, seed=84))
+        config = PipelineConfig(
+            model_name="distilgpt2", seq_len=48,
+            training=TrainingConfig(max_steps=2, batch_size=2,
+                                    eval_every=10**9))
+        app = Ratatouille.from_texts(texts, config=config)
+        assert app.training_result.tokens_seen == 2 * 2 * 48

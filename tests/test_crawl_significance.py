@@ -1,0 +1,185 @@
+"""Tests for crawl rendering/parsing, significance tests, checkpoints."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluate import (bootstrap_interval, paired_permutation_test,
+                            segment_bleu_scores)
+from repro.preprocess import (crawl_corpus_to_texts, crawl_to_training_text,
+                              normalize_text, parse_crawl_text,
+                              structure_errors)
+from repro.recipedb import generate_corpus, render_crawl_text
+from repro.training import CheckpointCallback
+
+
+@pytest.fixture(scope="module")
+def recipes():
+    return generate_corpus(30, seed=71)
+
+
+class TestCrawlRendering:
+    def test_deterministic(self, recipes):
+        assert render_crawl_text(recipes[0], seed=1) == \
+               render_crawl_text(recipes[0], seed=1)
+
+    def test_contains_all_content(self, recipes):
+        recipe = recipes[0]
+        page = render_crawl_text(recipe).lower()
+        for item in recipe.ingredients:
+            assert item.ingredient.name.lower() in page
+        assert recipe.title.lower() in page
+
+    def test_multiline(self, recipes):
+        page = render_crawl_text(recipes[0])
+        assert page.count("\n") > len(recipes[0].ingredients)
+
+
+class TestCrawlParsing:
+    def test_roundtrip_section_counts(self, recipes):
+        for recipe in recipes:
+            page = render_crawl_text(recipe)
+            parsed = parse_crawl_text(page)
+            assert parsed.is_valid(), page[:200]
+            assert len(parsed.ingredients) == len(recipe.ingredients)
+            assert len(parsed.instructions) == len(recipe.instructions)
+
+    def test_roundtrip_title(self, recipes):
+        for recipe in recipes[:10]:
+            page = render_crawl_text(recipe)
+            parsed = parse_crawl_text(page)
+            assert parsed.title == normalize_text(recipe.title)
+
+    def test_bullets_and_numbering_stripped(self):
+        page = ("My Dish\n\nIngredients:\n- 2 cup flour\n* 1 egg\n\n"
+                "Directions\n1. mix well .\n2. bake .")
+        parsed = parse_crawl_text(page)
+        assert parsed.ingredients == ["2 cup flour", "1 egg"]
+        assert parsed.instructions == ["mix well .", "bake ."]
+
+    def test_metadata_and_boilerplate_dropped(self):
+        page = ("Dish\nServes 4   |   30 min\n\nIngredients\nsalt\n\n"
+                "Method\nmix .\n\nRecipe saved from the web — enjoy!!")
+        parsed = parse_crawl_text(page)
+        assert parsed.ingredients == ["salt"]
+        assert parsed.instructions == ["mix ."]
+
+    def test_unusable_page_returns_none(self):
+        assert crawl_to_training_text("just some prose, no recipe") is None
+
+    def test_crawl_to_training_text_is_valid_tagged(self, recipes):
+        page = render_crawl_text(recipes[0])
+        tagged = crawl_to_training_text(page)
+        assert tagged is not None
+        assert structure_errors(tagged) == []
+        assert "<QTY_" in tagged or "<NUM_" in tagged  # numbers rewritten
+
+    def test_corpus_conversion_counts(self, recipes):
+        pages = [render_crawl_text(r) for r in recipes] + ["garbage page"]
+        texts, dropped = crawl_corpus_to_texts(pages)
+        assert len(texts) == len(recipes)
+        assert dropped == 1
+
+
+class TestBootstrap:
+    def test_interval_contains_estimate(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(0.4, 0.1, size=50)
+        result = bootstrap_interval(scores, seed=1)
+        assert result.lower <= result.estimate <= result.upper
+        assert result.estimate == pytest.approx(scores.mean())
+
+    def test_interval_narrows_with_more_data(self):
+        rng = np.random.default_rng(0)
+        small = bootstrap_interval(rng.normal(0.5, 0.1, 10), seed=1)
+        large = bootstrap_interval(rng.normal(0.5, 0.1, 500), seed=1)
+        assert (large.upper - large.lower) < (small.upper - small.lower)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_interval([0.5])
+        with pytest.raises(ValueError):
+            bootstrap_interval([0.1, 0.2], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_interval([0.1, 0.2], resamples=5)
+
+    def test_str_rendering(self):
+        text = str(bootstrap_interval([0.3, 0.4, 0.5], seed=0))
+        assert "CI" in text
+
+
+class TestPermutationTest:
+    def test_identical_systems_not_significant(self):
+        scores = np.random.default_rng(0).random(40)
+        result = paired_permutation_test(scores, scores, permutations=200)
+        assert result.p_value > 0.9
+        assert not result.significant()
+
+    def test_clearly_different_systems_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.6, 0.05, size=40)
+        b = rng.normal(0.3, 0.05, size=40)
+        result = paired_permutation_test(a, b, permutations=500)
+        assert result.significant(0.05)
+        assert result.observed_difference == pytest.approx(
+            float(a.mean() - b.mean()))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test([1.0], [1.0])
+        with pytest.raises(ValueError):
+            paired_permutation_test([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            paired_permutation_test([1, 2], [1, 2], permutations=10)
+
+    @given(st.lists(st.floats(0, 1), min_size=5, max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_p_value_bounds_property(self, scores):
+        result = paired_permutation_test(scores, list(reversed(scores)),
+                                         permutations=100)
+        assert 0.0 < result.p_value <= 1.0
+
+
+class TestSegmentBleu:
+    def test_vector_shape_and_values(self):
+        cands = [list("abcd"), list("wxyz")]
+        refs = [[list("abcd")], [list("abcd")]]
+        scores = segment_bleu_scores(cands, refs)
+        assert scores.shape == (2,)
+        assert scores[0] > scores[1]
+
+    def test_alignment_check(self):
+        with pytest.raises(ValueError):
+            segment_bleu_scores([list("ab")], [])
+
+
+class TestCheckpointCallback:
+    def test_periodic_and_best_checkpoints(self, tmp_path):
+        from repro.core import Ratatouille
+        from repro.core.checkpoints import load_checkpoint
+        from repro.preprocess import preprocess
+        from repro.training import (LMDataset, Trainer, TrainingConfig)
+        from repro.core.registry import get_spec
+
+        texts, _ = preprocess(generate_corpus(15, seed=5))
+        spec = get_spec("distilgpt2")
+        tokenizer = spec.build_tokenizer(texts)
+        model = spec.build_model(tokenizer.vocab_size, 0)
+        dataset = LMDataset(texts, tokenizer, seq_len=32)
+        callback = CheckpointCallback(model, tokenizer, tmp_path / "ckpts",
+                                      every=10)
+        trainer = Trainer(model, TrainingConfig(max_steps=25, batch_size=4,
+                                                eval_every=10,
+                                                eval_batches=1),
+                          callbacks=[callback])
+        trainer.train(dataset, val_dataset=dataset)
+        assert (tmp_path / "ckpts" / "step-10").exists()
+        assert (tmp_path / "ckpts" / "step-20").exists()
+        assert (tmp_path / "ckpts" / "best").exists()
+        restored, _ = load_checkpoint(tmp_path / "ckpts" / "step-20")
+        assert restored.num_parameters() == model.num_parameters()
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointCallback(None, None, tmp_path, every=0)

@@ -1,0 +1,169 @@
+"""Unit tests for BLEU (repro.evaluate.bleu) against hand-computed values."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluate import brevity_penalty, corpus_bleu, ngrams, sentence_bleu
+
+
+class TestNgrams:
+    def test_counts(self):
+        grams = ngrams("a b a b".split(), 2)
+        assert grams[("a", "b")] == 2
+        assert grams[("b", "a")] == 1
+
+    def test_short_sequence_empty(self):
+        assert not ngrams(["a"], 2)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+
+class TestBrevityPenalty:
+    def test_no_penalty_when_longer(self):
+        assert brevity_penalty(10, 8) == 1.0
+
+    def test_penalty_when_shorter(self):
+        assert brevity_penalty(8, 10) == pytest.approx(math.exp(1 - 10 / 8))
+
+    def test_zero_candidate(self):
+        assert brevity_penalty(0, 10) == 0.0
+
+
+class TestSentenceBleu:
+    def test_perfect_match_is_one(self):
+        tokens = "the cat sat on the mat".split()
+        result = sentence_bleu(tokens, [tokens], smoothing=0)
+        assert result.bleu == pytest.approx(1.0)
+        assert result.brevity_penalty == 1.0
+        assert all(p == 1.0 for p in result.precisions)
+
+    def test_no_overlap_is_zero(self):
+        result = sentence_bleu("a b c d e".split(), ["v w x y z".split()],
+                               smoothing=0)
+        assert result.bleu == 0.0
+
+    def test_hand_computed_unigram(self):
+        # candidate: "the the cat", reference: "the cat sat"
+        # clipped unigram matches: the(1) + cat(1) = 2 of 3
+        result = sentence_bleu("the the cat".split(), ["the cat sat".split()],
+                               max_n=1, smoothing=0)
+        assert result.precisions[0] == pytest.approx(2 / 3)
+
+    def test_clipping_limits_repeats(self):
+        # the classic degenerate candidate: "the the the ..."
+        candidate = ["the"] * 7
+        reference = "the cat is on the mat".split()  # 'the' appears twice
+        result = sentence_bleu(candidate, [reference], max_n=1, smoothing=0)
+        assert result.precisions[0] == pytest.approx(2 / 7)
+
+    def test_multiple_references_take_best(self):
+        candidate = "the cat".split()
+        refs = ["a dog".split(), "the cat".split()]
+        assert sentence_bleu(candidate, refs, max_n=2,
+                             smoothing=0).bleu == pytest.approx(1.0)
+
+    def test_closest_reference_length_used(self):
+        candidate = ["a"] * 5
+        refs = [["a"] * 5, ["a"] * 20]
+        result = sentence_bleu(candidate, refs, max_n=1, smoothing=0)
+        assert result.reference_length == 5
+        assert result.brevity_penalty == 1.0
+
+    def test_float_conversion(self):
+        tokens = "a b c d".split()
+        assert float(sentence_bleu(tokens, [tokens])) == pytest.approx(1.0)
+
+
+class TestSmoothing:
+    CAND = "the cat sat".split()     # no 4-gram possible matches
+    REF = ["the cat slept well today".split()]
+
+    def test_method0_zero_on_missing_order(self):
+        assert sentence_bleu(self.CAND, self.REF, smoothing=0).bleu == 0.0
+
+    def test_method1_positive(self):
+        assert sentence_bleu(self.CAND, self.REF, smoothing=1).bleu > 0.0
+
+    def test_method2_positive(self):
+        assert sentence_bleu(self.CAND, self.REF, smoothing=2).bleu > 0.0
+
+    def test_method3_positive(self):
+        assert sentence_bleu(self.CAND, self.REF, smoothing=3).bleu > 0.0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            sentence_bleu(self.CAND, self.REF, smoothing=9)
+
+    def test_smoothing_only_affects_zero_counts(self):
+        tokens = "a b c d e f".split()
+        exact0 = sentence_bleu(tokens, [tokens], smoothing=0).bleu
+        exact1 = sentence_bleu(tokens, [tokens], smoothing=1).bleu
+        assert exact0 == pytest.approx(exact1)
+
+
+class TestCorpusBleu:
+    def test_not_mean_of_sentence_bleu(self):
+        """Corpus BLEU pools counts; differs from averaging sentences."""
+        c1, r1 = "a b c d".split(), ["a b c d".split()]
+        c2, r2 = "x y".split(), ["p q".split()]
+        corpus = corpus_bleu([c1, c2], [r1, r2], smoothing=1).bleu
+        mean_sent = (sentence_bleu(c1, r1, smoothing=1).bleu
+                     + sentence_bleu(c2, r2, smoothing=1).bleu) / 2
+        assert corpus != pytest.approx(mean_sent)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            corpus_bleu([["a"]], [])
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            corpus_bleu([], [])
+
+    def test_missing_reference_raises(self):
+        with pytest.raises(ValueError):
+            corpus_bleu([["a"]], [[]])
+
+    def test_weights_length_checked(self):
+        with pytest.raises(ValueError):
+            corpus_bleu([["a", "b"]], [[["a", "b"]]], max_n=4,
+                        weights=(0.5, 0.5))
+
+    def test_bleu1_weights(self):
+        result = corpus_bleu(["the cat".split()], [["the dog".split()]],
+                             max_n=1, smoothing=0)
+        assert result.bleu == pytest.approx(0.5)
+
+    def test_result_lengths_accumulate(self):
+        result = corpus_bleu([["a"] * 3, ["b"] * 4],
+                             [[["a"] * 3], [["b"] * 5]], smoothing=1)
+        assert result.candidate_length == 7
+        assert result.reference_length == 8
+
+
+class TestBleuProperties:
+    @given(st.lists(st.sampled_from("abcdef"), min_size=4, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_self_bleu_is_one(self, tokens):
+        assert sentence_bleu(tokens, [tokens],
+                             smoothing=0).bleu == pytest.approx(1.0)
+
+    @given(st.lists(st.sampled_from("ab"), min_size=4, max_size=15),
+           st.lists(st.sampled_from("ab"), min_size=4, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded(self, cand, ref):
+        bleu = sentence_bleu(cand, [ref], smoothing=1).bleu
+        assert 0.0 <= bleu <= 1.0 + 1e-9
+
+    @given(st.lists(st.sampled_from("abcd"), min_size=5, max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_truncation_reduces_or_equals(self, tokens):
+        """A truncated candidate never beats the full self-match."""
+        full = sentence_bleu(tokens, [tokens], smoothing=1).bleu
+        cut = sentence_bleu(tokens[:-2] if len(tokens) > 6 else tokens,
+                            [tokens], smoothing=1).bleu
+        assert cut <= full + 1e-9

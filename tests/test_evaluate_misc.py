@@ -1,0 +1,179 @@
+"""Unit tests for perplexity, diversity, structure, report (repro.evaluate)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.evaluate import (EvaluationReport, ModelEvaluation, bits_per_token,
+                            content_words, corpus_novelty, distinct_n,
+                            novelty, perplexity, score_structure, self_bleu,
+                            validity_rate)
+from repro.models.lstm import LSTMConfig, LSTMLanguageModel
+from repro.preprocess import format_prompt, format_recipe, preprocess
+from repro.recipedb import generate_corpus
+from repro.tokenizers import WordTokenizer
+from repro.training import LMDataset
+
+
+@pytest.fixture(scope="module")
+def setup():
+    texts, _ = preprocess(generate_corpus(15, seed=19))
+    tokenizer = WordTokenizer(texts)
+    dataset = LMDataset(texts, tokenizer, seq_len=32)
+    model = LSTMLanguageModel(LSTMConfig(vocab_size=tokenizer.vocab_size,
+                                         d_embed=8, d_hidden=16,
+                                         num_layers=1, dropout=0.0))
+    return model, dataset, tokenizer
+
+
+class TestPerplexity:
+    def test_untrained_near_uniform(self, setup):
+        model, dataset, tokenizer = setup
+        ppl = perplexity(model, dataset, max_batches=3)
+        # untrained model ~ uniform over vocab
+        assert 0.2 * tokenizer.vocab_size < ppl < 5 * tokenizer.vocab_size
+
+    def test_bits_per_token_is_log2(self, setup):
+        model, dataset, _ = setup
+        ppl = perplexity(model, dataset, max_batches=2)
+        bits = bits_per_token(model, dataset, max_batches=2)
+        assert bits == pytest.approx(math.log2(ppl), rel=1e-6)
+
+    def test_positive(self, setup):
+        model, dataset, _ = setup
+        assert perplexity(model, dataset, max_batches=1) > 1.0
+
+
+class TestDistinctN:
+    def test_all_unique(self):
+        gens = [["a", "b", "c", "d"]]
+        assert distinct_n(gens, 2) == 1.0
+
+    def test_fully_repetitive(self):
+        gens = [["a"] * 20]
+        assert distinct_n(gens, 2) == pytest.approx(1 / 19)
+
+    def test_pools_across_generations(self):
+        gens = [["a", "b"], ["a", "b"]]
+        assert distinct_n(gens, 2) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert distinct_n([[]], 2) == 0.0
+
+
+class TestSelfBleu:
+    def test_identical_generations_high(self):
+        gens = [["the", "cat", "sat", "down"]] * 3
+        assert self_bleu(gens) == pytest.approx(1.0)
+
+    def test_disjoint_generations_low(self):
+        gens = [list("abcde"), list("fghij"), list("klmno")]
+        assert self_bleu(gens) < 0.2
+
+    def test_single_generation_zero(self):
+        assert self_bleu([["a", "b"]]) == 0.0
+
+
+class TestNovelty:
+    def test_copy_has_zero_novelty(self):
+        recipe = ["mix", "the", "flour", "and", "bake", "well"]
+        assert novelty(recipe, [recipe]) == 0.0
+
+    def test_unseen_has_full_novelty(self):
+        gen = ["x1", "x2", "x3", "x4", "x5"]
+        corpus = [["a", "b", "c", "d", "e"]]
+        assert novelty(gen, corpus) == 1.0
+
+    def test_short_generation_neutral(self):
+        assert novelty(["a"], [["a", "b", "c", "d"]], n=4) == 1.0
+
+    def test_worst_case_over_corpus(self):
+        gen = list("abcdef")
+        corpus = [list("zzzzzz"), list("abcdef")]  # second is exact copy
+        assert novelty(gen, corpus) == 0.0
+
+    def test_corpus_novelty_mean(self):
+        gens = [list("abcde"), list("vwxyz")]
+        corpus = [list("abcde")]
+        assert corpus_novelty(gens, corpus) == pytest.approx(0.5)
+
+    def test_corpus_novelty_empty_raises(self):
+        with pytest.raises(ValueError):
+            corpus_novelty([], [["a"]])
+
+
+class TestStructureScore:
+    def test_valid_generated_recipe(self):
+        recipe = generate_corpus(1, seed=23)[0]
+        score = score_structure(format_recipe(recipe))
+        assert score.is_valid
+        assert score.num_ingredients == len(recipe.ingredients)
+        assert score.num_instructions == len(recipe.instructions)
+
+    def test_prompt_only_invalid(self):
+        prompt = format_prompt(["2 cup flour"])
+        score = score_structure(prompt)
+        assert not score.is_valid
+        assert score.errors
+
+    def test_ingredient_coverage(self):
+        recipe = generate_corpus(1, seed=23)[0]
+        text = format_recipe(recipe)
+        # prompt ingredient that IS used in instructions
+        used = recipe.instructions[0].text.split()[-3]
+        score = score_structure(text, prompt_ingredients=[recipe.ingredients[0].ingredient.name])
+        assert 0.0 <= score.ingredient_coverage <= 1.0
+
+    def test_coverage_zero_for_unused(self):
+        recipe = generate_corpus(1, seed=23)[0]
+        score = score_structure(format_recipe(recipe),
+                                prompt_ingredients=["plutonium rods"])
+        assert score.ingredient_coverage == 0.0
+
+    def test_content_words_strips_stopwords_and_variants(self):
+        words = content_words("2 cups of the Fresh Basil, chopped")
+        assert "basil" in words
+        assert "the" not in words
+        assert "fresh" not in words
+        assert "2" not in words
+
+    def test_validity_rate(self):
+        recipe = generate_corpus(1, seed=23)[0]
+        good = format_recipe(recipe)
+        assert validity_rate([good, "garbage"]) == 0.5
+        with pytest.raises(ValueError):
+            validity_rate([])
+
+
+class TestReport:
+    def test_table_rendering(self):
+        report = EvaluationReport(title="Table I")
+        report.add(ModelEvaluation(model_name="Char-level LSTM", bleu=0.347))
+        report.add(ModelEvaluation(model_name="GPT-2 medium", bleu=0.806))
+        table = report.to_table()
+        assert "Table I" in table
+        assert "0.347" in table
+        assert "0.806" in table
+
+    def test_ranking(self):
+        report = EvaluationReport(title="t")
+        report.add(ModelEvaluation(model_name="a", bleu=0.2))
+        report.add(ModelEvaluation(model_name="b", bleu=0.9))
+        assert report.ranking() == ["b", "a"]
+
+    def test_get(self):
+        report = EvaluationReport(title="t")
+        report.add(ModelEvaluation(model_name="a", bleu=0.2))
+        assert report.get("a").bleu == 0.2
+        with pytest.raises(KeyError):
+            report.get("zzz")
+
+    def test_extra_columns_and_missing(self):
+        report = EvaluationReport(title="t")
+        report.add(ModelEvaluation(model_name="a", bleu=0.5, params=1000,
+                                   extra={"speed": 2.5}))
+        table = report.to_table(columns=("bleu", "params", "speed", "novelty"))
+        assert "1000" in table
+        assert "2.500" in table
+        assert "-" in table  # novelty missing

@@ -1,0 +1,108 @@
+"""Unit tests for ROUGE (repro.evaluate.rouge) with hand-computed values."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluate import corpus_rouge, rouge_l, rouge_n
+from repro.evaluate.rouge import _lcs_length
+
+
+class TestRougeN:
+    def test_perfect_match(self):
+        tokens = "the cat sat".split()
+        score = rouge_n(tokens, tokens, n=1)
+        assert score.precision == score.recall == score.f1 == 1.0
+
+    def test_hand_computed_unigram(self):
+        # cand: "the cat", ref: "the cat sat down"
+        # overlap 2; precision 2/2; recall 2/4
+        score = rouge_n("the cat".split(), "the cat sat down".split(), n=1)
+        assert score.precision == pytest.approx(1.0)
+        assert score.recall == pytest.approx(0.5)
+        assert score.f1 == pytest.approx(2 * 1.0 * 0.5 / 1.5)
+
+    def test_clipping(self):
+        # "the the the" vs "the cat": clipped overlap = 1
+        score = rouge_n("the the the".split(), "the cat".split(), n=1)
+        assert score.precision == pytest.approx(1 / 3)
+        assert score.recall == pytest.approx(1 / 2)
+
+    def test_bigram(self):
+        score = rouge_n("a b c".split(), "a b d".split(), n=2)
+        assert score.precision == pytest.approx(1 / 2)
+        assert score.recall == pytest.approx(1 / 2)
+
+    def test_empty_candidate(self):
+        score = rouge_n([], "a b".split(), n=1)
+        assert score.precision == 0.0
+        assert score.f1 == 0.0
+
+
+class TestLcs:
+    def test_known_lcs(self):
+        assert _lcs_length("abcde", "ace") == 3
+        assert _lcs_length("abc", "def") == 0
+        assert _lcs_length("", "abc") == 0
+
+    def test_lcs_tokens(self):
+        a = "mix the flour then bake".split()
+        b = "mix flour and bake well".split()
+        assert _lcs_length(a, b) == 3  # mix, flour, bake
+
+
+class TestRougeL:
+    def test_perfect(self):
+        tokens = "one two three".split()
+        assert rouge_l(tokens, tokens).f1 == pytest.approx(1.0)
+
+    def test_hand_computed(self):
+        # LCS("a b c d", "a c d e") = "a c d" (3)
+        score = rouge_l("a b c d".split(), "a c d e".split())
+        assert score.precision == pytest.approx(3 / 4)
+        assert score.recall == pytest.approx(3 / 4)
+
+    def test_order_sensitivity(self):
+        """ROUGE-L (unlike ROUGE-1) cares about order."""
+        ref = "a b c d".split()
+        in_order = rouge_l("a b c d".split(), ref)
+        shuffled = rouge_l("d c b a".split(), ref)
+        assert in_order.f1 > shuffled.f1
+        # but unigram overlap is identical
+        assert rouge_n("d c b a".split(), ref, 1).f1 == \
+               rouge_n("a b c d".split(), ref, 1).f1
+
+
+class TestCorpusRouge:
+    def test_mean_over_segments(self):
+        perfect = "x y z".split()
+        score = corpus_rouge([perfect, "a".split()],
+                             [perfect, "b".split()], variant="l")
+        assert score.f1 == pytest.approx(0.5)
+
+    def test_variants(self):
+        cand = ["a b c".split()]
+        ref = ["a b d".split()]
+        assert corpus_rouge(cand, ref, "1").f1 > 0
+        assert corpus_rouge(cand, ref, "2").f1 > 0
+        assert corpus_rouge(cand, ref, "l").f1 > 0
+        with pytest.raises(ValueError):
+            corpus_rouge(cand, ref, "3")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            corpus_rouge([], [])
+        with pytest.raises(ValueError):
+            corpus_rouge([["a"]], [])
+
+
+@given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=12),
+       st.lists(st.sampled_from("abcd"), min_size=1, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_rouge_bounds_and_symmetry_property(a, b):
+    score = rouge_l(a, b)
+    assert 0.0 <= score.f1 <= 1.0
+    # swapping candidate/reference swaps precision and recall
+    swapped = rouge_l(b, a)
+    assert score.precision == pytest.approx(swapped.recall)
+    assert score.recall == pytest.approx(swapped.precision)

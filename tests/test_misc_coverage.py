@@ -1,0 +1,121 @@
+"""Coverage for smaller public surfaces: serve parser, report columns,
+generator internals, deploy validation, CLI parser errors."""
+
+import argparse
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser as cli_parser
+from repro.evaluate import EvaluationReport, ModelEvaluation
+from repro.recipedb.generator import (DISH_BY_LIQUID, DISH_TYPES,
+                                      LIQUIDS_BY_DISH, RecipeGenerator)
+from repro.webapp.serve import build_parser as serve_parser
+
+
+class TestDishGrammar:
+    def test_liquids_are_disjoint_across_dishes(self):
+        """Each liquid signals exactly one dish — the inferability
+        property Table I's BLEU range rests on (DESIGN.md)."""
+        seen = {}
+        for dish, liquids in LIQUIDS_BY_DISH.items():
+            for liquid in liquids:
+                assert liquid not in seen, \
+                    f"{liquid} used by both {seen.get(liquid)} and {dish}"
+                seen[liquid] = dish
+        assert DISH_BY_LIQUID == seen
+
+    def test_every_dish_has_liquids_and_skeleton(self):
+        for dish in DISH_TYPES:
+            assert dish.name in LIQUIDS_BY_DISH
+            assert len(dish.skeleton) >= 5
+            assert dish.main_categories
+
+    def test_all_liquids_exist_in_catalog(self):
+        from repro.recipedb import default_catalog
+        catalog = default_catalog()
+        for liquids in LIQUIDS_BY_DISH.values():
+            for liquid in liquids:
+                assert liquid in catalog, liquid
+
+    def test_slot_hash_stable(self):
+        a = RecipeGenerator._slot_hash("curry", "chicken", "onion")
+        b = RecipeGenerator._slot_hash("curry", "chicken", "onion")
+        c = RecipeGenerator._slot_hash("curry", "chicken", "garlic")
+        assert a == b
+        assert a != c
+
+    def test_same_ingredients_same_instructions(self):
+        """Two corpora, same seed: recipes with identical ingredient
+        draws get identical instruction text (determinism of slots)."""
+        from repro.recipedb import generate_corpus
+        a = generate_corpus(20, seed=123)
+        b = generate_corpus(20, seed=123)
+        for recipe_a, recipe_b in zip(a, b):
+            assert [s.text for s in recipe_a.instructions] == \
+                   [s.text for s in recipe_b.instructions]
+
+
+class TestReportColumns:
+    def test_empty_report_table(self):
+        report = EvaluationReport(title="empty")
+        table = report.to_table()
+        assert "empty" in table
+
+    def test_integer_and_float_formatting(self):
+        report = EvaluationReport(title="fmt")
+        report.add(ModelEvaluation(model_name="m", bleu=0.123456,
+                                   params=12345))
+        table = report.to_table(columns=("bleu", "params"))
+        assert "0.123" in table
+        assert "12345" in table
+
+
+class TestArgumentParsers:
+    def test_cli_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli_parser().parse_args([])
+
+    def test_cli_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            cli_parser().parse_args(["train", "--texts", "x", "--out", "y",
+                                     "--model", "gpt7"])
+
+    def test_cli_all_subcommands_parse(self):
+        parser = cli_parser()
+        assert parser.parse_args(["corpus", "--out", "x"]).command == "corpus"
+        assert parser.parse_args(["info"]).command == "info"
+        args = parser.parse_args(["generate", "--checkpoint", "c",
+                                  "--ingredients", "a,b", "--greedy"])
+        assert args.greedy
+
+    def test_serve_parser_defaults(self):
+        args = serve_parser().parse_args(["backend"])
+        assert args.port == 8000
+        args = serve_parser().parse_args(["frontend"])
+        assert args.port == 8080
+        assert args.backend_url.startswith("http://")
+
+    def test_serve_requires_service(self):
+        with pytest.raises(SystemExit):
+            serve_parser().parse_args([])
+
+
+class TestGeneratorCorruptionShares:
+    def test_duplicate_content_identical(self):
+        from repro.recipedb import generate_corpus
+        from repro.preprocess import content_fingerprint
+        corpus = generate_corpus(10, seed=7, duplicate_rate=1.0)
+        clean, dupes = corpus[:10], corpus[10:]
+        clean_prints = {content_fingerprint(r) for r in clean}
+        for dupe in dupes:
+            assert content_fingerprint(dupe) in clean_prints
+
+    def test_incomplete_variants_cover_all_modes(self):
+        from repro.recipedb import generate_corpus
+        corpus = generate_corpus(60, seed=7, incomplete_rate=1.0)
+        broken = [r for r in corpus if not r.is_complete()]
+        missing_title = sum(1 for r in broken if not r.title)
+        missing_ingredients = sum(1 for r in broken if not r.ingredients)
+        missing_instructions = sum(1 for r in broken if not r.instructions)
+        assert missing_title and missing_ingredients and missing_instructions

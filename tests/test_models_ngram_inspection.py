@@ -1,0 +1,138 @@
+"""Unit tests for the n-gram baseline and inspection tools."""
+
+import numpy as np
+import pytest
+
+from repro.models import (GenerationConfig, NGramLanguageModel,
+                          attention_maps, generate, render_attention_ascii,
+                          surprisal, top_next_tokens)
+from repro.models.gpt2 import GPT2Config, GPT2Model
+from repro.preprocess import preprocess
+from repro.recipedb import generate_corpus
+from repro.tokenizers import WordTokenizer
+
+
+@pytest.fixture(scope="module")
+def texts():
+    corpus, _ = preprocess(generate_corpus(25, seed=37))
+    return corpus
+
+
+@pytest.fixture(scope="module")
+def tokenizer(texts):
+    return WordTokenizer(texts)
+
+
+@pytest.fixture(scope="module")
+def ngram(texts, tokenizer):
+    model = NGramLanguageModel(tokenizer.vocab_size, order=3)
+    model.fit([tokenizer.encode(t, add_eos=True) for t in texts])
+    return model
+
+
+class TestNGram:
+    def test_fit_counts_contexts(self, ngram):
+        assert ngram.num_ngrams > 100
+
+    def test_forward_shapes_and_normalization(self, ngram):
+        ids = np.array([[1, 5, 9, 2]])
+        logits = ngram(ids)
+        assert logits.shape == (1, 4, ngram.vocab_size)
+        probs = np.exp(logits.data[0, 0])
+        assert probs.sum() == pytest.approx(1.0, rel=1e-3)
+
+    def test_seen_continuation_likelier_than_unseen(self, ngram, tokenizer,
+                                                    texts):
+        ids = tokenizer.encode(texts[0])
+        # P(actual next | context) should usually beat a random token
+        context, actual = ids[:10], ids[10]
+        state = ngram.start_state(1)
+        logits = None
+        for token in context:
+            logits, state = ngram.next_logits(np.array([token]), state)
+        random_token = (actual + 17) % ngram.vocab_size
+        assert logits[0][actual] > logits[0][random_token]
+
+    def test_generation_interface(self, ngram):
+        out = generate(ngram, [1, 2, 3],
+                       GenerationConfig(max_new_tokens=20, seed=0, top_k=5))
+        assert len(out) == 20
+        assert all(0 <= t < ngram.vocab_size for t in out)
+
+    def test_perplexity_beats_uniform(self, ngram, tokenizer, texts):
+        from repro.evaluate import perplexity
+        from repro.training import LMDataset
+        dataset = LMDataset(texts, tokenizer, seq_len=32)
+        ppl = perplexity(ngram, dataset, max_batches=2)
+        assert ppl < tokenizer.vocab_size / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NGramLanguageModel(10, order=0)
+        with pytest.raises(ValueError):
+            NGramLanguageModel(10).forward(np.zeros(3, dtype=np.int64))
+
+    def test_config_dict(self, ngram):
+        config = ngram.config_dict()
+        assert config["model_type"] == "ngram"
+        assert config["order"] == 3
+
+
+@pytest.fixture(scope="module")
+def tiny_gpt2():
+    return GPT2Model(GPT2Config(vocab_size=30, context_length=32, d_model=16,
+                                num_layers=2, num_heads=2, d_ff=32,
+                                dropout=0.0, seed=0))
+
+
+class TestAttentionMaps:
+    def test_shapes(self, tiny_gpt2):
+        maps = attention_maps(tiny_gpt2, np.arange(8) % 30)
+        assert len(maps) == 2
+        assert maps[0].shape == (2, 8, 8)
+
+    def test_rows_are_distributions(self, tiny_gpt2):
+        maps = attention_maps(tiny_gpt2, np.arange(8) % 30)
+        for layer in maps:
+            np.testing.assert_allclose(layer.sum(axis=-1),
+                                       np.ones((2, 8)), rtol=1e-4)
+
+    def test_causal_zeros(self, tiny_gpt2):
+        maps = attention_maps(tiny_gpt2, np.arange(6) % 30)
+        for layer in maps:
+            upper = np.triu(layer[0], k=1)
+            np.testing.assert_allclose(upper, np.zeros_like(upper), atol=1e-6)
+
+    def test_ascii_rendering(self, tiny_gpt2):
+        maps = attention_maps(tiny_gpt2, np.arange(5) % 30)
+        art = render_attention_ascii(maps[0], ["tok%d" % i for i in range(5)])
+        assert len(art.splitlines()) == 5
+
+
+class TestTopTokensSurprisal:
+    def test_top_next_tokens(self, tiny_gpt2, tokenizer):
+        # build a tokenizer matching the tiny vocab instead
+        from repro.tokenizers import WordTokenizer as WT
+        words = " ".join(f"w{i}" for i in range(26))
+        tok = WT([words])
+        model = GPT2Model(GPT2Config(vocab_size=tok.vocab_size,
+                                     context_length=32, d_model=16,
+                                     num_layers=1, num_heads=2, d_ff=32,
+                                     dropout=0.0, seed=1))
+        top = top_next_tokens(model, tok, "w1 w2 w3", k=4)
+        assert len(top) == 4
+        probs = [p for _, p in top]
+        assert probs == sorted(probs, reverse=True)
+        assert all(0 <= p <= 1 for p in probs)
+
+    def test_surprisal_lengths(self, texts, tokenizer):
+        model = NGramLanguageModel(tokenizer.vocab_size, order=2)
+        model.fit([tokenizer.encode(t) for t in texts[:5]])
+        scores = surprisal(model, tokenizer, texts[0][:200])
+        ids = tokenizer.encode(texts[0][:200])
+        assert len(scores) == len(ids) - 1
+        assert all(s >= 0 for _, s in scores)
+
+    def test_surprisal_validation(self, tokenizer, ngram):
+        with pytest.raises(ValueError):
+            surprisal(ngram, tokenizer, "")

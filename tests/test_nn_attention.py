@@ -1,0 +1,119 @@
+"""Unit tests for attention and transformer blocks (repro.nn.attention)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (CausalSelfAttention, KVCache, MLP, Tensor,
+                      TransformerBlock, no_grad)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(4)
+
+
+def empty_cache(batch, heads, head_dim):
+    return KVCache(k=np.zeros((batch, heads, 0, head_dim), dtype=np.float32),
+                   v=np.zeros((batch, heads, 0, head_dim), dtype=np.float32))
+
+
+class TestCausalSelfAttention:
+    def test_head_divisibility_check(self, rng):
+        with pytest.raises(ValueError):
+            CausalSelfAttention(10, 3, 0.0, rng)
+
+    def test_output_shape(self, rng):
+        attn = CausalSelfAttention(16, 4, 0.0, rng)
+        out, cache = attn(Tensor(np.ones((2, 5, 16), dtype=np.float32)))
+        assert out.shape == (2, 5, 16)
+        assert cache is None
+
+    def test_causality(self, rng):
+        """Changing a future token must not change earlier outputs."""
+        attn = CausalSelfAttention(8, 2, 0.0, rng)
+        attn.eval()
+        x = rng.standard_normal((1, 6, 8)).astype(np.float32)
+        with no_grad():
+            base, _ = attn(Tensor(x))
+            perturbed = x.copy()
+            perturbed[0, 5, :] += 10.0
+            changed, _ = attn(Tensor(perturbed))
+        np.testing.assert_allclose(base.data[0, :5], changed.data[0, :5],
+                                   atol=1e-5)
+        assert not np.allclose(base.data[0, 5], changed.data[0, 5])
+
+    def test_cache_incremental_matches_full(self, rng):
+        attn = CausalSelfAttention(8, 2, 0.0, rng)
+        attn.eval()
+        x = rng.standard_normal((2, 7, 8)).astype(np.float32)
+        with no_grad():
+            full, _ = attn(Tensor(x))
+            cache = empty_cache(2, 2, 4)
+            pieces = []
+            for t in range(7):
+                out, cache = attn(Tensor(x[:, t:t + 1, :]), cache=cache)
+                pieces.append(out.data)
+        np.testing.assert_allclose(full.data, np.concatenate(pieces, axis=1),
+                                   atol=1e-5)
+
+    def test_cache_grows(self, rng):
+        attn = CausalSelfAttention(8, 2, 0.0, rng)
+        attn.eval()
+        cache = empty_cache(1, 2, 4)
+        with no_grad():
+            for t in range(1, 4):
+                _, cache = attn(
+                    Tensor(np.ones((1, 1, 8), dtype=np.float32)), cache=cache)
+                assert cache.seq_len == t
+
+    def test_gradients_flow(self, rng):
+        attn = CausalSelfAttention(8, 2, 0.0, rng)
+        x = Tensor(rng.standard_normal((1, 4, 8)).astype(np.float32),
+                   requires_grad=True)
+        out, _ = attn(x)
+        out.sum().backward()
+        assert x.grad is not None
+        for name, param in attn.named_parameters():
+            assert param.grad is not None, name
+
+
+class TestMLP:
+    def test_shape_preserved(self, rng):
+        mlp = MLP(16, 64, 0.0, rng)
+        out = mlp(Tensor(np.ones((2, 3, 16), dtype=np.float32)))
+        assert out.shape == (2, 3, 16)
+
+
+class TestTransformerBlock:
+    def test_residual_structure(self, rng):
+        """With zeroed projections the block must be the identity."""
+        block = TransformerBlock(8, 2, 32, 0.0, rng)
+        block.attn.proj.weight.data[...] = 0.0
+        block.attn.proj.bias.data[...] = 0.0
+        block.mlp.proj.weight.data[...] = 0.0
+        block.mlp.proj.bias.data[...] = 0.0
+        x = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        out, _ = block(Tensor(x))
+        np.testing.assert_allclose(out.data, x, atol=1e-6)
+
+    def test_block_cache_equivalence(self, rng):
+        block = TransformerBlock(16, 4, 64, 0.0, rng, num_layers=3)
+        block.eval()
+        x = rng.standard_normal((1, 5, 16)).astype(np.float32)
+        with no_grad():
+            full, _ = block(Tensor(x))
+            cache = empty_cache(1, 4, 4)
+            parts = []
+            for t in range(5):
+                out, cache = block(Tensor(x[:, t:t + 1, :]), cache=cache)
+                parts.append(out.data)
+        np.testing.assert_allclose(full.data, np.concatenate(parts, axis=1),
+                                   atol=1e-5)
+
+    def test_residual_scaling_by_depth(self, rng):
+        shallow = TransformerBlock(8, 2, 16, 0.0, np.random.default_rng(1),
+                                   num_layers=1)
+        deep = TransformerBlock(8, 2, 16, 0.0, np.random.default_rng(1),
+                                num_layers=8)
+        assert (np.abs(deep.mlp.proj.weight.data).std()
+                < np.abs(shallow.mlp.proj.weight.data).std())

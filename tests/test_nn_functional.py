@@ -1,0 +1,211 @@
+"""Unit tests for fused functional ops (repro.nn.functional)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.layers import LayerNorm
+
+from .test_nn_tensor import assert_grad_close, numeric_grad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 7)).astype(np.float32))
+        out = F.softmax(x).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4), rtol=1e-5)
+
+    def test_stability_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0]], dtype=np.float32))
+        out = F.softmax(x).data
+        np.testing.assert_allclose(out, [[0.5, 0.5]])
+
+    def test_gradient(self, rng):
+        a = rng.standard_normal((3, 5)).astype(np.float32)
+        w = Tensor(rng.standard_normal((3, 5)).astype(np.float32))
+        assert_grad_close(lambda x: (F.softmax(x) * w).sum(), a)
+
+    def test_axis_argument(self, rng):
+        x = Tensor(rng.standard_normal((3, 5)).astype(np.float32))
+        out = F.softmax(x, axis=0).data
+        np.testing.assert_allclose(out.sum(axis=0), np.ones(5), rtol=1e-5)
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.standard_normal((2, 6)).astype(np.float32))
+        np.testing.assert_allclose(F.log_softmax(x).data,
+                                   np.log(F.softmax(x).data), atol=1e-5)
+
+    def test_gradient(self, rng):
+        a = rng.standard_normal((2, 4)).astype(np.float32)
+        w = Tensor(rng.standard_normal((2, 4)).astype(np.float32))
+        assert_grad_close(lambda x: (F.log_softmax(x) * w).sum(), a)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_log_vocab(self):
+        logits = Tensor(np.zeros((4, 8), dtype=np.float32))
+        loss = F.cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(8), rel=1e-5)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 5), -100.0, dtype=np.float32)
+        logits[0, 1] = 100.0
+        logits[1, 3] = 100.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 3]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-5)
+
+    def test_gradient(self, rng):
+        a = rng.standard_normal((5, 6)).astype(np.float32)
+        targets = rng.integers(0, 6, 5)
+        assert_grad_close(lambda x: F.cross_entropy(x, targets), a, atol=1e-2)
+
+    def test_ignore_index_masks(self, rng):
+        logits = rng.standard_normal((4, 5)).astype(np.float32)
+        targets = np.array([1, 2, -1, 3])
+        x = Tensor(logits, requires_grad=True)
+        loss = F.cross_entropy(x, targets, ignore_index=-1)
+        loss.backward()
+        # Masked row contributes no gradient.
+        np.testing.assert_allclose(x.grad[2], np.zeros(5), atol=1e-8)
+        # And the loss equals the mean over unmasked rows.
+        kept = F.cross_entropy(Tensor(logits[[0, 1, 3]]),
+                               targets[[0, 1, 3]])
+        assert loss.item() == pytest.approx(kept.item(), rel=1e-5)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3, 4), dtype=np.float32)),
+                            np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3), dtype=np.float32)),
+                            np.zeros(5, dtype=np.int64))
+
+    def test_gradient_sums_to_zero_per_row(self, rng):
+        # softmax-minus-onehot rows each sum to zero.
+        x = Tensor(rng.standard_normal((3, 7)).astype(np.float32),
+                   requires_grad=True)
+        F.cross_entropy(x, np.array([0, 3, 6])).backward()
+        np.testing.assert_allclose(x.grad.sum(axis=1), np.zeros(3), atol=1e-6)
+
+
+class TestEmbedding:
+    def test_lookup_values(self):
+        w = Tensor(np.arange(12, dtype=np.float32).reshape(4, 3))
+        out = F.embedding(w, np.array([2, 0]))
+        np.testing.assert_allclose(out.data, [[6, 7, 8], [0, 1, 2]])
+
+    def test_scatter_add_backward(self):
+        w = Tensor(np.zeros((4, 2), dtype=np.float32), requires_grad=True)
+        out = F.embedding(w, np.array([1, 1, 3]))
+        out.sum().backward()
+        np.testing.assert_allclose(w.grad,
+                                   [[0, 0], [2, 2], [0, 0], [1, 1]])
+
+    def test_2d_indices(self):
+        w = Tensor(np.arange(8, dtype=np.float32).reshape(4, 2),
+                   requires_grad=True)
+        out = F.embedding(w, np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(w.grad, np.ones((4, 2)))
+
+
+class TestConcatStack:
+    def test_concat_values_and_grads(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)).astype(np.float32),
+                   requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 2)).astype(np.float32),
+                   requires_grad=True)
+        out = F.concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 2)))
+
+    def test_concat_axis0(self, rng):
+        a = Tensor(rng.standard_normal((1, 3)).astype(np.float32))
+        b = Tensor(rng.standard_normal((2, 3)).astype(np.float32))
+        assert F.concat([a, b], axis=0).shape == (3, 3)
+
+    def test_stack_new_axis(self, rng):
+        parts = [Tensor(rng.standard_normal(4).astype(np.float32),
+                        requires_grad=True) for _ in range(3)]
+        out = F.stack(parts, axis=0)
+        assert out.shape == (3, 4)
+        out.sum().backward()
+        for part in parts:
+            np.testing.assert_allclose(part.grad, np.ones(4))
+
+    def test_stack_middle_axis(self, rng):
+        parts = [Tensor(rng.standard_normal((2, 4)).astype(np.float32))
+                 for _ in range(5)]
+        assert F.stack(parts, axis=1).shape == (2, 5, 4)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        x = Tensor(rng.standard_normal((10, 10)).astype(np.float32))
+        out = F.dropout(x, 0.5, training=False, rng=rng)
+        assert out is x
+
+    def test_zero_p_identity(self, rng):
+        x = Tensor(np.ones((4, 4), dtype=np.float32))
+        assert F.dropout(x, 0.0, training=True, rng=rng) is x
+
+    def test_inverted_scaling_preserves_mean(self, rng):
+        x = Tensor(np.ones((200, 200), dtype=np.float32))
+        out = F.dropout(x, 0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_grad_uses_same_mask(self, rng):
+        x = Tensor(np.ones((50, 50), dtype=np.float32), requires_grad=True)
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        out.sum().backward()
+        # gradient is exactly the mask: zero where dropped, 2.0 where kept
+        np.testing.assert_allclose(x.grad, out.data)
+
+
+class TestLayerNorm:
+    def test_output_statistics(self, rng):
+        ln = LayerNorm(16)
+        x = Tensor(rng.standard_normal((4, 16)).astype(np.float32) * 5 + 3)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_gradient_x(self, rng):
+        ln = LayerNorm(6)
+        a = rng.standard_normal((3, 6)).astype(np.float32)
+        w = Tensor(rng.standard_normal((3, 6)).astype(np.float32))
+        assert_grad_close(lambda x: (ln(x) * w).sum(), a)
+
+    def test_gradient_weight_bias(self, rng):
+        ln = LayerNorm(4)
+        x = Tensor(rng.standard_normal((5, 4)).astype(np.float32))
+        (ln(x) ** 2).sum().backward()
+        assert ln.weight.grad is not None
+        assert ln.bias.grad is not None
+        assert ln.weight.grad.shape == (4,)
+
+    def test_3d_input(self, rng):
+        ln = LayerNorm(8)
+        x = Tensor(rng.standard_normal((2, 3, 8)).astype(np.float32))
+        assert ln(x).shape == (2, 3, 8)
+
+
+class TestAddMask:
+    def test_values_and_grad(self):
+        x = Tensor(np.zeros((2, 2), dtype=np.float32), requires_grad=True)
+        mask = np.array([[0.0, -1e9], [0.0, 0.0]], dtype=np.float32)
+        out = F.add_mask(x, mask)
+        assert out.data[0, 1] == -1e9
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 2)))

@@ -1,0 +1,105 @@
+"""Unit tests for Linear/Embedding/Dropout layers (repro.nn.layers)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Embedding, Linear, Tensor
+from repro.nn import init
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(4, 7, rng)
+        out = layer(Tensor(np.ones((3, 4), dtype=np.float32)))
+        assert out.shape == (3, 7)
+
+    def test_3d_input(self, rng):
+        layer = Linear(4, 7, rng)
+        out = layer(Tensor(np.ones((2, 5, 4), dtype=np.float32)))
+        assert out.shape == (2, 5, 7)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 7, rng, bias=False)
+        assert layer.bias is None
+        zero = layer(Tensor(np.zeros((1, 4), dtype=np.float32)))
+        np.testing.assert_allclose(zero.data, np.zeros((1, 7)))
+
+    def test_affine_correctness(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.standard_normal((4, 3)).astype(np.float32)
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected, rtol=1e-6)
+
+    def test_deterministic_init(self):
+        a = Linear(4, 4, np.random.default_rng(5))
+        b = Linear(4, 4, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_normal_init_std(self):
+        layer = Linear(500, 500, np.random.default_rng(0), std=0.02)
+        assert layer.weight.data.std() == pytest.approx(0.02, rel=0.1)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 6, rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 6)
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(10, 6, rng)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_flows_to_weight(self, rng):
+        emb = Embedding(5, 3, rng)
+        emb(np.array([0, 0, 1])).sum().backward()
+        assert emb.weight.grad is not None
+        np.testing.assert_allclose(emb.weight.grad[0], np.full(3, 2.0))
+
+
+class TestDropout:
+    def test_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+        with pytest.raises(ValueError):
+            Dropout(-0.1, rng)
+
+    def test_train_drops_eval_does_not(self, rng):
+        drop = Dropout(0.5, rng)
+        x = Tensor(np.ones((100, 100), dtype=np.float32))
+        drop.train()
+        dropped = drop(x).data
+        assert (dropped == 0).mean() == pytest.approx(0.5, abs=0.05)
+        drop.eval()
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+
+class TestInit:
+    def test_orthogonal_is_orthogonal(self):
+        q = init.orthogonal(np.random.default_rng(0), (16, 16))
+        np.testing.assert_allclose(q @ q.T, np.eye(16), atol=1e-4)
+
+    def test_orthogonal_rectangular(self):
+        q = init.orthogonal(np.random.default_rng(0), (8, 16))
+        np.testing.assert_allclose(q @ q.T, np.eye(8), atol=1e-4)
+
+    def test_orthogonal_requires_2d(self):
+        with pytest.raises(ValueError):
+            init.orthogonal(np.random.default_rng(0), (2, 2, 2))
+
+    def test_xavier_bound(self):
+        w = init.xavier_uniform(np.random.default_rng(0), (100, 100))
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_zeros_ones(self):
+        assert init.zeros((3,)).sum() == 0.0
+        assert init.ones((3,)).sum() == 3.0

@@ -1,0 +1,132 @@
+"""Unit tests for Module/Parameter/ModuleList (repro.nn.module)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, ModuleList, Parameter, Sequential, Tensor
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.fc1 = Linear(4, 8, rng)
+        self.fc2 = Linear(8, 2, rng)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestParameterDiscovery:
+    def test_named_parameters_dotted(self):
+        toy = Toy()
+        names = dict(toy.named_parameters())
+        assert "fc1.weight" in names
+        assert "fc1.bias" in names
+        assert "fc2.weight" in names
+        assert "scale" in names
+
+    def test_parameters_count(self):
+        toy = Toy()
+        assert toy.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2 + 1
+
+    def test_parameter_always_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad
+
+    def test_modules_iterates_tree(self):
+        toy = Toy()
+        kinds = [type(m).__name__ for m in toy.modules()]
+        assert kinds.count("Linear") == 2
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        toy = Toy()
+        toy.eval()
+        assert all(not m.training for m in toy.modules())
+        toy.train()
+        assert all(m.training for m in toy.modules())
+
+    def test_zero_grad_clears(self):
+        toy = Toy()
+        x = Tensor(np.ones((2, 4), dtype=np.float32))
+        toy(x).sum().backward()
+        assert any(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip_exact(self):
+        toy = Toy()
+        state = toy.state_dict()
+        other = Toy()
+        # perturb, then restore
+        for p in other.parameters():
+            p.data += 1.0
+        other.load_state_dict(state)
+        for (_, a), (_, b) in zip(toy.named_parameters(),
+                                  other.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_state_dict_copies(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["scale"][0] = 99.0
+        assert toy.scale.data[0] == 1.0
+
+    def test_missing_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+
+class TestModuleList:
+    def test_registration_and_indexing(self):
+        rng = np.random.default_rng(0)
+        layers = ModuleList([Linear(2, 2, rng) for _ in range(3)])
+        assert len(layers) == 3
+        assert layers[1] is list(layers)[1]
+        # parameters from all children are discovered
+        assert len(layers.parameters()) == 6
+
+    def test_append(self):
+        rng = np.random.default_rng(0)
+        layers = ModuleList()
+        layers.append(Linear(2, 2, rng))
+        assert len(layers) == 1
+
+    def test_call_raises(self):
+        with pytest.raises(RuntimeError):
+            ModuleList()()
+
+
+class TestSequential:
+    def test_chains(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(3, 5, rng), Linear(5, 2, rng))
+        out = seq(Tensor(np.ones((1, 3), dtype=np.float32)))
+        assert out.shape == (1, 2)
+        assert len(seq) == 2
+        assert isinstance(seq[0], Linear)
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward()

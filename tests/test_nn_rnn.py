@@ -1,0 +1,111 @@
+"""Unit tests for LSTM cells and stacks (repro.nn.rnn)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, LSTMCell, Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestLSTMCell:
+    def test_state_shapes(self, rng):
+        cell = LSTMCell(4, 8, rng)
+        state = cell.initial_state(3)
+        assert state.h.shape == (3, 8)
+        assert state.c.shape == (3, 8)
+
+    def test_step_shapes(self, rng):
+        cell = LSTMCell(4, 8, rng)
+        state = cell.initial_state(2)
+        new = cell(Tensor(np.ones((2, 4), dtype=np.float32)), state)
+        assert new.h.shape == (2, 8)
+        assert new.c.shape == (2, 8)
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        cell = LSTMCell(4, 8, rng)
+        bias = cell.bias.data
+        np.testing.assert_allclose(bias[8:16], np.ones(8))
+        np.testing.assert_allclose(bias[:8], np.zeros(8))
+        np.testing.assert_allclose(bias[16:], np.zeros(16))
+
+    def test_hidden_bounded_by_tanh(self, rng):
+        cell = LSTMCell(4, 8, rng)
+        state = cell.initial_state(2)
+        x = Tensor(rng.standard_normal((2, 4)).astype(np.float32) * 100)
+        for _ in range(5):
+            state = cell(x, state)
+        assert np.abs(state.h.data).max() <= 1.0
+
+    def test_deterministic_from_seed(self):
+        a = LSTMCell(4, 8, np.random.default_rng(7))
+        b = LSTMCell(4, 8, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight_ih.data, b.weight_ih.data)
+        np.testing.assert_array_equal(a.weight_hh.data, b.weight_hh.data)
+
+
+class TestLSTMStack:
+    def test_requires_layer(self, rng):
+        with pytest.raises(ValueError):
+            LSTM(4, 8, 0, rng)
+
+    def test_forward_output_shapes(self, rng):
+        lstm = LSTM(4, 8, 2, rng)
+        inputs = [Tensor(np.ones((3, 4), dtype=np.float32)) for _ in range(5)]
+        outputs, states = lstm(inputs)
+        assert len(outputs) == 5
+        assert outputs[0].shape == (3, 8)
+        assert len(states) == 2
+
+    def test_empty_inputs_raise(self, rng):
+        with pytest.raises(ValueError):
+            LSTM(4, 8, 1, rng)([])
+
+    def test_wrong_state_layers_raise(self, rng):
+        lstm = LSTM(4, 8, 2, rng)
+        x = [Tensor(np.ones((1, 4), dtype=np.float32))]
+        with pytest.raises(ValueError):
+            lstm(x, state=lstm.initial_state(1)[:1])
+
+    def test_statefulness_continuation(self, rng):
+        """Processing [a, b] at once == processing a then b with state."""
+        lstm = LSTM(4, 8, 2, rng)
+        a = Tensor(rng.standard_normal((2, 4)).astype(np.float32))
+        b = Tensor(rng.standard_normal((2, 4)).astype(np.float32))
+        full_out, _ = lstm([a, b])
+        out_a, state = lstm([a])
+        out_b, _ = lstm([b], state=state)
+        np.testing.assert_allclose(full_out[1].data, out_b[0].data, rtol=1e-5)
+
+    def test_step_matches_forward(self, rng):
+        lstm = LSTM(4, 8, 1, rng)
+        x = Tensor(rng.standard_normal((1, 4)).astype(np.float32))
+        out_fwd, _ = lstm([x])
+        out_step, _ = lstm.step(x, lstm.initial_state(1))
+        np.testing.assert_array_equal(out_fwd[0].data, out_step.data)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        lstm = LSTM(4, 8, 2, rng)
+        inputs = [Tensor(rng.standard_normal((2, 4)).astype(np.float32))
+                  for _ in range(4)]
+        outputs, _ = lstm(inputs)
+        loss = outputs[-1].sum()
+        loss.backward()
+        for name, param in lstm.named_parameters():
+            assert param.grad is not None, f"no grad for {name}"
+            assert np.isfinite(param.grad).all(), f"non-finite grad for {name}"
+
+    def test_gradient_through_time(self, rng):
+        """Early inputs influence late outputs (BPTT works)."""
+        lstm = LSTM(2, 4, 1, rng)
+        x0 = Tensor(rng.standard_normal((1, 2)).astype(np.float32),
+                    requires_grad=True)
+        rest = [Tensor(rng.standard_normal((1, 2)).astype(np.float32))
+                for _ in range(6)]
+        outputs, _ = lstm([x0] + rest)
+        outputs[-1].sum().backward()
+        assert x0.grad is not None
+        assert np.abs(x0.grad).sum() > 0

@@ -1,0 +1,161 @@
+"""Unit tests for cleaning and length ops (repro.preprocess)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.preprocess import (clean_corpus, content_fingerprint,
+                              measure_lengths, merge_short_texts,
+                              near_duplicate_key, remove_duplicates,
+                              remove_incomplete, size_distribution,
+                              truncate_corpus, truncate_text)
+from repro.recipedb import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def recipes():
+    return generate_corpus(30, seed=8)
+
+
+class TestFingerprint:
+    def test_stable(self, recipes):
+        assert content_fingerprint(recipes[0]) == content_fingerprint(recipes[0])
+
+    def test_id_independent(self, recipes):
+        clone = dataclasses.replace(recipes[0], recipe_id=99999)
+        assert content_fingerprint(clone) == content_fingerprint(recipes[0])
+
+    def test_content_dependent(self, recipes):
+        clone = dataclasses.replace(recipes[0], title="something else")
+        assert content_fingerprint(clone) != content_fingerprint(recipes[0])
+
+    def test_near_key_ignores_instruction_changes(self, recipes):
+        base = recipes[0]
+        clone = dataclasses.replace(base, instructions=base.instructions[:-1])
+        assert near_duplicate_key(clone) == near_duplicate_key(base)
+
+
+class TestCleaning:
+    def test_remove_incomplete(self, recipes):
+        broken = dataclasses.replace(recipes[0], recipe_id=1000, title="")
+        complete, incomplete = remove_incomplete(list(recipes) + [broken])
+        assert len(incomplete) == 1
+        assert incomplete[0].recipe_id == 1000
+        assert len(complete) == len(recipes)
+
+    def test_remove_exact_duplicates_first_wins(self, recipes):
+        dup = dataclasses.replace(recipes[0], recipe_id=1000)
+        unique, dups = remove_duplicates(list(recipes) + [dup])
+        assert len(dups) == 1
+        assert dups[0].recipe_id == 1000
+
+    def test_near_duplicate_removal_toggle(self, recipes):
+        base = recipes[0]
+        near = dataclasses.replace(base, recipe_id=1000,
+                                   instructions=base.instructions[:-1])
+        unique_strict, _ = remove_duplicates(list(recipes) + [near], near=True)
+        unique_loose, _ = remove_duplicates(list(recipes) + [near], near=False)
+        assert len(unique_strict) == len(recipes)
+        assert len(unique_loose) == len(recipes) + 1
+
+    def test_clean_corpus_report(self):
+        corpus = generate_corpus(40, seed=3, duplicate_rate=0.5,
+                                 incomplete_rate=0.25)
+        cleaned, report = clean_corpus(corpus)
+        assert report.total_in == len(corpus)
+        assert report.kept == len(cleaned) == 40
+        assert report.incomplete_removed + report.duplicates_removed \
+               == len(corpus) - 40
+        assert report.total_removed == len(report.removed_ids)
+
+    def test_clean_preserves_order(self, recipes):
+        cleaned, _ = clean_corpus(list(recipes))
+        assert [r.recipe_id for r in cleaned] == [r.recipe_id for r in recipes]
+
+
+class TestSizeDistribution:
+    def test_basic_stats(self):
+        texts = ["a" * 100, "b" * 200, "c" * 300]
+        dist = size_distribution(texts, cap=250)
+        assert dist.count == 3
+        assert dist.mean == pytest.approx(200.0)
+        assert dist.minimum == 100
+        assert dist.maximum == 300
+        assert dist.coverage_at_cap == pytest.approx(2 / 3)
+
+    def test_two_sigma_point(self):
+        texts = ["a" * 100, "b" * 300]
+        dist = size_distribution(texts)
+        assert dist.two_sigma_point == pytest.approx(200 + 2 * 100)
+        assert dist.minus_three_sigma_point == pytest.approx(200 - 300)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            size_distribution([])
+
+    def test_measure_lengths(self):
+        np.testing.assert_array_equal(measure_lengths(["ab", "c"]), [2, 1])
+
+    def test_corpus_shape_matches_paper(self):
+        """The synthetic corpus puts ~2σ near 2000 chars (E3)."""
+        from repro.preprocess import PreprocessingPipeline
+        pipe = PreprocessingPipeline()
+        texts = [pipe.serialize(r) for r in generate_corpus(400, seed=1)]
+        dist = size_distribution(texts)
+        assert 1600 < dist.two_sigma_point < 2400
+        assert 0.90 < dist.coverage_at_cap <= 1.0
+
+
+class TestTruncation:
+    def test_under_cap_untouched(self):
+        assert truncate_text("short text", 100) == "short text"
+
+    def test_cuts_on_word_boundary(self):
+        text = "one two three four"
+        out = truncate_text(text, 12)
+        assert out == "one two"
+        assert not out.endswith(" ")
+
+    def test_never_splits_tag(self):
+        text = "word " + "<RECIPE_START>" * 5
+        out = truncate_text(text, 25)
+        # every tag in the output is intact
+        assert out.count("<") == out.count("<RECIPE_START>")
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            truncate_text("x", 0)
+
+    def test_corpus_count(self):
+        texts = ["a b c " * 100, "short"]
+        capped, n = truncate_corpus(texts, 50)
+        assert n == 1
+        assert len(capped[0]) <= 50
+        assert capped[1] == "short"
+
+
+class TestMergeShort:
+    def test_packs_short_texts(self):
+        # tight distribution around 500 with two -3σ outliers
+        texts = ["L" * (500 + i) for i in range(30)] + ["s" * 40, "t" * 40]
+        dist = size_distribution(texts)
+        assert dist.minus_three_sigma_point > 40
+        merged, merges = merge_short_texts(texts, dist)
+        assert merges > 0
+        assert len(merged) < len(texts)
+
+    def test_no_short_texts_no_merges(self):
+        texts = ["x" * 100] * 5
+        dist = size_distribution(texts)
+        merged, merges = merge_short_texts(texts, dist)
+        assert merges == 0
+        assert merged == texts
+
+    def test_content_preserved(self):
+        texts = ["L" * 400] * 3 + ["alpha", "beta", "gamma"]
+        dist = size_distribution(texts)
+        merged, _ = merge_short_texts(texts, dist)
+        joined = " ".join(merged)
+        for token in ("alpha", "beta", "gamma"):
+            assert token in joined

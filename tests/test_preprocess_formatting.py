@@ -1,0 +1,138 @@
+"""Unit tests for the tagged format (repro.preprocess.formatting)."""
+
+import pytest
+
+from repro.preprocess import (INGR_END, INGR_START, INSTR_END, INSTR_START,
+                              NEXT_INGR, NEXT_INSTR, RECIPE_END, RECIPE_START,
+                              TITLE_END, TITLE_START, format_prompt,
+                              format_recipe, normalize_text, parse_recipe,
+                              structure_errors)
+from repro.recipedb import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def recipe():
+    return generate_corpus(1, seed=42)[0]
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize_text("Mix WELL") == "mix well"
+
+    def test_collapses_whitespace(self):
+        assert normalize_text("a   b\t c\n d") == "a b c d"
+
+    def test_strips(self):
+        assert normalize_text("  x  ") == "x"
+
+
+class TestFormatRecipe:
+    def test_section_order_ingredients_first(self, recipe):
+        text = format_recipe(recipe)
+        assert text.index(INGR_START) < text.index(INSTR_START) \
+               < text.index(TITLE_START)
+        assert text.startswith(RECIPE_START)
+        assert text.endswith(RECIPE_END)
+
+    def test_single_line(self, recipe):
+        assert "\n" not in format_recipe(recipe)
+
+    def test_lowercase(self, recipe):
+        text = format_recipe(recipe)
+        # only the tags contain uppercase
+        stripped = text
+        for tag in [RECIPE_START, RECIPE_END, TITLE_START, TITLE_END,
+                    INGR_START, INGR_END, NEXT_INGR, INSTR_START, INSTR_END,
+                    NEXT_INSTR]:
+            stripped = stripped.replace(tag, "")
+        assert stripped == stripped.lower()
+
+    def test_separator_counts(self, recipe):
+        text = format_recipe(recipe)
+        assert text.count(NEXT_INGR) == len(recipe.ingredients) - 1
+        assert text.count(NEXT_INSTR) == len(recipe.instructions) - 1
+
+    def test_no_structure_errors(self, recipe):
+        assert structure_errors(format_recipe(recipe)) == []
+
+
+class TestParseRoundtrip:
+    def test_sections_recovered(self, recipe):
+        parsed = parse_recipe(format_recipe(recipe))
+        assert parsed.title == normalize_text(recipe.title)
+        assert len(parsed.ingredients) == len(recipe.ingredients)
+        assert len(parsed.instructions) == len(recipe.instructions)
+        assert parsed.is_valid()
+
+    def test_ingredient_content_preserved(self, recipe):
+        parsed = parse_recipe(format_recipe(recipe))
+        for line, item in zip(parsed.ingredients, recipe.ingredients):
+            assert item.ingredient.name in line
+
+    def test_empty_text(self):
+        parsed = parse_recipe("")
+        assert not parsed.is_valid()
+        assert parsed.title == ""
+        assert parsed.ingredients == []
+
+    def test_truncated_instructions_salvaged(self):
+        text = (f"{RECIPE_START} {INGR_START} salt {INGR_END} "
+                f"{INSTR_START} mix well . {NEXT_INSTR} bake until done")
+        parsed = parse_recipe(text)
+        assert parsed.instructions == ["mix well .", "bake until done"]
+
+    def test_salvage_stops_at_recipe_end(self):
+        text = (f"{INSTR_START} step one . {RECIPE_END} garbage after")
+        parsed = parse_recipe(text)
+        assert parsed.instructions == ["step one ."]
+
+
+class TestFormatPrompt:
+    def test_basic_prompt(self):
+        prompt = format_prompt(["2 cup flour", "1 egg"])
+        assert prompt.startswith(RECIPE_START)
+        assert prompt.endswith(INSTR_START)
+        assert NEXT_INGR in prompt
+        assert TITLE_START not in prompt
+
+    def test_prompt_is_training_prefix(self, recipe):
+        """A prompt built from a recipe's own ingredients must be a prefix
+        of its serialized training text (modulo the ingredient lines)."""
+        text = format_recipe(recipe)
+        ingredient_lines = [normalize_text(ri.display())
+                            for ri in recipe.ingredients]
+        prompt = format_prompt(ingredient_lines)
+        assert text.startswith(prompt[:prompt.rfind(INSTR_START)])
+
+    def test_with_title(self):
+        prompt = format_prompt(["salt"], title="My Dish")
+        assert TITLE_START in prompt
+        assert "my dish" in prompt
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            format_prompt([])
+        with pytest.raises(ValueError):
+            format_prompt(["   "])
+
+    def test_normalizes(self):
+        prompt = format_prompt(["  2 Cup   FLOUR "])
+        assert "2 cup flour" in prompt
+
+
+class TestStructureErrors:
+    def test_valid_has_none(self, recipe):
+        assert structure_errors(format_recipe(recipe)) == []
+
+    def test_missing_sections_reported(self):
+        errors = structure_errors(f"{RECIPE_START} {RECIPE_END}")
+        assert any("TITLE" in e for e in errors)
+        assert any("INGR" in e for e in errors)
+        assert "no ingredients" in errors
+
+    def test_unbalanced_tags_reported(self):
+        text = (f"{RECIPE_START} {INGR_START} salt {INGR_END} "
+                f"{INSTR_START} mix . {INSTR_END} "
+                f"{TITLE_START} dish {TITLE_END} {RECIPE_END} {RECIPE_START}")
+        errors = structure_errors(text)
+        assert any("unbalanced" in e for e in errors)

@@ -1,0 +1,102 @@
+"""Unit + property tests for number special tokens (repro.preprocess.numbers)."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.preprocess import (decode_numbers, encode_numbers,
+                              number_tokens_in, vocabulary_from)
+
+
+class TestEncode:
+    def test_mixed_fraction(self):
+        assert encode_numbers("1 1/2 cup flour") == "<QTY_1_1/2> cup flour"
+
+    def test_bare_fraction(self):
+        assert encode_numbers("3/4 teaspoon salt") == "<QTY_3/4> teaspoon salt"
+
+    def test_integer(self):
+        assert encode_numbers("bake 30 minutes") == "bake <NUM_30> minutes"
+
+    def test_multiple_occurrences(self):
+        out = encode_numbers("2 eggs and 1/2 cup milk for 20 minutes")
+        assert out == "<NUM_2> eggs and <QTY_1/2> cup milk for <NUM_20> minutes"
+
+    def test_number_inside_word_untouched(self):
+        assert encode_numbers("gpt2 model") == "gpt2 model"
+        assert encode_numbers("a100 gpu") == "a100 gpu"
+
+    def test_decimal_untouched(self):
+        # decimals are not in the corpus grammar; leave them alone
+        assert encode_numbers("1.5 liters") == "1.5 liters"
+
+    def test_temperature(self):
+        assert encode_numbers("preheat to 425 degrees") == \
+               "preheat to <NUM_425> degrees"
+
+
+class TestDecode:
+    def test_inverts_mixed(self):
+        assert decode_numbers("<QTY_1_1/2> cup") == "1 1/2 cup"
+
+    def test_inverts_bare(self):
+        assert decode_numbers("<QTY_2/3> cup") == "2/3 cup"
+
+    def test_inverts_integer(self):
+        assert decode_numbers("<NUM_350> degrees") == "350 degrees"
+
+    def test_unknown_tokens_untouched(self):
+        assert decode_numbers("<RECIPE_START> hello") == "<RECIPE_START> hello"
+
+
+class TestRoundtrip:
+    CASES = [
+        "1 1/2 pound chicken , cubed",
+        "1/4 teaspoon salt and 2 cloves garlic",
+        "bake at 375 for 45 minutes",
+        "divide dough into 4 equal pieces ; roll to 1/4 inch",
+        "no numbers here at all",
+        "8 to 10 minutes",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_exact_roundtrip(self, text):
+        assert decode_numbers(encode_numbers(text)) == text
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50)
+    def test_integer_roundtrip_property(self, n):
+        text = f"cook for {n} minutes"
+        assert decode_numbers(encode_numbers(text)) == text
+
+    @given(st.integers(1, 99), st.integers(1, 16), st.integers(2, 16))
+    @settings(max_examples=50)
+    def test_mixed_fraction_roundtrip_property(self, whole, num, den):
+        text = f"add {whole} {num}/{den} cup"
+        assert decode_numbers(encode_numbers(text)) == text
+
+    @given(st.text(alphabet="abcdefghij ,.;", max_size=60))
+    @settings(max_examples=50)
+    def test_numberless_text_is_fixed_point(self, text):
+        assert encode_numbers(text) == text
+
+
+class TestHelpers:
+    def test_number_tokens_in_order(self):
+        encoded = encode_numbers("2 cups then 1/2 cup then 30 minutes")
+        assert number_tokens_in(encoded) == ["<NUM_2>", "<QTY_1/2>", "<NUM_30>"]
+
+    def test_vocabulary_from_sorted_unique(self):
+        texts = [encode_numbers("2 cups for 30 minutes"),
+                 encode_numbers("2 cups for 45 minutes")]
+        vocab = vocabulary_from(texts)
+        assert vocab == sorted(set(vocab))
+        assert "<NUM_2>" in vocab
+        assert "<NUM_45>" in vocab
+
+    def test_encoded_tokens_are_single_words(self):
+        encoded = encode_numbers("1 1/2 cup flour")
+        first_word = encoded.split()[0]
+        assert re.fullmatch(r"<QTY_[0-9_/]+>", first_word)

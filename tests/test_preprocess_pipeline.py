@@ -1,0 +1,77 @@
+"""Integration tests for the full preprocessing pipeline."""
+
+import pytest
+
+from repro.preprocess import (PreprocessConfig, PreprocessingPipeline,
+                              number_tokens_in, preprocess, structure_errors)
+from repro.recipedb import generate_corpus
+
+
+class TestPipeline:
+    def test_clean_corpus_passthrough_counts(self):
+        recipes = generate_corpus(50, seed=4)
+        texts, report = preprocess(recipes)
+        assert report.cleaning.total_in == 50
+        assert report.cleaning.kept == 50
+        assert report.texts_out == len(texts)
+        assert report.invalid_after == 0
+
+    def test_corrupted_corpus_cleaned(self):
+        recipes = generate_corpus(50, seed=4, duplicate_rate=0.3,
+                                  incomplete_rate=0.2, oversize_rate=0.1)
+        texts, report = preprocess(recipes)
+        assert report.cleaning.kept == 50
+        assert report.cleaning.duplicates_removed > 0
+        assert report.cleaning.incomplete_removed > 0
+        # every surviving text is structurally valid
+        assert report.invalid_after == 0
+
+    def test_cap_enforced(self):
+        recipes = generate_corpus(80, seed=4)
+        texts, report = preprocess(recipes,
+                                   PreprocessConfig(max_chars=800,
+                                                    merge_short=False))
+        assert all(len(t) <= 800 for t in texts)
+        assert report.truncated > 0
+        assert report.notes
+
+    def test_number_tokens_present_by_default(self):
+        recipes = generate_corpus(5, seed=4)
+        texts, _ = preprocess(recipes)
+        assert any(number_tokens_in(t) for t in texts)
+
+    def test_number_tokens_disabled(self):
+        recipes = generate_corpus(5, seed=4)
+        config = PreprocessConfig(number_special_tokens=False)
+        texts, _ = preprocess(recipes, config)
+        assert all(not number_tokens_in(t) for t in texts)
+
+    def test_serialize_single(self):
+        recipe = generate_corpus(1, seed=4)[0]
+        pipe = PreprocessingPipeline()
+        text = pipe.serialize(recipe)
+        assert structure_errors(text) == []
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            preprocess([])
+
+    def test_all_removed_raises(self):
+        import dataclasses
+        recipe = generate_corpus(1, seed=0)[0]
+        broken = dataclasses.replace(recipe, title="")
+        with pytest.raises(ValueError):
+            preprocess([broken])
+
+    def test_distributions_recorded(self):
+        recipes = generate_corpus(50, seed=4)
+        _, report = preprocess(recipes)
+        assert report.distribution_before.count == 50
+        assert report.distribution_after.count <= 50
+        assert report.distribution_before.mean > 0
+
+    def test_deterministic(self):
+        recipes = generate_corpus(20, seed=4)
+        texts_a, _ = preprocess(recipes)
+        texts_b, _ = preprocess(recipes)
+        assert texts_a == texts_b

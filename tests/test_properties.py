@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the data structures whose correctness everything else
+rests on: the tagged format, structured truncation, the recipe
+database's index consistency, schema serialization, and BLEU bounds.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.preprocess import (parse_recipe, serialize_sections,
+                              structure_errors, truncate_structured)
+from repro.recipedb import RecipeDatabase, generate_corpus
+from repro.recipedb.schema import Quantity, Recipe
+
+# Words that can appear inside sections without colliding with tags.
+_word = st.text(alphabet="abcdefghijklmnop", min_size=1, max_size=8)
+_line = st.lists(_word, min_size=1, max_size=6).map(" ".join)
+
+
+class TestTaggedFormatProperties:
+    @given(title=_line,
+           ingredients=st.lists(_line, min_size=1, max_size=6),
+           instructions=st.lists(_line, min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_serialize_parse_roundtrip(self, title, ingredients, instructions):
+        text = serialize_sections(title, ingredients, instructions)
+        parsed = parse_recipe(text)
+        assert parsed.title == title
+        assert parsed.ingredients == ingredients
+        assert parsed.instructions == instructions
+        assert structure_errors(text) == []
+
+    @given(title=_line,
+           ingredients=st.lists(_line, min_size=1, max_size=4),
+           instructions=st.lists(_line, min_size=2, max_size=10),
+           cap=st.integers(min_value=150, max_value=400))
+    @settings(max_examples=60, deadline=None)
+    def test_structured_truncation_keeps_validity(self, title, ingredients,
+                                                  instructions, cap):
+        text = serialize_sections(title, ingredients, instructions)
+        assume(len(text) > cap)
+        # only recipes whose one-step form could ever fit are interesting
+        minimal = serialize_sections(title, ingredients, instructions[:1])
+        assume(len(minimal) <= cap)
+        capped = truncate_structured(text, cap)
+        assert len(capped) <= cap
+        assert structure_errors(capped) == []
+        parsed = parse_recipe(capped)
+        # instructions are a prefix of the originals
+        assert parsed.instructions == instructions[:len(parsed.instructions)]
+
+    @given(st.text(alphabet="abc <>/_RECIPESTAT", max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_parse_never_crashes_on_garbage(self, text):
+        parsed = parse_recipe(text)
+        assert isinstance(parsed.ingredients, list)
+        assert isinstance(parsed.instructions, list)
+
+
+class TestDatabaseProperties:
+    @given(st.integers(min_value=1, max_value=30),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_index_consistency(self, n, seed):
+        recipes = generate_corpus(n, seed=seed % 1000)
+        db = RecipeDatabase(recipes)
+        # every recipe is findable through each of its indices
+        for recipe in recipes:
+            assert recipe.recipe_id in {r.recipe_id
+                                        for r in db.by_region(recipe.region)}
+            for name in set(recipe.ingredient_names):
+                assert recipe.recipe_id in {r.recipe_id
+                                            for r in db.with_ingredient(name)}
+
+    @given(st.integers(min_value=2, max_value=15))
+    @settings(max_examples=10, deadline=None)
+    def test_remove_then_reinsert_is_identity(self, n):
+        recipes = generate_corpus(n, seed=5)
+        db = RecipeDatabase(recipes)
+        victim = recipes[n // 2]
+        before = {r.recipe_id for r in db.with_ingredient(
+            victim.ingredient_names[0])}
+        removed = db.remove(victim.recipe_id)
+        db.insert(removed)
+        after = {r.recipe_id for r in db.with_ingredient(
+            victim.ingredient_names[0])}
+        assert before == after
+        assert len(db) == n
+
+
+class TestSchemaProperties:
+    @given(st.integers(min_value=0, max_value=20),
+           st.sampled_from([0.0, 0.125, 0.25, 0.333, 0.5, 0.667, 0.75]))
+    @settings(max_examples=60, deadline=None)
+    def test_quantity_display_never_empty_unit_text(self, whole, frac):
+        value = whole + frac
+        assume(value > 0)
+        rendered = Quantity(value, "cup").display()
+        assert rendered.endswith("cup")
+        assert rendered[0].isdigit()
+
+    @given(st.integers(min_value=0, max_value=999))
+    @settings(max_examples=20, deadline=None)
+    def test_recipe_dict_roundtrip(self, seed):
+        recipe = generate_corpus(1, seed=seed)[0]
+        restored = Recipe.from_dict(recipe.to_dict())
+        assert restored.title == recipe.title
+        assert restored.ingredient_names == recipe.ingredient_names
+        assert [s.text for s in restored.instructions] == \
+               [s.text for s in recipe.instructions]
+        assert restored.nutrition == recipe.nutrition
+        # and the roundtrip is a fixed point
+        assert restored.to_dict() == recipe.to_dict()
+
+
+class TestTokenizerProperties:
+    @given(st.lists(st.sampled_from(
+        ["mix", "the", "flour", "<NEXT_INGR>", "<QTY_1/2>", "salt", "."],
+    ), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_bpe_roundtrip_arbitrary_token_streams(self, words):
+        from repro.tokenizers import BPETokenizer
+        text = " ".join(words)
+        tok = BPETokenizer([text, "mix the flour salt ."], num_merges=30)
+        assert tok.decode(tok.encode(text)) == text
+
+    @given(st.integers(min_value=2, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_char_tokenizer_length_equals_chars(self, n):
+        from repro.tokenizers import CharTokenizer
+        text = "abc def " * n
+        tok = CharTokenizer([text])
+        assert len(tok.encode(text)) == len(text)
+
+
+class TestGenerationProperties:
+    @given(st.integers(min_value=1, max_value=30),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_generation_length_and_vocab_bounds(self, max_new, seed):
+        from repro.models import GenerationConfig, generate
+        from repro.models.lstm import LSTMConfig, LSTMLanguageModel
+        model = LSTMLanguageModel(LSTMConfig(vocab_size=12, d_embed=4,
+                                             d_hidden=8, num_layers=1,
+                                             dropout=0.0))
+        out = generate(model, [1, 2],
+                       GenerationConfig(max_new_tokens=max_new, seed=seed))
+        assert len(out) == max_new
+        assert all(0 <= t < 12 for t in out)

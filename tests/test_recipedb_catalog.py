@@ -1,0 +1,168 @@
+"""Unit tests for ingredients, flavor, nutrition, health substrates."""
+
+import numpy as np
+import pytest
+
+from repro.recipedb import CATEGORIES, IngredientCatalog, default_catalog
+from repro.recipedb.flavordb import (BRIDGE_MOLECULES, molecules_for,
+                                     pairing_score, shared_molecules)
+from repro.recipedb.health import aggregate as health_aggregate
+from repro.recipedb.health import associations_for_category
+from repro.recipedb.ingredients import BASE_INGREDIENTS, full_scale_catalog
+from repro.recipedb.nutrition import (UNIT_GRAMS, aggregate, density_for,
+                                      grams_of)
+from repro.recipedb.schema import Ingredient, Quantity, RecipeIngredient
+
+
+class TestCatalog:
+    def test_default_catalog_size(self):
+        catalog = default_catalog()
+        base = sum(len(v) for v in BASE_INGREDIENTS.values())
+        assert len(catalog) >= base
+        # expansion_factor=3 adds up to 3 variants per base
+        assert len(catalog) <= base * 4
+
+    def test_full_scale_larger(self):
+        assert len(full_scale_catalog()) > len(default_catalog())
+
+    def test_get_known(self):
+        catalog = default_catalog()
+        onion = catalog.get("onion")
+        assert onion.category == "vegetable"
+        assert onion.flavor_molecules
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            default_catalog().get("unobtainium")
+
+    def test_contains(self):
+        catalog = default_catalog()
+        assert "garlic" in catalog
+        assert "unobtainium" not in catalog
+
+    def test_by_category(self):
+        catalog = default_catalog()
+        spices = catalog.by_category("spice")
+        assert all(s.category == "spice" for s in spices)
+        with pytest.raises(KeyError):
+            catalog.by_category("metal")
+
+    def test_unique_ids(self):
+        catalog = default_catalog()
+        ids = [i.ingredient_id for i in catalog.all()]
+        assert len(ids) == len(set(ids))
+
+    def test_deterministic_from_seed(self):
+        a = IngredientCatalog(expansion_factor=2, seed=3)
+        b = IngredientCatalog(expansion_factor=2, seed=3)
+        assert a.names() == b.names()
+
+    def test_zipf_sampling_prefers_head(self):
+        catalog = default_catalog()
+        rng = np.random.default_rng(0)
+        pool = catalog.by_category("vegetable")
+        draws = [catalog.sample("vegetable", rng).name for _ in range(500)]
+        head_share = sum(1 for d in draws if d == pool[0].name) / len(draws)
+        tail_share = sum(1 for d in draws if d == pool[-1].name) / len(draws)
+        assert head_share > tail_share
+
+    def test_negative_expansion_raises(self):
+        with pytest.raises(ValueError):
+            IngredientCatalog(expansion_factor=-1)
+
+    def test_all_categories_populated(self):
+        catalog = default_catalog()
+        for category in CATEGORIES:
+            assert catalog.by_category(category)
+
+
+class TestFlavorDB:
+    def test_deterministic(self):
+        assert molecules_for("basil", "herb") == molecules_for("basil", "herb")
+
+    def test_category_pool_membership(self):
+        from repro.recipedb.flavordb import CATEGORY_MOLECULES
+        mols = molecules_for("basil", "herb")
+        assert any(m in CATEGORY_MOLECULES["herb"] for m in mols)
+
+    def test_variants_share_bridge_molecule(self):
+        base = set(molecules_for("basil", "herb"))
+        variant = set(molecules_for("fresh basil", "herb"))
+        shared_bridges = base & variant & set(BRIDGE_MOLECULES)
+        assert shared_bridges
+
+    def test_shared_molecules_order(self):
+        a = ("x", "y", "z")
+        b = ("z", "x")
+        assert shared_molecules(a, b) == ["x", "z"]
+
+    def test_pairing_score_bounds(self):
+        a = molecules_for("onion", "vegetable")
+        b = molecules_for("garlic", "vegetable")
+        score = pairing_score(a, b)
+        assert 0.0 <= score <= 1.0
+        assert pairing_score(a, a) == 1.0
+        assert pairing_score((), a) == 0.0
+
+
+class TestNutrition:
+    def test_density_jitter_bounded(self):
+        from repro.recipedb.nutrition import CATEGORY_DENSITY
+        base_kcal = CATEGORY_DENSITY["meat"][0]
+        profile = density_for("chicken breast", "meat")
+        assert 0.8 * base_kcal <= profile.calories_kcal <= 1.2 * base_kcal
+
+    def test_density_unknown_category_raises(self):
+        with pytest.raises(KeyError):
+            density_for("thing", "mineral")
+
+    def test_grams_conversion(self):
+        assert grams_of(2, "cup") == 2 * UNIT_GRAMS["cup"]
+        assert grams_of(1, "weird-unit") == 50.0  # fallback
+
+    def test_aggregate_scales_with_servings(self):
+        item = RecipeIngredient(
+            ingredient=Ingredient(0, "rice", "grain"),
+            quantity=Quantity(2, "cup"))
+        one = aggregate([item], servings=1)
+        four = aggregate([item], servings=4)
+        assert one.calories_kcal == pytest.approx(4 * four.calories_kcal,
+                                                  rel=0.01)
+
+    def test_aggregate_validates_servings(self):
+        with pytest.raises(ValueError):
+            aggregate([], servings=0)
+
+    def test_oil_is_energy_dense(self):
+        oil = density_for("olive oil", "oil")
+        veg = density_for("spinach", "vegetable")
+        assert oil.calories_kcal > 5 * veg.calories_kcal
+
+
+class TestHealth:
+    def test_category_associations_polarity(self):
+        table = associations_for_category("vegetable")
+        assert all(v in ("positive", "negative") for v in table.values())
+        assert table["cardiovascular disease"] == "positive"
+
+    def test_meat_has_risks(self):
+        table = associations_for_category("meat")
+        assert "negative" in table.values()
+
+    def test_unknown_category_empty(self):
+        assert associations_for_category("mineral") == {}
+
+    def test_aggregate_majority_vote(self):
+        veg = RecipeIngredient(
+            ingredient=Ingredient(0, "spinach", "vegetable"),
+            quantity=Quantity(1, "cup"))
+        sweet = RecipeIngredient(
+            ingredient=Ingredient(1, "sugar", "sweetener"),
+            quantity=Quantity(1, "cup"))
+        table = health_aggregate([veg, sweet])
+        # vegetable protects against obesity; sweetener risks it → tie dropped
+        assert "obesity" not in table
+        # vegetable-only protections survive
+        assert table["cardiovascular disease"] == "positive"
+        # sweetener-only risk survives... type 2 diabetes: veg none, sweet risk
+        assert table["type 2 diabetes"] == "negative"

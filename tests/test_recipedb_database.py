@@ -1,0 +1,129 @@
+"""Unit tests for the indexed recipe database (repro.recipedb.database)."""
+
+import numpy as np
+import pytest
+
+from repro.recipedb import RecipeDatabase, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def db():
+    return RecipeDatabase(generate_corpus(80, seed=21))
+
+
+class TestInsertRemove:
+    def test_len(self, db):
+        assert len(db) == 80
+
+    def test_duplicate_id_rejected(self, db):
+        recipe = db.all()[0]
+        with pytest.raises(ValueError):
+            db.insert(recipe)
+
+    def test_get_missing_raises(self, db):
+        with pytest.raises(KeyError):
+            db.get(10**9)
+
+    def test_contains(self, db):
+        some_id = db.ids()[0]
+        assert some_id in db
+        assert 10**9 not in db
+
+    def test_remove_updates_indices(self):
+        recipes = generate_corpus(10, seed=3)
+        database = RecipeDatabase(recipes)
+        victim = recipes[0]
+        database.remove(victim.recipe_id)
+        assert len(database) == 9
+        assert victim.recipe_id not in database
+        for name in victim.ingredient_names:
+            assert all(r.recipe_id != victim.recipe_id
+                       for r in database.with_ingredient(name))
+        # reinsert works after removal
+        database.insert(victim)
+        assert len(database) == 10
+
+
+class TestQueries:
+    def test_by_region_partition(self, db):
+        total = sum(len(db.by_region(region))
+                    for region in {r.region for r in db.all()})
+        assert total == len(db)
+
+    def test_by_country_subset_of_region(self, db):
+        recipe = db.all()[0]
+        country_hits = db.by_country(recipe.country)
+        region_hits = db.by_region(recipe.region)
+        assert set(r.recipe_id for r in country_hits) <= \
+               set(r.recipe_id for r in region_hits)
+
+    def test_by_continent(self, db):
+        recipe = db.all()[0]
+        hits = db.by_continent(recipe.continent)
+        assert recipe.recipe_id in [r.recipe_id for r in hits]
+
+    def test_with_ingredient(self, db):
+        recipe = db.all()[0]
+        name = recipe.ingredient_names[0]
+        hits = db.with_ingredient(name)
+        assert recipe.recipe_id in [r.recipe_id for r in hits]
+        assert all(name in r.ingredient_names for r in hits)
+
+    def test_with_all_ingredients_intersection(self, db):
+        recipe = db.all()[0]
+        names = recipe.ingredient_names[:2]
+        hits = db.with_all_ingredients(names)
+        assert recipe.recipe_id in [r.recipe_id for r in hits]
+        for hit in hits:
+            assert all(name in hit.ingredient_names for name in names)
+
+    def test_with_all_ingredients_empty_returns_all(self, db):
+        assert len(db.with_all_ingredients([])) == len(db)
+
+    def test_with_any_ingredient_union(self, db):
+        r0, r1 = db.all()[0], db.all()[1]
+        names = [r0.ingredient_names[0], r1.ingredient_names[0]]
+        hits = {r.recipe_id for r in db.with_any_ingredient(names)}
+        assert r0.recipe_id in hits and r1.recipe_id in hits
+
+    def test_with_process(self, db):
+        recipe = db.all()[0]
+        process = recipe.processes[0]
+        hits = db.with_process(process)
+        assert recipe.recipe_id in [r.recipe_id for r in hits]
+
+    def test_unknown_keys_return_empty(self, db):
+        assert db.by_region("Atlantis") == []
+        assert db.with_ingredient("unobtainium") == []
+
+
+class TestStats:
+    def test_stats_counts(self, db):
+        stats = db.stats()
+        assert stats.num_recipes == 80
+        assert stats.num_distinct_ingredients > 50
+        assert stats.mean_ingredients_per_recipe > 5
+        assert stats.mean_instructions_per_recipe > 5
+
+    def test_empty_stats(self):
+        stats = RecipeDatabase().stats()
+        assert stats.num_recipes == 0
+        assert stats.mean_ingredients_per_recipe == 0.0
+
+    def test_ingredient_frequencies_zipfian_head(self, db):
+        freqs = db.ingredient_frequencies()
+        counts = sorted(freqs.values(), reverse=True)
+        # head ingredient should appear far more than median
+        assert counts[0] >= 3 * counts[len(counts) // 2]
+
+    def test_process_frequencies(self, db):
+        freqs = db.process_frequencies()
+        assert sum(freqs.values()) > 0
+
+    def test_sample(self, db):
+        rng = np.random.default_rng(0)
+        sample = db.sample(10, rng)
+        assert len(sample) == 10
+        assert len({r.recipe_id for r in sample}) == 10
+        with pytest.raises(ValueError):
+            db.sample(10**6, rng)

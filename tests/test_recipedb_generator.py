@@ -1,0 +1,122 @@
+"""Unit tests for the corpus generator (repro.recipedb.generator)."""
+
+import numpy as np
+import pytest
+
+from repro.recipedb import (CorpusConfig, PROCESSES, RecipeGenerator,
+                            generate_corpus)
+from repro.recipedb.regions import COUNTRY_INDEX
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(60, seed=11)
+
+
+class TestRecipeGeneration:
+    def test_deterministic_from_seed(self):
+        a = generate_corpus(10, seed=5)
+        b = generate_corpus(10, seed=5)
+        assert [r.title for r in a] == [r.title for r in b]
+        assert [[ri.display() for ri in r.ingredients] for r in a] == \
+               [[ri.display() for ri in r.ingredients] for r in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(10, seed=1)
+        b = generate_corpus(10, seed=2)
+        assert [r.title for r in a] != [r.title for r in b]
+
+    def test_all_complete(self, corpus):
+        assert all(r.is_complete() for r in corpus)
+
+    def test_unique_ids(self, corpus):
+        ids = [r.recipe_id for r in corpus]
+        assert len(ids) == len(set(ids))
+
+    def test_geo_consistency(self, corpus):
+        for recipe in corpus:
+            continent, region = COUNTRY_INDEX[recipe.country]
+            assert recipe.continent == continent
+            assert recipe.region == region
+
+    def test_processes_from_taxonomy(self, corpus):
+        known = set(PROCESSES)
+        for recipe in corpus:
+            for step in recipe.instructions:
+                assert step.process in known, step.process
+
+    def test_instructions_are_realized_templates(self, corpus):
+        for recipe in corpus:
+            for step in recipe.instructions:
+                assert "{" not in step.text, f"unfilled slot: {step.text}"
+
+    def test_nutrition_and_health_attached(self, corpus):
+        for recipe in corpus:
+            assert recipe.nutrition is not None
+            assert recipe.nutrition.calories_kcal > 0
+
+    def test_ingredients_not_duplicated_within_recipe(self, corpus):
+        for recipe in corpus:
+            names = recipe.ingredient_names
+            assert len(names) == len(set(names))
+
+    def test_title_mentions_main_and_country(self, corpus):
+        for recipe in corpus:
+            assert recipe.country.lower() in recipe.title
+
+    def test_length_tail_exists(self):
+        """~20% of recipes are multi-component, giving a right tail."""
+        recipes = generate_corpus(300, seed=0)
+        step_counts = [len(r.instructions) for r in recipes]
+        assert max(step_counts) > 12  # composite recipes exist
+        assert min(step_counts) >= 5
+
+
+class TestCorruption:
+    def test_clean_by_default(self):
+        recipes = generate_corpus(50, seed=0)
+        assert all(r.is_complete() for r in recipes)
+
+    def test_duplicates_appended(self):
+        recipes = generate_corpus(50, seed=0, duplicate_rate=1.0)
+        assert len(recipes) == 100
+        titles = [r.title for r in recipes]
+        assert len(set(titles)) == 50
+
+    def test_incomplete_injected(self):
+        recipes = generate_corpus(50, seed=0, incomplete_rate=1.0)
+        incomplete = [r for r in recipes if not r.is_complete()]
+        assert len(incomplete) == 50
+
+    def test_oversize_injected(self):
+        recipes = generate_corpus(20, seed=0, oversize_rate=1.0)
+        oversize = [r for r in recipes if len(r.instructions) > 25]
+        assert len(oversize) == 20
+
+    def test_corrupted_ids_still_unique(self):
+        recipes = generate_corpus(30, seed=0, duplicate_rate=0.5,
+                                  incomplete_rate=0.5, oversize_rate=0.5)
+        ids = [r.recipe_id for r in recipes]
+        assert len(ids) == len(set(ids))
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(num_recipes=10, duplicate_rate=1.5)
+        with pytest.raises(ValueError):
+            CorpusConfig(num_recipes=0)
+
+
+class TestQuantities:
+    def test_units_match_values(self, corpus):
+        from repro.recipedb.generator import UNIT_VALUES
+        for recipe in corpus:
+            for item in recipe.ingredients:
+                assert item.quantity.unit in UNIT_VALUES
+                assert item.quantity.value in UNIT_VALUES[item.quantity.unit]
+
+    def test_fraction_display(self):
+        from repro.recipedb.schema import Quantity
+        assert Quantity(1.5, "cup").display() == "1 1/2 cup"
+        assert Quantity(0.25, "teaspoon").display() == "1/4 teaspoon"
+        assert Quantity(2.0, "piece").display() == "2 piece"
+        assert Quantity(0.333, "cup").display() == "1/3 cup"

@@ -1,0 +1,80 @@
+"""Unit tests for the region and process taxonomies (repro.recipedb)."""
+
+import pytest
+
+from repro.recipedb import (CONTINENTS, COUNTRIES, PROCESSES, PROCESS_KIND,
+                            REGIONS, REGION_TABLE, continent_of, countries_of,
+                            locate_country, processes_of_kind,
+                            validate_processes, validate_taxonomy)
+from repro.recipedb.processes import BASE_PROCESSES
+
+
+class TestRegionTaxonomy:
+    def test_paper_cardinalities(self):
+        """RecipeDB: 6 continents, 26 regions, 74 countries (Sec. III)."""
+        assert len(CONTINENTS) == 6
+        assert len(REGIONS) == 26
+        assert len(COUNTRIES) == 74
+
+    def test_validate_passes(self):
+        validate_taxonomy()
+
+    def test_no_duplicate_countries(self):
+        assert len(COUNTRIES) == len(set(COUNTRIES))
+
+    def test_every_region_has_countries(self):
+        for region, (continent, countries) in REGION_TABLE.items():
+            assert countries, f"region {region} has no countries"
+            assert continent in CONTINENTS
+
+    def test_continent_of(self):
+        assert continent_of("Italian") == "Europe"
+        assert continent_of("Japanese") == "Asia"
+        with pytest.raises(KeyError):
+            continent_of("Atlantis")
+
+    def test_countries_of_returns_copy(self):
+        countries = countries_of("French")
+        countries.append("Mars")
+        assert "Mars" not in countries_of("French")
+
+    def test_locate_country_roundtrip(self):
+        for region, (continent, countries) in REGION_TABLE.items():
+            for country in countries:
+                assert locate_country(country) == (continent, region)
+
+
+class TestProcessTaxonomy:
+    def test_paper_cardinality(self):
+        """RecipeDB: 268 cooking processes (Sec. III)."""
+        assert len(PROCESSES) == 268
+
+    def test_validate_passes(self):
+        validate_processes()
+
+    def test_no_duplicates(self):
+        assert len(PROCESSES) == len(set(PROCESSES))
+
+    def test_paper_examples_present(self):
+        # the paper names these explicitly: "heat, cook, boil, simmer, bake"
+        for process in ["heat", "cook", "boil", "simmer", "bake"]:
+            assert process in PROCESSES
+
+    def test_every_process_has_kind(self):
+        kinds = {"heat", "prepare", "season", "combine", "rest"}
+        for process in PROCESSES:
+            assert PROCESS_KIND[process] in kinds
+
+    def test_modifier_variants_inherit_kind(self):
+        assert PROCESS_KIND["slow-roast"] == PROCESS_KIND["roast"]
+        assert PROCESS_KIND["finely-chop"] == PROCESS_KIND["chop"]
+
+    def test_processes_of_kind_partition(self):
+        total = sum(len(processes_of_kind(kind))
+                    for kind in ("heat", "prepare", "season", "combine", "rest"))
+        assert total == len(PROCESSES)
+
+    def test_base_processes_subset(self):
+        for verbs in BASE_PROCESSES.values():
+            for verb in verbs:
+                assert verb in PROCESSES

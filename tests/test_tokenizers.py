@@ -1,0 +1,188 @@
+"""Unit + property tests for the three tokenizers (repro.tokenizers)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.preprocess import preprocess
+from repro.recipedb import generate_corpus
+from repro.tokenizers import (BOS, BPETokenizer, CharTokenizer, EOS, PAD,
+                              Tokenizer, UNK, WordTokenizer, is_special,
+                              load_any, special_tokens)
+
+
+@pytest.fixture(scope="module")
+def texts():
+    corpus, _ = preprocess(generate_corpus(40, seed=13))
+    return corpus
+
+
+@pytest.fixture(scope="module", params=["char", "word", "bpe", "char-atomic"])
+def tokenizer(request, texts):
+    if request.param == "char":
+        return CharTokenizer(texts)
+    if request.param == "char-atomic":
+        return CharTokenizer(texts, atomic_specials=True)
+    if request.param == "word":
+        return WordTokenizer(texts)
+    return BPETokenizer(texts, num_merges=300)
+
+
+class TestSharedBehaviour:
+    def test_control_ids_fixed(self, tokenizer):
+        assert tokenizer.pad_id == 0
+        assert tokenizer.bos_id == 1
+        assert tokenizer.eos_id == 2
+        assert tokenizer.unk_id == 3
+
+    def test_roundtrip_corpus_text(self, tokenizer, texts):
+        for text in texts[:5]:
+            assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_bos_eos_added(self, tokenizer, texts):
+        ids = tokenizer.encode(texts[0], add_bos=True, add_eos=True)
+        assert ids[0] == tokenizer.bos_id
+        assert ids[-1] == tokenizer.eos_id
+
+    def test_controls_skipped_on_decode(self, tokenizer, texts):
+        plain = tokenizer.encode(texts[0])
+        wrapped = tokenizer.encode(texts[0], add_bos=True, add_eos=True)
+        assert tokenizer.decode(wrapped) == tokenizer.decode(plain)
+
+    def test_id_range_validation(self, tokenizer):
+        with pytest.raises(IndexError):
+            tokenizer.id_to_token(tokenizer.vocab_size)
+        with pytest.raises(IndexError):
+            tokenizer.id_to_token(-1)
+
+    def test_save_load_roundtrip(self, tokenizer, texts, tmp_path):
+        path = tmp_path / "tok.json"
+        tokenizer.save(path)
+        restored = load_any(path)
+        assert restored.vocab_size == tokenizer.vocab_size
+        assert restored.encode(texts[0]) == tokenizer.encode(texts[0])
+        assert restored.decode(restored.encode(texts[1])) == texts[1]
+
+    def test_contains(self, tokenizer):
+        assert PAD in tokenizer
+        assert "token-that-does-not-exist" not in tokenizer
+
+
+class TestCharTokenizer:
+    def test_plain_mode_splits_tags(self, texts):
+        tok = CharTokenizer(texts)
+        ids = tok.encode("<RECIPE_START>")
+        assert len(ids) == len("<RECIPE_START>")
+
+    def test_atomic_mode_keeps_tags(self, texts):
+        tok = CharTokenizer(texts, atomic_specials=True)
+        ids = tok.encode("<RECIPE_START> ab")
+        # tag + space + a + b
+        assert len(ids) == 4
+
+    def test_atomic_flag_survives_save(self, texts, tmp_path):
+        tok = CharTokenizer(texts, atomic_specials=True)
+        tok.save(tmp_path / "t.json")
+        restored = CharTokenizer.load(tmp_path / "t.json")
+        assert restored.atomic_specials
+
+    def test_unknown_char_maps_to_unk(self, texts):
+        tok = CharTokenizer(texts)
+        ids = tok.encode("é")  # not in corpus
+        assert ids == [tok.unk_id]
+
+
+class TestWordTokenizer:
+    def test_special_tokens_single_ids(self, texts):
+        tok = WordTokenizer(texts)
+        ids = tok.encode("<RECIPE_START> <QTY_1/2> cup")
+        assert len(ids) == 3
+
+    def test_min_freq_prunes(self, texts):
+        full = WordTokenizer(texts, min_freq=1)
+        pruned = WordTokenizer(texts, min_freq=5)
+        assert pruned.vocab_size < full.vocab_size
+
+    def test_max_vocab_caps(self, texts):
+        capped = WordTokenizer(texts, max_vocab=50)
+        # 50 words + controls + specials found in corpus
+        assert capped.vocab_size < WordTokenizer(texts).vocab_size
+
+    def test_unknown_word_to_unk(self, texts):
+        tok = WordTokenizer(texts)
+        assert tok.encode("quasar") == [tok.unk_id]
+
+    def test_frequency_ordering(self, texts):
+        """More frequent words get smaller ids (after specials)."""
+        tok = WordTokenizer(texts)
+        the_id = tok.token_to_id("the")
+        rare = max(tok.encode(texts[0]))
+        assert the_id < rare
+
+
+class TestBPETokenizer:
+    def test_merges_learned(self, texts):
+        tok = BPETokenizer(texts, num_merges=100)
+        assert len(tok.merges) == 100
+
+    def test_zero_merges_is_char_like(self, texts):
+        tok = BPETokenizer(texts, num_merges=0)
+        pieces = tok._tokenize("hello")
+        assert len(pieces) == 5
+
+    def test_more_merges_shorter_sequences(self, texts):
+        small = BPETokenizer(texts, num_merges=50)
+        large = BPETokenizer(texts, num_merges=500)
+        assert len(large.encode(texts[0])) < len(small.encode(texts[0]))
+
+    def test_specials_never_merged(self, texts):
+        tok = BPETokenizer(texts, num_merges=300)
+        ids = tok.encode("<RECIPE_START> <NEXT_INGR>")
+        assert len(ids) == 2
+
+    def test_unseen_word_roundtrip(self, texts):
+        """BPE gracefully decomposes words never seen in training."""
+        tok = BPETokenizer(texts, num_merges=300)
+        text = "the zanzibar speciality"
+        decoded = tok.decode(tok.encode(text))
+        assert decoded == text
+
+    def test_merges_survive_save(self, texts, tmp_path):
+        tok = BPETokenizer(texts, num_merges=120)
+        tok.save(tmp_path / "bpe.json")
+        restored = BPETokenizer.load(tmp_path / "bpe.json")
+        assert restored.merges == tok.merges
+        assert restored.encode(texts[0]) == tok.encode(texts[0])
+
+    def test_negative_merges_rejected(self, texts):
+        with pytest.raises(ValueError):
+            BPETokenizer(texts, num_merges=-1)
+
+
+class TestSpecialRegistry:
+    def test_canonical_order(self):
+        tokens = special_tokens()
+        assert tokens[:4] == [PAD, BOS, EOS, UNK]
+
+    def test_is_special(self):
+        assert is_special("<RECIPE_START>")
+        assert is_special("<QTY_1/2>")
+        assert not is_special("hello")
+        assert not is_special("<>")
+        assert not is_special("a<b>")
+
+
+class TestKindMismatch:
+    def test_wrong_kind_load_raises(self, texts, tmp_path):
+        WordTokenizer(texts).save(tmp_path / "w.json")
+        with pytest.raises(ValueError):
+            BPETokenizer.load(tmp_path / "w.json")
+
+
+@given(st.lists(st.sampled_from("abc <RECIPE_START> <NUM_2> xyz".split()),
+                min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_word_tokenizer_roundtrip_property(words):
+    text = " ".join(words)
+    tok = WordTokenizer([text])
+    assert tok.decode(tok.encode(text)) == text

@@ -1,0 +1,191 @@
+"""Unit tests for datasets, trainer and callbacks (repro.training)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.models.lstm import LSTMConfig, LSTMLanguageModel
+from repro.preprocess import preprocess
+from repro.recipedb import generate_corpus
+from repro.tokenizers import WordTokenizer
+from repro.training import (EarlyStopping, LMDataset, LossLogger, Trainer,
+                            TrainingConfig, train_val_split)
+
+
+@pytest.fixture(scope="module")
+def texts():
+    corpus, _ = preprocess(generate_corpus(25, seed=17))
+    return corpus
+
+
+@pytest.fixture(scope="module")
+def tokenizer(texts):
+    return WordTokenizer(texts)
+
+
+@pytest.fixture(scope="module")
+def dataset(texts, tokenizer):
+    return LMDataset(texts, tokenizer, seq_len=32)
+
+
+def small_model(vocab_size):
+    return LSTMLanguageModel(LSTMConfig(vocab_size=vocab_size, d_embed=16,
+                                        d_hidden=32, num_layers=1,
+                                        dropout=0.0))
+
+
+class TestLMDataset:
+    def test_stream_contains_eos_separators(self, dataset, tokenizer, texts):
+        eos_count = int((dataset.stream == tokenizer.eos_id).sum())
+        assert eos_count == len(texts)
+
+    def test_window_shapes_and_shift(self, dataset):
+        inputs, targets = dataset.window(0)
+        assert inputs.shape == (32,)
+        assert targets.shape == (32,)
+        np.testing.assert_array_equal(inputs[1:], targets[:-1])
+
+    def test_window_bounds(self, dataset):
+        with pytest.raises(IndexError):
+            dataset.window(len(dataset))
+        with pytest.raises(IndexError):
+            dataset.window(-1)
+
+    def test_batches_cover_windows_once(self, dataset):
+        rng = np.random.default_rng(0)
+        seen = 0
+        for inputs, targets in dataset.batches(4, rng, drop_last=False):
+            assert inputs.shape[1] == 32
+            seen += inputs.shape[0]
+        assert seen == len(dataset)
+
+    def test_drop_last(self, dataset):
+        rng = np.random.default_rng(0)
+        batches = list(dataset.batches(7, rng, drop_last=True))
+        assert all(b[0].shape[0] == 7 for b in batches)
+
+    def test_shuffling_differs_between_epochs(self, dataset):
+        rng = np.random.default_rng(0)
+        first = next(iter(dataset.batches(4, rng)))[0]
+        second = next(iter(dataset.batches(4, rng)))[0]
+        assert not np.array_equal(first, second)
+
+    def test_validation(self, texts, tokenizer):
+        with pytest.raises(ValueError):
+            LMDataset(texts, tokenizer, seq_len=1)
+        with pytest.raises(ValueError):
+            LMDataset([], tokenizer, seq_len=32)
+        with pytest.raises(ValueError):
+            LMDataset(["one two"], tokenizer, seq_len=500)
+
+
+class TestTrainValSplit:
+    def test_partition(self, texts):
+        train, val = train_val_split(texts, 0.2, seed=0)
+        assert len(train) + len(val) == len(texts)
+        assert set(train).isdisjoint(set(val) - set(train))
+
+    def test_deterministic(self, texts):
+        assert train_val_split(texts, 0.2, 1) == train_val_split(texts, 0.2, 1)
+
+    def test_at_least_one_each(self):
+        train, val = train_val_split(["a", "b"], 0.01, 0)
+        assert len(train) == 1 and len(val) == 1
+
+    def test_validation(self, texts):
+        with pytest.raises(ValueError):
+            train_val_split(texts, 0.0)
+        with pytest.raises(ValueError):
+            train_val_split(["only"], 0.5)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, dataset, tokenizer):
+        model = small_model(tokenizer.vocab_size)
+        trainer = Trainer(model, TrainingConfig(max_steps=120, batch_size=4,
+                                                learning_rate=8e-3,
+                                                warmup_steps=5,
+                                                eval_every=10**9))
+        result = trainer.train(dataset)
+        first = np.mean(result.train_losses[:5])
+        last = np.mean(result.train_losses[-5:])
+        assert last < first - 1.0  # a solid drop in nats
+        assert result.steps == 120
+        assert result.tokens_seen == 120 * 4 * 32
+        assert result.tokens_per_second > 0
+
+    def test_eval_runs(self, dataset, tokenizer):
+        model = small_model(tokenizer.vocab_size)
+        trainer = Trainer(model, TrainingConfig(max_steps=20, batch_size=4,
+                                                eval_every=10))
+        result = trainer.train(dataset, val_dataset=dataset)
+        assert len(result.val_losses) == 2
+
+    def test_evaluate_no_grad_side_effects(self, dataset, tokenizer):
+        model = small_model(tokenizer.vocab_size)
+        trainer = Trainer(model, TrainingConfig(max_steps=5, batch_size=2))
+        trainer.evaluate(dataset, max_batches=2)
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_model_left_in_eval_mode(self, dataset, tokenizer):
+        model = small_model(tokenizer.vocab_size)
+        trainer = Trainer(model, TrainingConfig(max_steps=3, batch_size=2))
+        trainer.train(dataset)
+        assert not model.training
+
+    def test_callbacks_invoked(self, dataset, tokenizer):
+        stream = io.StringIO()
+        logger = LossLogger(every=1, stream=stream)
+        model = small_model(tokenizer.vocab_size)
+        trainer = Trainer(model, TrainingConfig(max_steps=4, batch_size=2),
+                          callbacks=[logger])
+        trainer.train(dataset)
+        assert len(logger.history) == 4
+        assert "step" in stream.getvalue()
+
+    def test_early_stopping(self, dataset, tokenizer):
+        stopper = EarlyStopping(patience=1)
+        model = small_model(tokenizer.vocab_size)
+        # lr=0 so val loss never improves -> stop after 2 evals
+        trainer = Trainer(model, TrainingConfig(max_steps=500, batch_size=2,
+                                                learning_rate=1e-12,
+                                                eval_every=5, eval_batches=1),
+                          callbacks=[stopper])
+        result = trainer.train(dataset, val_dataset=dataset)
+        assert result.stopped_early
+        assert result.steps < 500
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(max_steps=0).validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0).validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=-1).validate()
+
+
+class TestCallbacks:
+    def test_loss_logger_validation(self):
+        with pytest.raises(ValueError):
+            LossLogger(every=0)
+
+    def test_early_stopping_improvement_resets(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.on_eval(1, 1.0)
+        stopper.on_eval(2, 1.1)   # worse
+        stopper.on_eval(3, 0.5)   # better -> reset
+        stopper.on_eval(4, 0.6)
+        assert not stopper.should_stop
+        stopper.on_eval(5, 0.7)
+        assert stopper.should_stop
+
+    def test_early_stopping_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.5)
+        stopper.on_eval(1, 1.0)
+        stopper.on_eval(2, 0.9)  # improvement smaller than min_delta
+        assert stopper.should_stop
+
+    def test_early_stopping_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)

@@ -1,0 +1,96 @@
+"""HTTP-level details of the web framework: CORS, preflight, errors.
+
+The decoupled frontend lives on a different origin than the backend
+(the paper's microservice split), so CORS must actually work at the
+wire level — these tests check raw headers, not just handler logic.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.webapp import App, Request, Response, Server
+
+
+@pytest.fixture(scope="module")
+def server():
+    app = App(name="cors-test")
+
+    @app.route("/echo", methods=("GET", "POST"))
+    def echo(request: Request) -> Response:
+        if request.method == "POST":
+            return Response.json({"got": request.json()})
+        return Response.json({"query": {k: v for k, v in request.query.items()}})
+
+    with Server(app) as running:
+        yield running
+
+
+def _request(url, method="GET", data=None):
+    payload = json.dumps(data).encode() if data is not None else None
+    req = urllib.request.Request(
+        url, data=payload, method=method,
+        headers={"Content-Type": "application/json"} if payload else {})
+    return urllib.request.urlopen(req, timeout=5)
+
+
+class TestCors:
+    def test_cors_header_on_get(self, server):
+        with _request(f"{server.url}/echo") as response:
+            assert response.headers["Access-Control-Allow-Origin"] == "*"
+
+    def test_preflight_options(self, server):
+        req = urllib.request.Request(f"{server.url}/echo", method="OPTIONS")
+        with urllib.request.urlopen(req, timeout=5) as response:
+            assert response.status == 204
+            allow = response.headers["Access-Control-Allow-Methods"]
+            assert "POST" in allow
+
+    def test_cors_header_on_error_responses(self, server):
+        try:
+            _request(f"{server.url}/missing")
+        except urllib.error.HTTPError as exc:
+            assert exc.headers["Access-Control-Allow-Origin"] == "*"
+            assert exc.code == 404
+        else:  # pragma: no cover
+            pytest.fail("expected 404")
+
+
+class TestWire:
+    def test_query_string_parsing(self, server):
+        with _request(f"{server.url}/echo?a=1&a=2&b=x") as response:
+            payload = json.loads(response.read())
+        assert payload["query"]["a"] == ["1", "2"]
+        assert payload["query"]["b"] == ["x"]
+
+    def test_post_body_roundtrip(self, server):
+        with _request(f"{server.url}/echo", method="POST",
+                      data={"n": 42, "text": "déjà vu"}) as response:
+            payload = json.loads(response.read())
+        assert payload["got"] == {"n": 42, "text": "déjà vu"}
+
+    def test_content_length_and_type(self, server):
+        with _request(f"{server.url}/echo") as response:
+            body = response.read()
+            assert int(response.headers["Content-Length"]) == len(body)
+            assert response.headers["Content-Type"] == "application/json"
+
+    def test_invalid_json_body_is_400(self, server):
+        req = urllib.request.Request(
+            f"{server.url}/echo", data=b"{not json", method="POST",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=5)
+        assert exc.value.code == 400
+
+    def test_port_zero_assigns_free_port(self):
+        a = Server(App()).start()
+        b = Server(App()).start()
+        try:
+            assert a.port != b.port
+            assert a.port > 0
+        finally:
+            a.stop()
+            b.stop()
