@@ -1,0 +1,111 @@
+"""Smoke benchmark: the obs layer must stay out of the hot path's way.
+
+Runs the same short generation with instrumentation fully on
+(:class:`MetricsRegistry` + :class:`Tracer`) and fully off
+(:class:`NullRegistry` + :class:`NullTracer`), interleaved with GC
+paused, and compares best-of-N wall times (noise only ever slows a
+run down, so the minimum is the intrinsic cost).  Exits non-zero when
+the instrumented path is more than ``--threshold`` (default 5%)
+slower — the budget the observability PR promised.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import statistics
+import sys
+import time
+
+from repro.models import GenerationConfig, generate
+from repro.models.lstm import LSTMConfig, LSTMLanguageModel
+from repro.obs import MetricsRegistry, NullRegistry, NullTracer, Tracer
+
+
+def _build_model(vocab_size: int = 64) -> LSTMLanguageModel:
+    return LSTMLanguageModel(LSTMConfig(vocab_size=vocab_size, d_embed=16,
+                                        d_hidden=32, num_layers=1,
+                                        dropout=0.0))
+
+
+def _time_one(model, config, registry, tracer) -> float:
+    start = time.perf_counter()
+    generate(model, [1, 2, 3], config, registry=registry, tracer=tracer)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=31,
+                        help="interleaved baseline/instrumented pairs")
+    parser.add_argument("--tokens", type=int, default=96,
+                        help="tokens generated per run")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="maximum tolerated relative overhead")
+    args = parser.parse_args(argv)
+
+    model = _build_model()
+    config = GenerationConfig(strategy="sample", max_new_tokens=args.tokens,
+                              seed=0)
+    # One long-lived registry/tracer pair, exactly like a serving
+    # process would hold; per-run construction is not what we measure.
+    registry, tracer = MetricsRegistry(), Tracer()
+    null_registry, null_tracer = NullRegistry(), NullTracer()
+    # Warm both paths (allocator, caches, reservoir fill) before timing.
+    for _ in range(3):
+        _time_one(model, config, null_registry, null_tracer)
+        _time_one(model, config, registry, tracer)
+
+    # Time the two configurations back-to-back (alternating order) with
+    # GC paused, and take the median of the per-pair ratios: each pair
+    # shares whatever the machine was doing at that moment, so slow
+    # drift and scheduler noise cancel where a min-of-N would not.
+    baseline_times, instrumented_times, ratios = [], [], []
+    gc.collect()
+    gc.disable()
+    try:
+        for round_index in range(args.rounds):
+            if round_index % 2 == 0:
+                base = _time_one(model, config, null_registry, null_tracer)
+                inst = _time_one(model, config, registry, tracer)
+            else:
+                inst = _time_one(model, config, registry, tracer)
+                base = _time_one(model, config, null_registry, null_tracer)
+            baseline_times.append(base)
+            instrumented_times.append(inst)
+            ratios.append(inst / base)
+    finally:
+        gc.enable()
+
+    # Two estimators that noise inflates in different ways: the ratio
+    # of best-of-N times (scheduler noise only ever slows a run down,
+    # so the minimum is each configuration's intrinsic cost) and the
+    # lower quartile of per-pair ratios (drift cancels within a pair;
+    # the quartile discounts one-sided spikes).  Gate on the smaller —
+    # a real regression raises both, a noise spike rarely hits both.
+    baseline = min(baseline_times)
+    instrumented = min(instrumented_times)
+    best_overhead = instrumented / baseline - 1.0
+    ratios.sort()
+    paired_overhead = ratios[len(ratios) // 4] - 1.0
+    median_overhead = statistics.median(ratios) - 1.0
+    overhead = min(best_overhead, paired_overhead)
+    print(f"baseline     (obs off): {baseline * 1000:8.2f} ms best "
+          f"({args.tokens} tokens, {args.rounds} rounds)")
+    print(f"instrumented (obs on):  {instrumented * 1000:8.2f} ms best")
+    print(f"overhead: {overhead:+.2%} (best-of-{args.rounds} "
+          f"{best_overhead:+.2%}, paired ratio q25 {paired_overhead:+.2%} "
+          f"/ median {median_overhead:+.2%}, budget {args.threshold:.0%})")
+    if overhead >= args.threshold:
+        print("FAIL: observability overhead exceeds budget", file=sys.stderr)
+        return 1
+    print("OK: metrics + tracing fit in the overhead budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,18 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--samples", type=int, default=8)
     ev.add_argument("--seed", type=int, default=0)
 
+    metrics = sub.add_parser(
+        "metrics", help="inspect observability metrics")
+    metrics.add_argument("--url", default=None,
+                         help="fetch /api/metrics from a running backend "
+                              "(e.g. http://127.0.0.1:8000)")
+    metrics.add_argument("--demo", action="store_true",
+                         help="run a short instrumented generation locally "
+                              "and dump the metrics it produced")
+    metrics.add_argument("--format", choices=("text", "json"), default="text")
+    metrics.add_argument("--trace", action="store_true",
+                         help="include span trees (demo / json only)")
+
     sub.add_parser("info", help="library and registry information")
     return parser
 
@@ -170,6 +182,44 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Inspect metrics: scrape a running backend or run a local demo."""
+    from .obs import (MetricsRegistry, Tracer, render_json_text, render_text)
+
+    if args.url:
+        from urllib.request import urlopen
+        fmt = "text" if args.format == "text" else "json"
+        url = f"{args.url.rstrip('/')}/api/metrics?format={fmt}"
+        if args.trace and fmt == "json":
+            url += "&trace=1"
+        with urlopen(url, timeout=10) as response:
+            print(response.read().decode("utf-8"))
+        return 0
+    if not args.demo:
+        raise SystemExit("error: pass --url for a running backend "
+                         "or --demo for a local instrumented run")
+
+    from .models import GenerationConfig, generate
+    from .models.lstm import LSTMConfig, LSTMLanguageModel
+
+    registry, tracer = MetricsRegistry(), Tracer()
+    model = LSTMLanguageModel(LSTMConfig(vocab_size=32, d_embed=8,
+                                         d_hidden=16, num_layers=1,
+                                         dropout=0.0))
+    for strategy in ("greedy", "sample"):
+        generate(model, [1, 2, 3],
+                 GenerationConfig(strategy=strategy, max_new_tokens=12),
+                 registry=registry, tracer=tracer)
+    if args.format == "json":
+        print(render_json_text(registry, tracer if args.trace else None))
+    else:
+        print(render_text(registry), end="")
+        if args.trace:
+            for root in tracer.roots():
+                print(root.tree())
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     from . import __version__
     print(f"repro {__version__} — Ratatouille reproduction")
@@ -188,6 +238,7 @@ _COMMANDS = {
     "train": cmd_train,
     "generate": cmd_generate,
     "evaluate": cmd_evaluate,
+    "metrics": cmd_metrics,
     "info": cmd_info,
 }
 

@@ -16,7 +16,43 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..nn import no_grad
+from ..obs import MetricsRegistry, Span, Tracer, get_registry, get_tracer
 from .base import LanguageModel
+
+
+class _GenerationMetrics:
+    """The decode loop's metric handles, resolved once per request."""
+
+    def __init__(self, registry: MetricsRegistry, strategy: str) -> None:
+        self.clock = registry.clock
+        self.requests = registry.counter(
+            "generation_requests_total",
+            help="Generation requests by decoding strategy").labels(
+                strategy=strategy)
+        self.tokens = registry.counter(
+            "generation_tokens_total",
+            help="Tokens emitted by decoding strategy").labels(
+                strategy=strategy)
+        self.request_seconds = registry.histogram(
+            "generation_request_seconds",
+            help="Wall time of one generation request").labels(
+                strategy=strategy)
+        # Resolve the unlabeled children once: family-level shorthand
+        # would repeat the label lookup on every per-token observe.
+        self.token_seconds = registry.histogram(
+            "generation_token_seconds",
+            help="Wall time of one decode step (model forward included)"
+        ).labels()
+        self.tokens_per_second = registry.gauge(
+            "generation_tokens_per_second",
+            help="Throughput of the most recent generation request").labels()
+
+    def finish(self, num_tokens: int, elapsed: float) -> None:
+        self.requests.inc()
+        self.tokens.inc(num_tokens)
+        self.request_seconds.observe(elapsed)
+        if elapsed > 0:
+            self.tokens_per_second.set(num_tokens / elapsed)
 
 
 @dataclass
@@ -121,8 +157,11 @@ class ChecklistBonus(LogitsProcessor):
 def _filter_top_k(logits: np.ndarray, k: int) -> np.ndarray:
     if k <= 0 or k >= logits.shape[0]:
         return logits
-    threshold = np.partition(logits, -k)[-k]
-    filtered = np.where(logits < threshold, -np.inf, logits)
+    # Keep exactly k by index (not by threshold) so tied logits cannot
+    # leak extra candidates past the cap.
+    keep = np.argpartition(logits, -k)[-k:]
+    filtered = np.full_like(logits, -np.inf)
+    filtered[keep] = logits[keep]
     return filtered
 
 
@@ -160,43 +199,80 @@ def _prefill(model: LanguageModel, prompt_ids: Sequence[int]):
 
 def generate(model: LanguageModel, prompt_ids: Sequence[int],
              config: Optional[GenerationConfig] = None,
-             processors: Sequence[LogitsProcessor] = ()) -> List[int]:
-    """Generate a continuation of ``prompt_ids``; returns new ids only."""
+             processors: Sequence[LogitsProcessor] = (),
+             registry: Optional[MetricsRegistry] = None,
+             tracer: Optional[Tracer] = None) -> List[int]:
+    """Generate a continuation of ``prompt_ids``; returns new ids only.
+
+    Records request/token metrics into ``registry`` and a
+    ``generate > prefill / decode > token`` span tree into ``tracer``
+    (both default to the process-wide instances; pass
+    :class:`~repro.obs.NullRegistry` / :class:`~repro.obs.NullTracer`
+    to disable recording).
+    """
     config = config or GenerationConfig()
     config.validate()
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
+    metrics = _GenerationMetrics(registry, config.strategy)
     model.eval()
-    with no_grad():
+    start = metrics.clock.now()
+    with no_grad(), tracer.span("generate", strategy=config.strategy):
         if config.strategy == "beam":
-            return _beam_search(model, prompt_ids, config)
-        return _sample_loop(model, prompt_ids, config, processors)
+            generated = _beam_search(model, prompt_ids, config, metrics,
+                                     tracer)
+        else:
+            generated = _sample_loop(model, prompt_ids, config, processors,
+                                     metrics, tracer)
+    metrics.finish(len(generated), metrics.clock.now() - start)
+    return generated
 
 
 def _sample_loop(model: LanguageModel, prompt_ids: Sequence[int],
                  config: GenerationConfig,
-                 processors: Sequence[LogitsProcessor]) -> List[int]:
+                 processors: Sequence[LogitsProcessor],
+                 metrics: _GenerationMetrics, tracer: Tracer) -> List[int]:
     rng = np.random.default_rng(config.seed)
-    logits, state = _prefill(model, prompt_ids)
+    with tracer.span("prefill", tokens=len(prompt_ids)):
+        logits, state = _prefill(model, prompt_ids)
     generated: List[int] = []
     all_processors = list(processors)
     if config.repetition_penalty > 1.0:
         all_processors.append(RepetitionPenalty(config.repetition_penalty))
 
-    for _ in range(config.max_new_tokens):
-        scores = logits.astype(np.float64)
-        for processor in all_processors:
-            scores = processor(scores, generated)
-        if config.strategy == "greedy":
-            token = int(scores.argmax())
-        else:
-            scores = scores / config.temperature
-            scores = _filter_top_k(scores, config.top_k)
-            scores = _filter_top_p(scores, config.top_p)
-            token = int(rng.choice(scores.shape[0], p=_softmax(scores)))
-        generated.append(token)
-        if config.stop_token_id is not None and token == config.stop_token_id:
-            break
-        batch_logits, state = model.next_logits(np.array([token]), state)
-        logits = batch_logits[0]
+    now = metrics.clock.now
+    # The hot loop only appends (start, end) pairs to a local list;
+    # token spans and histogram observations are flushed in one batch
+    # after the loop — per-step it costs two clock reads and a tuple.
+    token_bounds: List[tuple] = []
+    record = token_bounds.append
+    with tracer.span("decode") as decode_node:
+        for _ in range(config.max_new_tokens):
+            step_start = now()
+            scores = logits.astype(np.float64)
+            for processor in all_processors:
+                scores = processor(scores, generated)
+            if config.strategy == "greedy":
+                token = int(scores.argmax())
+            else:
+                scores = scores / config.temperature
+                scores = _filter_top_k(scores, config.top_k)
+                scores = _filter_top_p(scores, config.top_p)
+                token = int(rng.choice(scores.shape[0], p=_softmax(scores)))
+            generated.append(token)
+            stop = (config.stop_token_id is not None
+                    and token == config.stop_token_id)
+            if not stop:
+                batch_logits, state = model.next_logits(
+                    np.array([token]), state)
+                logits = batch_logits[0]
+            record((step_start, now()))
+            if stop:
+                break
+    if tracer.enabled:
+        decode_node.children.extend(
+            Span(name="token", start=s, end=e) for s, e in token_bounds)
+    metrics.token_seconds.observe_many([e - s for s, e in token_bounds])
     return generated
 
 
@@ -214,13 +290,23 @@ class _Beam:
 
 
 def _beam_search(model: LanguageModel, prompt_ids: Sequence[int],
-                 config: GenerationConfig) -> List[int]:
+                 config: GenerationConfig, metrics: _GenerationMetrics,
+                 tracer: Tracer) -> List[int]:
     """Standard length-normalized beam search (no sampling)."""
-    logits, state = _prefill(model, prompt_ids)
+    with tracer.span("prefill", tokens=len(prompt_ids)):
+        logits, state = _prefill(model, prompt_ids)
     beams = [_Beam(state=state, logits=logits)]
     completed: List[_Beam] = []
 
+    with tracer.span("decode"):
+        return _beam_loop(model, config, beams, completed, metrics)
+
+
+def _beam_loop(model: LanguageModel, config: GenerationConfig,
+               beams: List[_Beam], completed: List[_Beam],
+               metrics: _GenerationMetrics) -> List[int]:
     for _ in range(config.max_new_tokens):
+        step_start = metrics.clock.now()
         candidates: List[_Beam] = []
         for beam in beams:
             if beam.finished:
@@ -250,6 +336,7 @@ def _beam_search(model: LanguageModel, prompt_ids: Sequence[int],
                 np.array([beam.tokens[-1]]), beam.state)
             beam.logits = logits[0]
             beam.state = new_state
+        metrics.token_seconds.observe(metrics.clock.now() - step_start)
         if all(beam.finished for beam in beams):
             completed.extend(beams)
             break

@@ -1,0 +1,51 @@
+"""Injectable clocks — the determinism backbone of :mod:`repro.obs`.
+
+Every timing-sensitive component in the observability layer (metric
+timestamps, span durations, queue wait times) reads time through a
+:class:`Clock` instead of calling :mod:`time` directly.  Production
+code uses :class:`SystemClock`; tests inject :class:`ManualClock` and
+advance it explicitly, which makes every duration assertable to the
+exact second instead of "roughly small".
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Time source. ``now()`` returns seconds as a monotonic float."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Real time via ``time.perf_counter`` (monotonic, high resolution)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to — for deterministic tests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += seconds
+        return self._now
+
+    def set(self, seconds: float) -> float:
+        """Jump to an absolute reading (must not go backwards)."""
+        if seconds < self._now:
+            raise ValueError("cannot set a clock backwards")
+        self._now = float(seconds)
+        return self._now

@@ -1,0 +1,89 @@
+"""Exposition formats: render a registry (and tracer) as text or JSON.
+
+The text format is Prometheus-flavored — ``# TYPE`` headers, labeled
+series as ``name{k="v"} value``, histograms expanded into ``_count`` /
+``_sum`` / quantile series — close enough that the output drops into
+any scrape-based pipeline.  The JSON format is the structured
+equivalent served by ``GET /api/metrics`` and consumed by the tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from .metrics import Counter, Gauge, Histogram, LabelKey, MetricsRegistry
+from .trace import Tracer
+
+_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _format_labels(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()
+                   ) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # nan
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_text(registry: MetricsRegistry) -> str:
+    """Prometheus-style exposition of every series in the registry."""
+    lines = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, child in family.series():
+            if isinstance(child, Histogram):
+                lines.append(f"{family.name}_count{_format_labels(key)} "
+                             f"{_format_value(child.count)}")
+                lines.append(f"{family.name}_sum{_format_labels(key)} "
+                             f"{_format_value(child.sum)}")
+                for q in _QUANTILES:
+                    labels = _format_labels(key, (("quantile", str(q)),))
+                    lines.append(f"{family.name}{labels} "
+                                 f"{_format_value(child.percentile(q * 100))}")
+            elif isinstance(child, (Counter, Gauge)):
+                lines.append(f"{family.name}{_format_labels(key)} "
+                             f"{_format_value(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(registry: MetricsRegistry,
+                tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+    """Structured snapshot: one entry per series, spans optional."""
+    metrics: Dict[str, Any] = {}
+    for family in registry.families():
+        series = []
+        for key, child in family.series():
+            entry: Dict[str, Any] = {"labels": dict(key)}
+            if isinstance(child, Histogram):
+                entry.update(child.summary())
+            else:
+                entry["value"] = child.value
+            series.append(entry)
+        metrics[family.name] = {
+            "kind": family.kind,
+            "help": family.help,
+            "series": series,
+        }
+    payload: Dict[str, Any] = {"metrics": metrics}
+    if tracer is not None:
+        payload["trace"] = tracer.to_dict()
+    return payload
+
+
+def render_json_text(registry: MetricsRegistry,
+                     tracer: Optional[Tracer] = None, indent: int = 2) -> str:
+    """The JSON exposition as a string (CLI convenience)."""
+    return json.dumps(render_json(registry, tracer), indent=indent,
+                      sort_keys=True)

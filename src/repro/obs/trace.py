@@ -1,0 +1,221 @@
+"""Lightweight span tracing: a timing tree for the hot path.
+
+``with tracer.span("decode", strategy="sample"):`` opens a span; spans
+opened inside it become children, so a request produces a tree like::
+
+    generate (0.412s)
+    ├─ prefill (0.018s)
+    └─ decode (0.391s)
+       ├─ token (0.002s)
+       └─ ...
+
+Spans nest per-thread (a thread-local stack), finished root spans are
+kept in a bounded ring so long-lived servers cannot leak, and the
+clock is injectable so tests can assert exact durations.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .clock import Clock, SystemClock
+
+
+@dataclass
+class Span:
+    """One timed region; ``children`` are the regions opened inside it."""
+
+    name: str
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON view of the subtree rooted here."""
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "duration_seconds": round(self.duration, 9),
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.error:
+            payload["error"] = self.error
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+    def tree(self, indent: int = 0) -> str:
+        """Indented text rendering of the subtree."""
+        label = f"{'  ' * indent}{self.name} ({self.duration:.6f}s)"
+        if self.error:
+            label += f" !{self.error}"
+        lines = [label]
+        lines.extend(child.tree(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+    def find(self, name: str) -> List["Span"]:
+        """All descendant spans (including self) with this name."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+
+class Tracer:
+    """Collects span trees; at most ``max_roots`` finished roots kept."""
+
+    #: False on :class:`NullTracer`; hot loops check this to skip
+    #: building leaf spans entirely when tracing is off.
+    enabled = True
+
+    def __init__(self, clock: Optional[Clock] = None,
+                 max_roots: int = 64) -> None:
+        if max_roots < 1:
+            raise ValueError("max_roots must be >= 1")
+        self.clock = clock or SystemClock()
+        self.max_roots = max_roots
+        self._roots: List[Span] = []
+        self._dropped = 0
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> "_SpanHandle":
+        """Open a span; nests under the thread's current open span."""
+        return _SpanHandle(self, name, attrs)
+
+    def _finish_root(self, node: Span) -> None:
+        with self._lock:
+            self._roots.append(node)
+            if len(self._roots) > self.max_roots:
+                drop = len(self._roots) - self.max_roots
+                del self._roots[:drop]
+                self._dropped += drop
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def roots(self) -> List[Span]:
+        """Finished root spans, oldest first."""
+        with self._lock:
+            return list(self._roots)
+
+    @property
+    def dropped(self) -> int:
+        """Roots evicted by the ring bound since the last reset."""
+        return self._dropped
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dropped": self._dropped,
+            "spans": [root.to_dict() for root in self.roots()],
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._roots.clear()
+            self._dropped = 0
+
+
+class _SpanHandle:
+    """Class-based context manager for one span (cheaper than a
+    generator-based one — this sits on the per-token hot path)."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_node", "_stack")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: Dict[str, Any]
+                 ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        node = Span(name=self._name, start=tracer.clock.now(),
+                    attrs=self._attrs)
+        stack = tracer._stack()
+        if stack:
+            stack[-1].children.append(node)
+        stack.append(node)
+        self._node = node
+        self._stack = stack
+        return node
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        node = self._node
+        if exc is not None:
+            node.error = f"{type(exc).__name__}: {exc}"
+        node.end = self._tracer.clock.now()
+        self._stack.pop()
+        if not self._stack:
+            self._tracer._finish_root(node)
+        return False
+
+
+class _NullSpanHandle:
+    """The do-nothing span handle :class:`NullTracer` hands out."""
+
+    __slots__ = ()
+    _SPAN = Span(name="null", start=0.0, end=0.0)
+
+    def __enter__(self) -> Span:
+        return self._SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class NullTracer(Tracer):
+    """Tracing 'off': spans cost one context-manager frame, keep nothing."""
+
+    enabled = False
+    _HANDLE = _NullSpanHandle()
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(self, name: str, **attrs: Any) -> "_NullSpanHandle":
+        return self._HANDLE
+
+    def roots(self) -> List[Span]:
+        return []
+
+
+# ----------------------------------------------------------------------
+# Process-wide default
+# ----------------------------------------------------------------------
+_default_tracer = Tracer()
+_default_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer instrumented code defaults to."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide tracer; returns the previous one."""
+    global _default_tracer
+    with _default_lock:
+        previous = _default_tracer
+        _default_tracer = tracer
+    return previous

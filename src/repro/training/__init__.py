@@ -1,14 +1,14 @@
 """Training: packed LM dataset, trainer loop, callbacks."""
 
 from .callbacks import (Callback, CheckpointCallback, EarlyStopping,
-                        LossLogger)
+                        LossLogger, MetricsCallback)
 from .experiments import (ExperimentResult, Grid, RunRecord, run_experiment)
 from .dataset import LMDataset, train_val_split
 from .trainer import Trainer, TrainingConfig, TrainingResult
 
 __all__ = [
     "Callback", "CheckpointCallback", "EarlyStopping", "LMDataset",
-    "LossLogger", "Trainer",
+    "LossLogger", "MetricsCallback", "Trainer",
     "TrainingConfig", "TrainingResult", "train_val_split",
     "ExperimentResult", "Grid", "RunRecord", "run_experiment",
 ]

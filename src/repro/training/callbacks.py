@@ -84,6 +84,49 @@ class CheckpointCallback(Callback):
             self._save("best")
 
 
+class MetricsCallback(Callback):
+    """Reports training progress into a metrics registry.
+
+    Series: ``train_steps_total`` / ``train_evals_total`` counters,
+    ``train_loss`` / ``train_val_loss`` / ``train_lr`` gauges, and a
+    ``train_step_seconds`` histogram of the wall time between
+    consecutive ``on_step`` hooks (i.e. one optimizer step plus data
+    loading).  With an injected :class:`~repro.obs.ManualClock` every
+    recorded duration is exact, which is how the tests pin it down.
+    """
+
+    def __init__(self, registry=None, clock=None) -> None:
+        from ..obs import get_registry
+        registry = registry if registry is not None else get_registry()
+        self._clock = clock or registry.clock
+        self.steps = registry.counter(
+            "train_steps_total", help="Optimizer steps completed")
+        self.evals = registry.counter(
+            "train_evals_total", help="Validation evaluations run")
+        self.loss = registry.gauge(
+            "train_loss", help="Most recent training loss")
+        self.val_loss = registry.gauge(
+            "train_val_loss", help="Most recent validation loss")
+        self.lr = registry.gauge(
+            "train_lr", help="Most recent learning rate")
+        self.step_seconds = registry.histogram(
+            "train_step_seconds", help="Wall time between training steps")
+        self._last_step_at: Optional[float] = None
+
+    def on_step(self, step: int, loss: float, lr: float) -> None:
+        now = self._clock.now()
+        if self._last_step_at is not None:
+            self.step_seconds.observe(now - self._last_step_at)
+        self._last_step_at = now
+        self.steps.inc()
+        self.loss.set(loss)
+        self.lr.set(lr)
+
+    def on_eval(self, step: int, val_loss: float) -> None:
+        self.evals.inc()
+        self.val_loss.set(val_loss)
+
+
 class EarlyStopping(Callback):
     """Request a stop after ``patience`` evals without improvement."""
 

@@ -12,14 +12,15 @@ from .deploy import (DeploymentConfig, ServiceSpec, render_compose,
                      render_dockerfile, scale_out, write_deployment)
 from .framework import App, Request, Response, Server
 from .jobs import Job, JobQueue, JobStatus, QueueFullError
-from .middleware import AccessRecord, RateLimiter, RequestLog
+from .middleware import (AccessRecord, MetricsMiddleware, RateLimiter,
+                         RequestLog)
 from .frontend import create_frontend, render_page
 
 __all__ = [
     "ApiError", "App", "DeploymentConfig", "RatatouilleClient", "Request",
     "Response", "Server", "ServiceSpec", "create_backend", "create_frontend",
-    "AccessRecord", "Job", "JobQueue", "JobStatus", "QueueFullError",
-    "RateLimiter", "RequestLog",
+    "AccessRecord", "Job", "JobQueue", "JobStatus", "MetricsMiddleware",
+    "QueueFullError", "RateLimiter", "RequestLog",
     "render_compose", "render_dockerfile", "render_page", "scale_out",
     "write_deployment",
 ]

@@ -10,7 +10,10 @@ Endpoints:
   ingredient list (FlavorDB extension);
 * ``POST /api/generate_async`` + ``GET /api/job?id=...`` — queued
   generation with backpressure (429 when the queue is full), the
-  load-handling story of Sec. VI.
+  load-handling story of Sec. VI;
+* ``GET /api/metrics`` — the observability exposition (JSON by
+  default, ``?format=text`` for the Prometheus-style form); see
+  ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ from typing import Optional, Sequence
 
 from ..core.pipeline import Ratatouille
 from ..models import GenerationConfig
+from ..obs import (MetricsRegistry, Tracer, get_registry, get_tracer,
+                   render_json, render_text)
 from ..recipedb import IngredientCatalog, PairingGraph, default_catalog
 from .framework import App, Request, Response
 from .jobs import JobQueue, QueueFullError
@@ -57,10 +62,19 @@ def _recipe_payload(recipe) -> dict:
 def create_backend(pipeline: Ratatouille,
                    catalog: Optional[IngredientCatalog] = None,
                    pairing: Optional[PairingGraph] = None,
-                   job_queue: Optional[JobQueue] = None) -> App:
-    """Build the backend :class:`~repro.webapp.framework.App`."""
+                   job_queue: Optional[JobQueue] = None,
+                   registry: Optional[MetricsRegistry] = None,
+                   tracer: Optional[Tracer] = None) -> App:
+    """Build the backend :class:`~repro.webapp.framework.App`.
+
+    ``registry``/``tracer`` are what ``GET /api/metrics`` exposes and
+    what the job queue reports into; they default to the process-wide
+    instances.
+    """
     catalog = catalog or default_catalog()
-    jobs = job_queue or JobQueue(workers=1, max_pending=16)
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
+    jobs = job_queue or JobQueue(workers=1, max_pending=16, registry=registry)
     app = App(name="ratatouille-backend")
 
     @app.route("/api/health")
@@ -121,6 +135,17 @@ def create_backend(pipeline: Ratatouille,
         except KeyError:
             return Response.error(f"unknown job {job_id}", status=404)
         return Response.json(job.snapshot())
+
+    @app.route("/api/metrics")
+    def metrics(request: Request) -> Response:
+        fmt = request.query.get("format", ["json"])[0]
+        if fmt == "text":
+            return Response.text(render_text(registry))
+        if fmt != "json":
+            return Response.error(f"unknown format {fmt!r}; use json or text")
+        include_trace = request.query.get("trace", ["0"])[0] in ("1", "true")
+        return Response.json(
+            render_json(registry, tracer if include_trace else None))
 
     @app.route("/api/suggest", methods=("POST",))
     def suggest(request: Request) -> Response:

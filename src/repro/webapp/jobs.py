@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Dict, Optional
 
+from ..obs import MetricsRegistry, get_registry
+
 
 class JobStatus(str, Enum):
     PENDING = "pending"
@@ -64,9 +66,18 @@ class JobQueue:
     max_pending:
         Submissions beyond this raise :class:`QueueFullError` — the
         backpressure signal the HTTP layer turns into a 429.
+    registry:
+        Metrics sink (defaults to the process-wide registry): queue
+        depth gauge, submit/reject/complete counters, wait/run-time
+        histograms — the numbers ``GET /api/metrics`` exposes.
+    clock:
+        Timestamp source for job lifecycle durations; inject a
+        :class:`~repro.obs.ManualClock` for deterministic tests.
     """
 
-    def __init__(self, workers: int = 1, max_pending: int = 16) -> None:
+    def __init__(self, workers: int = 1, max_pending: int = 16,
+                 registry: Optional[MetricsRegistry] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_pending < 1:
@@ -75,6 +86,20 @@ class JobQueue:
         self._jobs: Dict[str, Job] = {}
         self._lock = threading.Lock()
         self._shutdown = False
+        self._clock = clock or time.time
+        registry = registry if registry is not None else get_registry()
+        self._depth = registry.gauge(
+            "jobs_queue_depth", help="Jobs waiting in the queue")
+        self._submitted = registry.counter(
+            "jobs_submitted_total", help="Jobs accepted into the queue")
+        self._rejected = registry.counter(
+            "jobs_rejected_total", help="Submissions refused (queue full)")
+        self._completed = registry.counter(
+            "jobs_completed_total", help="Jobs finished, by outcome status")
+        self._wait_seconds = registry.histogram(
+            "jobs_wait_seconds", help="Queue wait (submit to start)")
+        self._run_seconds = registry.histogram(
+            "jobs_run_seconds", help="Execution time (start to finish)")
         self._threads = [
             threading.Thread(target=self._worker, daemon=True,
                              name=f"jobqueue-worker-{i}")
@@ -98,7 +123,8 @@ class JobQueue:
         """
         if self._shutdown:
             raise RuntimeError("queue is shut down")
-        job = Job(job_id=uuid.uuid4().hex[:12], func=func)
+        job = Job(job_id=uuid.uuid4().hex[:12], func=func,
+                  submitted_at=self._clock())
         with self._lock:
             self._jobs[job.job_id] = job
         try:
@@ -106,8 +132,11 @@ class JobQueue:
         except queue.Full:
             with self._lock:
                 del self._jobs[job.job_id]
+            self._rejected.inc()
             raise QueueFullError(
                 f"job queue full ({self._queue.maxsize} pending)") from None
+        self._submitted.inc()
+        self._depth.set(self._queue.qsize())
         return job.job_id
 
     def get(self, job_id: str) -> Job:
@@ -150,8 +179,10 @@ class JobQueue:
             job = self._queue.get()
             if job is None:
                 return
+            self._depth.set(self._queue.qsize())
             job.status = JobStatus.RUNNING
-            job.started_at = time.time()
+            job.started_at = self._clock()
+            self._wait_seconds.observe(job.started_at - job.submitted_at)
             try:
                 job.result = job.func()
                 job.status = JobStatus.DONE
@@ -159,7 +190,9 @@ class JobQueue:
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.status = JobStatus.FAILED
             finally:
-                job.finished_at = time.time()
+                job.finished_at = self._clock()
+                self._run_seconds.observe(job.finished_at - job.started_at)
+                self._completed.labels(status=job.status.value).inc()
                 self._queue.task_done()
 
 

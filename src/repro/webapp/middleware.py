@@ -7,7 +7,10 @@ adds both as composable wrappers around an :class:`~.framework.App`:
 * :class:`RequestLog` — in-memory structured access log with latency
   percentiles (what you'd ship to a metrics backend);
 * :class:`RateLimiter` — token-bucket limiting per client, returning
-  429 when a client exceeds its budget.
+  429 when a client exceeds its budget;
+* :class:`MetricsMiddleware` — reports request counts and latency
+  histograms into a :class:`~repro.obs.MetricsRegistry`, the wiring
+  behind ``GET /api/metrics``.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..obs import MetricsRegistry, get_registry
 from .framework import App, Request, Response
 
 
@@ -83,32 +87,108 @@ class RequestLog:
         return summary
 
 
+class MetricsMiddleware:
+    """Reports every dispatch into a metrics registry.
+
+    Series (see ``docs/OBSERVABILITY.md``):
+
+    * ``http_requests_total{route,status}`` — request counter;
+    * ``http_request_seconds{route}`` — latency histogram;
+    * ``http_inflight_requests`` — gauge of requests being handled.
+    """
+
+    def __init__(self, app: App,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.app = app
+        self.registry = registry if registry is not None else get_registry()
+        self._requests = self.registry.counter(
+            "http_requests_total", help="HTTP requests by route and status")
+        self._latency = self.registry.histogram(
+            "http_request_seconds", help="HTTP request latency by route")
+        self._inflight = self.registry.gauge(
+            "http_inflight_requests", help="Requests currently being handled")
+        self._inner_dispatch = app.dispatch
+        app.dispatch = self._dispatch  # type: ignore[method-assign]
+
+    def _dispatch(self, request: Request) -> Response:
+        clock = self.registry.clock
+        start = clock.now()
+        self._inflight.inc()
+        try:
+            response = self._inner_dispatch(request)
+        finally:
+            self._inflight.dec()
+        self._requests.labels(route=request.path,
+                              status=str(response.status)).inc()
+        self._latency.labels(route=request.path).observe(clock.now() - start)
+        return response
+
+
 class RateLimiter:
     """Token-bucket rate limiting keyed by a client-id header.
 
     Each client gets ``burst`` tokens refilled at ``rate`` tokens per
     second; a request with no tokens left is answered 429 without ever
     reaching the handlers.
+
+    Buckets are pruned so memory stays bounded even when every request
+    carries a fresh client id: a bucket idle for ``burst / rate``
+    seconds has refilled completely and is indistinguishable from a
+    brand-new client, so dropping it never changes behaviour.
+    ``max_clients`` additionally caps the table hard — when exceeded,
+    the least-recently-seen buckets are evicted first.
     """
 
     CLIENT_HEADER = "x-client-id"
 
     def __init__(self, app: App, rate: float = 5.0, burst: int = 10,
-                 clock: Optional[callable] = None) -> None:
+                 clock: Optional[callable] = None,
+                 max_clients: int = 10_000) -> None:
         if rate <= 0 or burst < 1:
             raise ValueError("rate must be > 0 and burst >= 1")
+        if max_clients < 1:
+            raise ValueError("max_clients must be >= 1")
         self.app = app
         self.rate = rate
         self.burst = burst
+        self.max_clients = max_clients
         self._clock = clock or time.monotonic
         self._buckets: Dict[str, tuple] = {}  # client -> (tokens, stamp)
         self._lock = threading.Lock()
+        self._ops_since_prune = 0
         self._inner_dispatch = app.dispatch
         app.dispatch = self._dispatch  # type: ignore[method-assign]
+
+    @property
+    def tracked_clients(self) -> int:
+        """How many token buckets are currently held."""
+        with self._lock:
+            return len(self._buckets)
+
+    def _prune_locked(self, now: float) -> None:
+        """Drop refilled (stale) buckets; enforce ``max_clients``."""
+        idle_cutoff = now - self.burst / self.rate
+        stale = [client for client, (_, stamp) in self._buckets.items()
+                 if stamp <= idle_cutoff]
+        for client in stale:
+            del self._buckets[client]
+        if len(self._buckets) > self.max_clients:
+            # Evict to 90% of the cap so the O(n) pass amortizes instead
+            # of running on every request once the table is full.
+            target = max(1, int(self.max_clients * 0.9))
+            oldest = sorted(self._buckets,
+                            key=lambda c: self._buckets[c][1])
+            for client in oldest[:len(self._buckets) - target]:
+                del self._buckets[client]
 
     def _take_token(self, client: str) -> bool:
         now = self._clock()
         with self._lock:
+            self._ops_since_prune += 1
+            if (self._ops_since_prune >= 256
+                    or len(self._buckets) >= self.max_clients):
+                self._prune_locked(now)
+                self._ops_since_prune = 0
             tokens, stamp = self._buckets.get(client, (float(self.burst), now))
             tokens = min(self.burst, tokens + (now - stamp) * self.rate)
             if tokens < 1.0:

@@ -1,0 +1,97 @@
+"""Regression tests: RateLimiter memory stays bounded (stale-bucket
+pruning + hard client cap) without changing limiting behaviour."""
+
+import pytest
+
+from repro.webapp import App, RateLimiter, Request, Response
+
+
+def _app():
+    app = App()
+
+    @app.route("/ping")
+    def ping(request):
+        return Response.json({"ok": True})
+
+    return app
+
+
+def _request(client=None):
+    headers = {RateLimiter.CLIENT_HEADER: client} if client else {}
+    return Request(method="GET", path="/ping", query={}, headers=headers)
+
+
+class TestStaleBucketPruning:
+    def test_unique_clients_do_not_grow_forever(self):
+        fake_time = [0.0]
+        app = _app()
+        limiter = RateLimiter(app, rate=10.0, burst=10,
+                              clock=lambda: fake_time[0])
+        # 10k distinct clients, each advancing time past the refill
+        # horizon (burst/rate = 1s) so earlier buckets go stale.
+        for i in range(10_000):
+            fake_time[0] += 2.0
+            assert app.dispatch(_request(f"client-{i}")).status == 200
+        # Periodic pruning keeps the table to at most one prune window.
+        assert limiter.tracked_clients <= 256
+
+    def test_active_client_survives_pruning(self):
+        fake_time = [0.0]
+        app = _app()
+        limiter = RateLimiter(app, rate=1.0, burst=2,
+                              clock=lambda: fake_time[0])
+        # Exhaust the active client's budget.
+        assert app.dispatch(_request("active")).status == 200
+        assert app.dispatch(_request("active")).status == 200
+        assert app.dispatch(_request("active")).status == 429
+        # A pile of one-shot clients triggers pruning passes; the
+        # active client's (non-stale) bucket must keep its state.
+        for i in range(600):
+            fake_time[0] += 0.001
+            app.dispatch(_request(f"drive-by-{i}"))
+        assert app.dispatch(_request("active")).status == 429
+        assert limiter.tracked_clients > 0
+
+    def test_stale_drop_is_behaviour_preserving(self):
+        fake_time = [0.0]
+        app = _app()
+        RateLimiter(app, rate=1.0, burst=2, clock=lambda: fake_time[0])
+        app.dispatch(_request("c"))
+        app.dispatch(_request("c"))
+        assert app.dispatch(_request("c")).status == 429
+        # After a full refill (burst/rate = 2s) the bucket is
+        # indistinguishable from a fresh client whether or not it was
+        # pruned in between.
+        fake_time[0] += 2.0
+        assert app.dispatch(_request("c")).status == 200
+
+
+class TestHardCap:
+    def test_max_clients_enforced_within_refill_window(self):
+        fake_time = [0.0]
+        app = _app()
+        limiter = RateLimiter(app, rate=0.001, burst=1000,
+                              clock=lambda: fake_time[0],
+                              max_clients=100)
+        # Refill horizon is 10^6 seconds: nothing ever goes stale, so
+        # only the hard cap bounds the table.
+        for i in range(5_000):
+            fake_time[0] += 0.01
+            app.dispatch(_request(f"adversary-{i}"))
+        assert limiter.tracked_clients <= 100
+
+    def test_eviction_drops_least_recently_seen(self):
+        fake_time = [0.0]
+        app = _app()
+        limiter = RateLimiter(app, rate=0.001, burst=10,
+                              clock=lambda: fake_time[0], max_clients=5)
+        for i in range(20):
+            fake_time[0] += 1.0
+            app.dispatch(_request(f"c{i}"))
+        with limiter._lock:
+            survivors = set(limiter._buckets)
+        assert f"c{19}" in survivors  # newest always kept
+
+    def test_invalid_max_clients(self):
+        with pytest.raises(ValueError):
+            RateLimiter(_app(), max_clients=0)

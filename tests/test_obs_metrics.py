@@ -1,0 +1,305 @@
+"""Unit tests for the metrics core (repro.obs.metrics / export / clock)."""
+
+import threading
+
+import pytest
+
+from repro.obs import (Counter, Gauge, Histogram, ManualClock,
+                       MetricsRegistry, NullRegistry, SystemClock,
+                       get_registry, render_json, render_json_text,
+                       render_text, set_registry)
+
+
+class TestClocks:
+    def test_system_clock_monotonic(self):
+        clock = SystemClock()
+        a, b = clock.now(), clock.now()
+        assert b >= a
+
+    def test_manual_clock_advance(self):
+        clock = ManualClock(start=10.0)
+        assert clock.now() == 10.0
+        assert clock.advance(2.5) == 12.5
+        assert clock.now() == 12.5
+
+    def test_manual_clock_set(self):
+        clock = ManualClock()
+        clock.set(5.0)
+        assert clock.now() == 5.0
+
+    def test_manual_clock_never_backwards(self):
+        clock = ManualClock(start=3.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.set(1.0)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter()
+
+        def burst():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=burst) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+
+
+class TestHistogram:
+    def test_exact_stats(self):
+        h = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == 10.0
+        assert s["mean"] == 2.5
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+
+    def test_percentiles(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.summary()["p99"] == pytest.approx(99.01)
+
+    def test_empty_summary_is_nan(self):
+        s = Histogram().summary()
+        assert s["count"] == 0
+        assert s["mean"] != s["mean"]  # nan
+        assert Histogram().percentile(50) != Histogram().percentile(50)
+
+    def test_reservoir_bounded(self):
+        h = Histogram(reservoir_size=16)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert len(h._reservoir) == 16
+        assert h.count == 10_000
+        # Percentiles stay estimates of the true distribution.
+        assert 2000 < h.percentile(50) < 8000
+
+    def test_reservoir_deterministic(self):
+        def fill():
+            h = Histogram(reservoir_size=8, seed=3)
+            for v in range(1000):
+                h.observe(float(v))
+            return list(h._reservoir)
+
+        assert fill() == fill()
+
+    def test_invalid_reservoir_size(self):
+        with pytest.raises(ValueError):
+            Histogram(reservoir_size=0)
+
+    def test_time_context_manager(self):
+        clock = ManualClock()
+        h = Histogram(clock=clock)
+        with h.time():
+            clock.advance(1.5)
+        assert h.summary()["max"] == 1.5
+
+    def test_observe_many_exact_stats_match_scalar(self):
+        values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.5]
+        batched, scalar = Histogram(), Histogram()
+        batched.observe_many(values)
+        for v in values:
+            scalar.observe(v)
+        for key in ("count", "sum", "mean", "min", "max"):
+            assert batched.summary()[key] == scalar.summary()[key]
+
+    def test_observe_many_empty_is_noop(self):
+        h = Histogram()
+        h.observe_many([])
+        assert h.count == 0
+
+    def test_observe_many_reservoir_bounded_and_uniform(self):
+        h = Histogram(reservoir_size=16)
+        h.observe_many([float(v) for v in range(10_000)])
+        assert len(h._reservoir) == 16
+        assert h.count == 10_000
+        assert 2000 < h.percentile(50) < 8000
+
+    def test_observe_many_crosses_fill_boundary(self):
+        h = Histogram(reservoir_size=8)
+        h.observe_many([float(v) for v in range(5)])
+        assert len(h._reservoir) == 5
+        h.observe_many([float(v) for v in range(5, 20)])
+        assert len(h._reservoir) == 8
+        assert h.count == 20
+
+    def test_observe_many_deterministic(self):
+        def fill():
+            h = Histogram(reservoir_size=8, seed=3)
+            h.observe_many([float(v) for v in range(500)])
+            h.observe_many([float(v) for v in range(500, 1000)])
+            return list(h._reservoir)
+
+        assert fill() == fill()
+
+    def test_observe_many_mixes_with_scalar(self):
+        h = Histogram(reservoir_size=4)
+        h.observe(1.0)
+        h.observe_many([2.0, 3.0, 4.0, 5.0])
+        h.observe(6.0)
+        assert h.count == 6
+        assert h.sum == 21.0
+        assert len(h._reservoir) == 4
+
+    def test_family_observe_many_delegates(self):
+        r = MetricsRegistry()
+        fam = r.histogram("lat")
+        fam.observe_many([1.0, 2.0])
+        assert fam.summary()["count"] == 2
+
+
+class TestRegistry:
+    def test_idempotent_families(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+
+    def test_kind_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(ValueError):
+            r.gauge("x")
+
+    def test_invalid_name_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.counter("")
+        with pytest.raises(ValueError):
+            r.counter("bad name!")
+
+    def test_labels_create_series(self):
+        r = MetricsRegistry()
+        fam = r.counter("req")
+        fam.labels(route="/a").inc()
+        fam.labels(route="/a").inc()
+        fam.labels(route="/b").inc()
+        assert fam.labels(route="/a").value == 2
+        assert fam.labels(route="/b").value == 1
+        assert len(fam.series()) == 2
+
+    def test_unlabeled_shorthand(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(3)
+        r.gauge("g").set(7)
+        r.histogram("h").observe(0.5)
+        assert r.counter("c").value == 3
+        assert r.gauge("g").value == 7
+        assert r.histogram("h").summary()["count"] == 1
+
+    def test_contains_and_families_sorted(self):
+        r = MetricsRegistry()
+        r.counter("b")
+        r.counter("a")
+        assert "a" in r and "zzz" not in r
+        assert [f.name for f in r.families()] == ["a", "b"]
+
+    def test_reset(self):
+        r = MetricsRegistry()
+        r.counter("x").inc()
+        r.reset()
+        assert "x" not in r
+
+    def test_histogram_uses_registry_clock(self):
+        clock = ManualClock()
+        r = MetricsRegistry(clock=clock)
+        h = r.histogram("h")
+        with h.time():
+            clock.advance(2.0)
+        assert h.summary()["max"] == 2.0
+
+
+class TestDefaultRegistry:
+    def test_swap_and_restore(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+
+class TestNullRegistry:
+    def test_accepts_everything_records_nothing(self):
+        r = NullRegistry()
+        r.counter("x").inc()
+        r.gauge("g").labels(a="b").set(5)
+        h = r.histogram("h")
+        h.observe(1.0)
+        with h.time():
+            pass
+        assert r.families() == []
+        assert h.summary() == {}
+        assert h.percentile(50) != h.percentile(50)  # nan
+        assert render_text(r) == ""
+
+
+class TestExposition:
+    def _registry(self):
+        r = MetricsRegistry(clock=ManualClock())
+        r.counter("requests_total", help="reqs").labels(
+            route="/a", status="200").inc(3)
+        r.gauge("depth").set(4)
+        h = r.histogram("lat_seconds")
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        return r
+
+    def test_text_format(self):
+        text = render_text(self._registry())
+        assert "# TYPE requests_total counter" in text
+        assert '# HELP requests_total reqs' in text
+        assert 'requests_total{route="/a",status="200"} 3' in text
+        assert "depth 4" in text
+        assert "lat_seconds_count 3" in text
+        assert 'lat_seconds{quantile="0.5"} 0.2' in text
+
+    def test_json_format(self):
+        payload = render_json(self._registry())
+        metrics = payload["metrics"]
+        assert metrics["requests_total"]["kind"] == "counter"
+        series = metrics["requests_total"]["series"][0]
+        assert series["labels"] == {"route": "/a", "status": "200"}
+        assert series["value"] == 3
+        hist = metrics["lat_seconds"]["series"][0]
+        assert hist["count"] == 3
+        assert hist["p50"] == pytest.approx(0.2)
+
+    def test_json_text_round_trips(self):
+        import json
+        blob = render_json_text(self._registry())
+        assert json.loads(blob)["metrics"]["depth"]["series"][0]["value"] == 4
+
+    def test_nan_renders_as_NaN(self):
+        r = MetricsRegistry()
+        r.histogram("empty").labels()  # child exists, zero observations
+        assert "NaN" in render_text(r)

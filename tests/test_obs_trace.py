@@ -1,0 +1,157 @@
+"""Unit tests for span tracing (repro.obs.trace)."""
+
+import threading
+
+import pytest
+
+from repro.obs import ManualClock, NullTracer, Tracer, get_tracer, set_tracer
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+class TestSpans:
+    def test_durations_from_injected_clock(self, tracer, clock):
+        with tracer.span("outer"):
+            clock.advance(1.0)
+            with tracer.span("inner"):
+                clock.advance(0.25)
+            clock.advance(0.5)
+        (root,) = tracer.roots()
+        assert root.name == "outer"
+        assert root.duration == pytest.approx(1.75)
+        assert root.children[0].name == "inner"
+        assert root.children[0].duration == pytest.approx(0.25)
+
+    def test_attrs_recorded(self, tracer):
+        with tracer.span("generate", strategy="beam") as span:
+            assert span.attrs == {"strategy": "beam"}
+
+    def test_open_span_duration_zero(self, tracer, clock):
+        with tracer.span("open") as span:
+            clock.advance(9.0)
+            assert span.duration == 0.0
+
+    def test_siblings_not_nested(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        (root,) = tracer.roots()
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert root.children[0].children == []
+
+    def test_current(self, tracer):
+        assert tracer.current() is None
+        with tracer.span("x") as span:
+            assert tracer.current() is span
+        assert tracer.current() is None
+
+    def test_exception_recorded_and_propagates(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kaput")
+        (root,) = tracer.roots()
+        assert root.error == "RuntimeError: kaput"
+        assert root.end is not None
+
+    def test_find(self, tracer):
+        with tracer.span("generate"):
+            with tracer.span("decode"):
+                for _ in range(3):
+                    with tracer.span("token"):
+                        pass
+        (root,) = tracer.roots()
+        assert len(root.find("token")) == 3
+        assert root.find("generate") == [root]
+
+    def test_to_dict_and_tree(self, tracer, clock):
+        with tracer.span("outer", k="v"):
+            clock.advance(0.5)
+            with tracer.span("inner"):
+                pass
+        payload = tracer.to_dict()
+        assert payload["dropped"] == 0
+        (span,) = payload["spans"]
+        assert span["name"] == "outer"
+        assert span["attrs"] == {"k": "v"}
+        assert span["duration_seconds"] == pytest.approx(0.5)
+        assert span["children"][0]["name"] == "inner"
+        text = tracer.roots()[0].tree()
+        assert "outer (0.500000s)" in text
+        assert "  inner" in text
+
+
+class TestTracerBounds:
+    def test_ring_bound(self, clock):
+        tracer = Tracer(clock=clock, max_roots=5)
+        for i in range(12):
+            with tracer.span(f"s{i}"):
+                pass
+        roots = tracer.roots()
+        assert len(roots) == 5
+        assert [r.name for r in roots] == [f"s{i}" for i in range(7, 12)]
+        assert tracer.dropped == 7
+
+    def test_invalid_max_roots(self):
+        with pytest.raises(ValueError):
+            Tracer(max_roots=0)
+
+    def test_reset(self, tracer):
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.roots() == []
+        assert tracer.dropped == 0
+
+    def test_threads_get_independent_stacks(self, tracer):
+        errors = []
+
+        def worker(name):
+            try:
+                with tracer.span(name):
+                    with tracer.span(f"{name}-child"):
+                        pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        roots = tracer.roots()
+        assert len(roots) == 4
+        for root in roots:
+            assert len(root.children) == 1
+
+
+class TestDefaultTracer:
+    def test_swap_and_restore(self):
+        fresh = Tracer()
+        previous = set_tracer(fresh)
+        try:
+            assert get_tracer() is fresh
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+
+class TestNullTracer:
+    def test_keeps_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("x", a=1):
+            with tracer.span("y"):
+                pass
+        assert tracer.roots() == []
+        assert tracer.to_dict()["spans"] == []
