@@ -80,6 +80,22 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--samples", type=int, default=8)
     ev.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve", help="run the backend API (continuous-batching engine)")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="listen port (0 = pick a free one)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--checkpoint", default=None,
+                       help="checkpoint directory from Ratatouille.save()")
+    serve.add_argument("--train-recipes", type=int, default=120,
+                       help="corpus size when training on the fly")
+    serve.add_argument("--train-steps", type=int, default=200,
+                       help="training steps when no checkpoint is given")
+    serve.add_argument("--engine", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="route generation through the serving engine "
+                            "(--no-engine for the in-process decoder)")
+
     metrics = sub.add_parser(
         "metrics", help="inspect observability metrics")
     metrics.add_argument("--url", default=None,
@@ -182,6 +198,29 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the backend API, engine-backed by default."""
+    import threading
+
+    argv = ["backend", "--host", args.host, "--port", str(args.port),
+            "--train-recipes", str(args.train_recipes),
+            "--train-steps", str(args.train_steps),
+            "--engine" if args.engine else "--no-engine"]
+    if args.checkpoint:
+        argv += ["--checkpoint", args.checkpoint]
+    from .webapp.serve import build_server
+    server = build_server(argv)
+    server.start()
+    mode = "engine" if args.engine else "in-process"
+    print(f"serving on {server.url} ({mode} decoding) — Ctrl+C to stop",
+          file=sys.stderr)
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Inspect metrics: scrape a running backend or run a local demo."""
     from .obs import (MetricsRegistry, Tracer, render_json_text, render_text)
@@ -210,6 +249,15 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         generate(model, [1, 2, 3],
                  GenerationConfig(strategy=strategy, max_new_tokens=12),
                  registry=registry, tracer=tracer)
+    # Exercise the serving engine too, so engine_* metrics show up.
+    from .serving import InferenceEngine
+    with InferenceEngine(model, registry=registry, tracer=tracer) as engine:
+        handles = [engine.submit([1, 2, 3],
+                                 GenerationConfig(strategy="sample",
+                                                  max_new_tokens=12, seed=s))
+                   for s in range(4)]
+        for handle in handles:
+            handle.result(timeout=30)
     if args.format == "json":
         print(render_json_text(registry, tracer if args.trace else None))
     else:
@@ -238,6 +286,7 @@ _COMMANDS = {
     "train": cmd_train,
     "generate": cmd_generate,
     "evaluate": cmd_evaluate,
+    "serve": cmd_serve,
     "metrics": cmd_metrics,
     "info": cmd_info,
 }

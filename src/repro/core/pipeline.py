@@ -107,20 +107,18 @@ class Ratatouille:
     # ------------------------------------------------------------------
     # Generation (the web app backend operation)
     # ------------------------------------------------------------------
-    def generate(self, ingredients: Sequence[str],
-                 generation: Optional[GenerationConfig] = None,
-                 checklist: bool = False) -> GeneratedRecipe:
-        """Generate a recipe from an ingredient list.
+    def prepare_prompt(self, ingredients: Sequence[str],
+                       generation: Optional[GenerationConfig] = None,
+                       checklist: bool = False) -> Tuple[str, List[int],
+                                                         GenerationConfig,
+                                                         list]:
+        """Build the token-level request for an ingredient list.
 
-        Parameters
-        ----------
-        ingredients:
-            Ingredient lines (with or without quantities).
-        generation:
-            Decoding configuration; default samples with top-k 20.
-        checklist:
-            Enable the checklist-coverage extension (boost prompt
-            ingredients the generation has not mentioned yet).
+        Returns ``(prompt_text, prompt_ids, config, processors)`` —
+        everything a decoder (the in-process :func:`~repro.models.generate`
+        or a :class:`~repro.serving.InferenceEngine`) needs.  Splitting
+        this out of :meth:`generate` is what lets the serving engine
+        stream tokens and still produce identical recipes.
         """
         if not ingredients:
             raise ValueError("at least one ingredient is required")
@@ -141,13 +139,13 @@ class Ratatouille:
                 if ids:
                     token_sets.append(ids)
             processors.append(ChecklistBonus(token_sets))
+        return prompt_text, prompt_ids, generation, processors
 
-        start = time.perf_counter()
-        new_ids = generate(self.model, prompt_ids, generation,
-                           processors=processors)
-        elapsed = time.perf_counter() - start
-
-        continuation = self.tokenizer.decode(new_ids)
+    def finish_recipe(self, prompt_text: str, new_ids: Sequence[int],
+                      ingredients: Sequence[str],
+                      elapsed: float = 0.0) -> GeneratedRecipe:
+        """Decode, parse and score a finished generation."""
+        continuation = self.tokenizer.decode(list(new_ids))
         raw = f"{prompt_text} {continuation}"
         parsed = parse_recipe(raw)
         structure = score_structure(raw, prompt_ingredients=list(ingredients))
@@ -161,6 +159,39 @@ class Ratatouille:
             ingredient_coverage=structure.ingredient_coverage,
             generation_seconds=elapsed,
         )
+
+    def generate(self, ingredients: Sequence[str],
+                 generation: Optional[GenerationConfig] = None,
+                 checklist: bool = False,
+                 engine=None) -> GeneratedRecipe:
+        """Generate a recipe from an ingredient list.
+
+        Parameters
+        ----------
+        ingredients:
+            Ingredient lines (with or without quantities).
+        generation:
+            Decoding configuration; default samples with top-k 20.
+        checklist:
+            Enable the checklist-coverage extension (boost prompt
+            ingredients the generation has not mentioned yet).
+        engine:
+            Optional :class:`~repro.serving.InferenceEngine` to decode
+            through (continuous batching + prefix-cache reuse).  The
+            engine's output is bit-identical to the in-process path,
+            so this only changes throughput, never recipes.
+        """
+        prompt_text, prompt_ids, config, processors = self.prepare_prompt(
+            ingredients, generation=generation, checklist=checklist)
+        start = time.perf_counter()
+        if engine is not None:
+            new_ids = engine.generate(prompt_ids, config,
+                                      processors=processors)
+        else:
+            new_ids = generate(self.model, prompt_ids, config,
+                               processors=processors)
+        elapsed = time.perf_counter() - start
+        return self.finish_recipe(prompt_text, new_ids, ingredients, elapsed)
 
     # ------------------------------------------------------------------
     # Evaluation (the Table-I protocol)

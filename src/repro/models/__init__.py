@@ -10,8 +10,9 @@ decoding strategies in :mod:`repro.models.generation`.
 """
 
 from .base import LanguageModel
-from .generation import (ChecklistBonus, GenerationConfig, LogitsProcessor,
-                         RepetitionPenalty, generate)
+from .generation import (PREFILL_CHUNK, ChecklistBonus, GenerationConfig,
+                         LogitsProcessor, RepetitionPenalty, build_processors,
+                         generate, prefill_prompt, select_next_token)
 from .gpt2 import GPT2Config, GPT2Model, GPT2State, distilgpt2, gpt2_medium
 from .gpt_neo import GPTNeoConfig, GPTNeoModel, gpt_neo_small
 from .lstm import LSTMConfig, LSTMLanguageModel, char_lstm, word_lstm
@@ -24,9 +25,10 @@ __all__ = [
     "ChecklistBonus", "GenerationConfig", "GPT2Config", "GPT2Model",
     "GPT2State", "GPTNeoConfig", "GPTNeoModel", "LanguageModel",
     "LogitsProcessor", "LSTMConfig", "LSTMLanguageModel",
-    "NGramLanguageModel", "RepetitionPenalty", "attention_maps",
-    "char_lstm", "distilgpt2", "generate", "render_attention_ascii",
-    "surprisal", "top_next_tokens", "group_by_top_level",
-    "memory_megabytes", "summarize",
+    "NGramLanguageModel", "PREFILL_CHUNK", "RepetitionPenalty",
+    "attention_maps", "build_processors", "char_lstm", "distilgpt2",
+    "generate", "prefill_prompt", "render_attention_ascii",
+    "select_next_token", "surprisal", "top_next_tokens",
+    "group_by_top_level", "memory_megabytes", "summarize",
     "gpt2_medium", "gpt_neo_small", "word_lstm",
 ]

@@ -14,7 +14,7 @@ strategies in :mod:`repro.models.generation` work with every model.
 
 from __future__ import annotations
 
-from typing import Any, Tuple
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -77,6 +77,92 @@ class LanguageModel(Module):
             and the updated state.
         """
         raise NotImplementedError
+
+    def prefill(self, ids: np.ndarray, state: Any) -> Tuple[np.ndarray, Any]:
+        """Consume a chunk of prompt tokens; returns last-position logits.
+
+        Parameters
+        ----------
+        ids:
+            ``(time,)`` int array of prompt tokens for ONE sequence.
+        state:
+            Decoding state for a batch of 1.
+
+        Returns
+        -------
+        (logits, state):
+            ``(1, vocab_size)`` logits after the last chunk token and
+            the advanced state.
+
+        The default walks :meth:`next_logits` one token at a time, so
+        it is exact for every model; models with a parallel trunk
+        (transformers) override it with a single multi-token pass.
+        Callers that need bit-reproducible results across cache
+        hit/miss patterns must always split a prompt at the same
+        absolute chunk boundaries (see
+        :func:`repro.models.generation.prefill_prompt`).
+        """
+        ids = np.asarray(ids).reshape(-1)
+        if ids.size == 0:
+            raise ValueError("prefill requires at least one token")
+        logits: Optional[np.ndarray] = None
+        for token in ids:
+            logits, state = self.next_logits(np.array([token]), state)
+        return logits, state
+
+    def prefill_stacked(self, ids: np.ndarray,
+                        state: Any) -> Tuple[np.ndarray, Any]:
+        """Prefill one ``(batch, chunk)`` of prompt tokens batched.
+
+        ``state`` must be a stacked state (see :meth:`stack_states`)
+        whose rows all sit at the same position.  Implementations must
+        guarantee each row's logits and state are **bit-identical** to
+        prefilling that row alone with :meth:`prefill` over the same
+        chunk — only models whose full trunk is per-slice (row-stable)
+        under batching can offer that, so the default refuses.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support batched prefill")
+
+    # ------------------------------------------------------------------
+    # Batched decoding (the serving engine's continuous batching)
+    # ------------------------------------------------------------------
+    def stacking_key(self, state: Any) -> Optional[Hashable]:
+        """Grouping key for exact batched decoding, or ``None``.
+
+        States that return the same (non-``None``) key may be stacked
+        into one batched :meth:`next_logits` call with **bit-identical**
+        per-row results.  The default declares states unstackable,
+        which is the only safe answer for models whose decode step is
+        a plain 2-D GEMM (e.g. the LSTM): BLAS kernels are not
+        row-stable across different batch sizes, so stacking would
+        break the engine's batched == sequential equality contract.
+        Transformer decode runs ``(batch, 1, d)`` batched matmuls that
+        numpy evaluates per-slice, which *is* row-stable — those models
+        override this.
+        """
+        return None
+
+    def stack_states(self, states: Sequence[Any]) -> Any:
+        """Stack same-key decode states into one batched state."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support stacked decoding")
+
+    def split_states(self, state: Any, count: int) -> List[Any]:
+        """Invert :meth:`stack_states` into per-sequence states."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support stacked decoding")
+
+    def snapshot_state(self, state: Any) -> Any:
+        """A frozen copy/alias of ``state`` safe to store and resume from.
+
+        Models whose decode step mutates state buffers in place (the
+        transformer KV cache appends into spare capacity) must return a
+        snapshot that later appends cannot clobber.  The default is the
+        identity, correct for models that build fresh state arrays each
+        step.
+        """
+        return state
 
     # ------------------------------------------------------------------
     # Introspection

@@ -70,6 +70,7 @@ class GenerationConfig:
     top_k: int = 0
     top_p: float = 1.0
     beam_size: int = 4
+    length_penalty: float = 0.7
     repetition_penalty: float = 1.0
     stop_token_id: Optional[int] = None
     seed: int = 0
@@ -87,6 +88,8 @@ class GenerationConfig:
             raise ValueError("top_p must be in (0, 1]")
         if self.beam_size < 1:
             raise ValueError("beam_size must be >= 1")
+        if not 0.0 <= self.length_penalty <= 2.0:
+            raise ValueError("length_penalty must be in [0, 2]")
         if self.repetition_penalty < 1.0:
             raise ValueError("repetition_penalty must be >= 1.0")
 
@@ -186,15 +189,77 @@ def _softmax(logits: np.ndarray) -> np.ndarray:
     return exp / exp.sum()
 
 
-def _prefill(model: LanguageModel, prompt_ids: Sequence[int]):
-    """Feed the prompt through the incremental API; return (logits, state)."""
-    state = model.start_state(1)
-    logits = None
-    for token in prompt_ids:
-        logits, state = model.next_logits(np.array([token]), state)
-    if logits is None:
+#: Default prompt-chunk size for :func:`prefill_prompt`.  A tuning
+#: knob, not a correctness one — but every caller that wants outputs
+#: bit-identical to another caller must use the same value, because
+#: different chunking produces different BLAS shapes and therefore
+#: different float rounding.
+PREFILL_CHUNK = 32
+
+
+def prefill_prompt(model: LanguageModel, prompt_ids: Sequence[int],
+                   state=None, start_position: int = 0,
+                   chunk_size: int = PREFILL_CHUNK):
+    """Chunked prefill: feed the prompt in fixed position-aligned chunks.
+
+    Chunks always end at absolute multiples of ``chunk_size`` (plus a
+    final partial chunk), regardless of ``start_position``.  That makes
+    the sequence of :meth:`~repro.models.base.LanguageModel.prefill`
+    calls — and hence the float rounding — a pure function of the
+    *absolute* token positions: a serving-engine prefix-cache hit at a
+    chunk boundary replays exactly the calls a cold run would make, so
+    cached and uncached prefills are bit-identical.
+
+    Returns ``(logits, state)`` where ``logits`` is ``(1, vocab)`` for
+    the last prompt token.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    ids = np.asarray(list(prompt_ids))
+    if ids.size == 0:
         raise ValueError("prompt must contain at least one token")
-    return logits[0], state
+    if state is None:
+        state = model.start_state(1)
+    logits = None
+    position = start_position
+    end_position = start_position + ids.size
+    while position < end_position:
+        chunk_end = min(end_position, (position // chunk_size + 1) * chunk_size)
+        chunk = ids[position - start_position:chunk_end - start_position]
+        logits, state = model.prefill(chunk, state)
+        position = chunk_end
+    return logits, state
+
+
+def build_processors(config: GenerationConfig,
+                     processors: Sequence[LogitsProcessor] = ()
+                     ) -> List[LogitsProcessor]:
+    """The per-request processor chain (caller's + config-implied)."""
+    all_processors = list(processors)
+    if config.repetition_penalty > 1.0:
+        all_processors.append(RepetitionPenalty(config.repetition_penalty))
+    return all_processors
+
+
+def select_next_token(logits: np.ndarray, generated: List[int],
+                      config: GenerationConfig,
+                      processors: Sequence[LogitsProcessor],
+                      rng: np.random.Generator) -> int:
+    """One decode decision: processors, filters, then greedy/sampled pick.
+
+    Shared by the sequential loop below and the serving engine's
+    batched loop, so both make bit-identical choices from identical
+    logits (the engine's batched == sequential equality contract).
+    """
+    scores = logits.astype(np.float64)
+    for processor in processors:
+        scores = processor(scores, generated)
+    if config.strategy == "greedy":
+        return int(scores.argmax())
+    scores = scores / config.temperature
+    scores = _filter_top_k(scores, config.top_k)
+    scores = _filter_top_p(scores, config.top_p)
+    return int(rng.choice(scores.shape[0], p=_softmax(scores)))
 
 
 def generate(model: LanguageModel, prompt_ids: Sequence[int],
@@ -234,11 +299,10 @@ def _sample_loop(model: LanguageModel, prompt_ids: Sequence[int],
                  metrics: _GenerationMetrics, tracer: Tracer) -> List[int]:
     rng = np.random.default_rng(config.seed)
     with tracer.span("prefill", tokens=len(prompt_ids)):
-        logits, state = _prefill(model, prompt_ids)
+        batch_logits, state = prefill_prompt(model, prompt_ids)
+        logits = batch_logits[0]
     generated: List[int] = []
-    all_processors = list(processors)
-    if config.repetition_penalty > 1.0:
-        all_processors.append(RepetitionPenalty(config.repetition_penalty))
+    all_processors = build_processors(config, processors)
 
     now = metrics.clock.now
     # The hot loop only appends (start, end) pairs to a local list;
@@ -249,16 +313,8 @@ def _sample_loop(model: LanguageModel, prompt_ids: Sequence[int],
     with tracer.span("decode") as decode_node:
         for _ in range(config.max_new_tokens):
             step_start = now()
-            scores = logits.astype(np.float64)
-            for processor in all_processors:
-                scores = processor(scores, generated)
-            if config.strategy == "greedy":
-                token = int(scores.argmax())
-            else:
-                scores = scores / config.temperature
-                scores = _filter_top_k(scores, config.top_k)
-                scores = _filter_top_p(scores, config.top_p)
-                token = int(rng.choice(scores.shape[0], p=_softmax(scores)))
+            token = select_next_token(logits, generated, config,
+                                      all_processors, rng)
             generated.append(token)
             stop = (config.stop_token_id is not None
                     and token == config.stop_token_id)
@@ -294,7 +350,8 @@ def _beam_search(model: LanguageModel, prompt_ids: Sequence[int],
                  tracer: Tracer) -> List[int]:
     """Standard length-normalized beam search (no sampling)."""
     with tracer.span("prefill", tokens=len(prompt_ids)):
-        logits, state = _prefill(model, prompt_ids)
+        batch_logits, state = prefill_prompt(model, prompt_ids)
+        logits = batch_logits[0]
     beams = [_Beam(state=state, logits=logits)]
     completed: List[_Beam] = []
 
@@ -325,7 +382,8 @@ def _beam_loop(model: LanguageModel, config: GenerationConfig,
                 ))
         if not candidates:
             break
-        candidates.sort(key=lambda b: b.score(), reverse=True)
+        candidates.sort(key=lambda b: b.score(config.length_penalty),
+                        reverse=True)
         beams = candidates[:config.beam_size]
         # Advance the survivors one step (states are immutable snapshots,
         # so siblings from the same parent can safely share the input state).
@@ -341,5 +399,7 @@ def _beam_loop(model: LanguageModel, config: GenerationConfig,
             completed.extend(beams)
             break
     completed.extend(beam for beam in beams if not beam.finished)
-    best = max(completed, key=lambda b: b.score()) if completed else beams[0]
+    if not completed:
+        return beams[0].tokens
+    best = max(completed, key=lambda b: b.score(config.length_penalty))
     return best.tokens

@@ -15,7 +15,7 @@ the Table-I benchmark documents the scaling.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import List, Optional, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -133,7 +133,8 @@ class GPT2Model(LanguageModel):
         caches = state.caches
         if position >= self.config.context_length:
             keep = self.config.context_length - 1
-            caches = [KVCache(k=c.k[:, :, -keep:, :], v=c.v[:, :, -keep:, :])
+            caches = [KVCache(k=c.keys[:, :, -keep:, :],
+                              v=c.values[:, :, -keep:, :])
                       for c in caches]
             position = keep
         hidden, new_caches = self._trunk(ids, position_offset=position,
@@ -141,6 +142,86 @@ class GPT2Model(LanguageModel):
         logits = self._project(hidden)
         new_state = GPT2State(caches=new_caches, position=position + 1)
         return logits.data[:, 0, :], new_state
+
+    def prefill(self, ids: np.ndarray, state: GPT2State
+                ) -> Tuple[np.ndarray, GPT2State]:
+        """One trunk pass over a whole prompt chunk (batch of 1).
+
+        Falls back to the per-token sliding-window path when the chunk
+        would overflow the context; the criterion is a pure function of
+        position and chunk length, so every caller that splits a prompt
+        at the same boundaries takes the same path (bit-reproducible).
+        """
+        ids = np.asarray(ids).reshape(-1)
+        if ids.size == 0:
+            raise ValueError("prefill requires at least one token")
+        if state.position + ids.size > self.config.context_length:
+            return super().prefill(ids, state)
+        hidden, caches = self._trunk(ids.reshape(1, -1),
+                                     position_offset=state.position,
+                                     caches=state.caches)
+        logits = self._project(hidden)
+        return (logits.data[:, -1, :],
+                GPT2State(caches=caches, position=state.position + ids.size))
+
+    def prefill_stacked(self, ids: np.ndarray, state: GPT2State
+                        ) -> Tuple[np.ndarray, GPT2State]:
+        """Batched chunk prefill over a stacked state.
+
+        The trunk's batched matmuls are per-slice (row-stable), so each
+        row's logits and cache come out bit-identical to a batch-of-one
+        :meth:`prefill` of the same chunk at the same position.  Raises
+        ``ValueError`` when the chunk would overflow the context window;
+        callers fall back to the single-sequence path, which slides.
+        """
+        ids = np.asarray(ids)
+        if ids.ndim != 2 or ids.shape[1] == 0:
+            raise ValueError("prefill_stacked expects (batch, chunk) ids")
+        if state.position + ids.shape[1] > self.config.context_length:
+            raise ValueError(
+                f"chunk ending at {state.position + ids.shape[1]} exceeds "
+                f"context length {self.config.context_length}")
+        hidden, caches = self._trunk(ids, position_offset=state.position,
+                                     caches=state.caches)
+        logits = self._project(hidden)
+        return (logits.data[:, -1, :],
+                GPT2State(caches=caches,
+                          position=state.position + ids.shape[1]))
+
+    def stacking_key(self, state: GPT2State) -> Optional[Hashable]:
+        # Equal position implies equal cache length, so stacked rows see
+        # identical per-slice matmul shapes — the bit-exactness condition.
+        seq_len = state.caches[0].seq_len if state.caches else 0
+        return (self.model_type, state.position, seq_len)
+
+    def stack_states(self, states: Sequence[GPT2State]) -> GPT2State:
+        return GPT2State(
+            caches=[
+                KVCache(
+                    k=np.concatenate([s.caches[layer].keys for s in states]),
+                    v=np.concatenate([s.caches[layer].values
+                                      for s in states]))
+                for layer in range(len(self.blocks))
+            ],
+            position=states[0].position)
+
+    def split_states(self, state: GPT2State, count: int) -> List[GPT2State]:
+        # Row views keep the batch's capacity buffer: each row only
+        # ever appends into its own slice past ``length``, so split
+        # sequences stay independent without copying.
+        return [
+            GPT2State(caches=[KVCache(k=c.k[i:i + 1], v=c.v[i:i + 1],
+                                      length=c.length)
+                              for c in state.caches],
+                      position=state.position)
+            for i in range(count)
+        ]
+
+    def snapshot_state(self, state: GPT2State) -> GPT2State:
+        # Frozen cache aliases: sharable (and storable) without copying;
+        # whoever resumes from the snapshot copies on first append.
+        return GPT2State(caches=[c.snapshot() for c in state.caches],
+                         position=state.position)
 
     def config_dict(self) -> dict:
         return {"model_type": self.model_type, **asdict(self.config)}

@@ -23,7 +23,7 @@ from ..nn.attention import MASK_VALUE, CausalSelfAttention, MLP
 from ..nn import functional as F
 from ..nn.module import Module
 from .base import LanguageModel
-from .gpt2 import GPT2State
+from .gpt2 import GPT2Model, GPT2State
 
 
 class LocalCausalSelfAttention(CausalSelfAttention):
@@ -51,8 +51,8 @@ class LocalCausalSelfAttention(CausalSelfAttention):
         if cache is not None:
             past_len = cache.seq_len
             if past_len:
-                k = Tensor(np.concatenate([cache.k, k.data], axis=2))
-                v = Tensor(np.concatenate([cache.v, v.data], axis=2))
+                k = Tensor(np.concatenate([cache.keys, k.data], axis=2))
+                v = Tensor(np.concatenate([cache.values, v.data], axis=2))
             # The cache only ever needs the last ``window`` keys.
             keep = min(self.window, k.data.shape[2])
             new_cache = KVCache(k=k.data[:, :, -keep:, :], v=v.data[:, :, -keep:, :])
@@ -180,7 +180,8 @@ class GPTNeoModel(LanguageModel):
         caches = state.caches
         if position >= self.config.context_length:
             keep = self.config.context_length - 1
-            caches = [KVCache(k=c.k[:, :, -keep:, :], v=c.v[:, :, -keep:, :])
+            caches = [KVCache(k=c.keys[:, :, -keep:, :],
+                              v=c.values[:, :, -keep:, :])
                       for c in caches]
             position = keep
         hidden, new_caches = self._trunk(ids, position_offset=position,
@@ -191,6 +192,16 @@ class GPTNeoModel(LanguageModel):
 
     def config_dict(self) -> dict:
         return {"model_type": self.model_type, **asdict(self.config)}
+
+    # Batched decoding: the decode step is the same per-slice ``(1, d)``
+    # matmul shape at any batch size, so equal-position states stack
+    # bit-exactly just like GPT-2's.  (Prefill stays on the per-token
+    # default: the local-attention mask was only written for the
+    # full-sequence and single-step cases.)
+    stacking_key = GPT2Model.stacking_key
+    stack_states = GPT2Model.stack_states
+    split_states = GPT2Model.split_states
+    snapshot_state = GPT2Model.snapshot_state
 
 
 def gpt_neo_small(vocab_size: int, seed: int = 0,

@@ -25,20 +25,80 @@ from .tensor import Tensor
 MASK_VALUE = -1e9
 
 
+# Extra sequence slots allocated on cache growth, so appending one
+# token per decode step reallocates every _CACHE_HEADROOM steps instead
+# of copying the whole cache every step.
+_CACHE_HEADROOM = 64
+
+
 @dataclass
 class KVCache:
     """Cached keys and values for one attention layer.
 
-    Arrays have shape ``(batch, heads, seq, head_dim)`` and grow along
-    the sequence axis as generation proceeds.
+    ``k``/``v`` are capacity buffers of shape ``(batch, heads,
+    capacity, head_dim)``; only the first ``length`` positions are
+    live.  Read through :attr:`keys`/:attr:`values` — raw ``k``/``v``
+    may contain uninitialised headroom past ``length``.
+
+    :meth:`append` writes into spare capacity in place, which turns
+    the per-token cache update from an O(seq) copy into an O(1) write.
+    A cache marked ``frozen`` (a shared snapshot, e.g. a prefix-cache
+    entry) instead reallocates on its first append, so the snapshot's
+    live region is never clobbered by whoever resumes from it.
     """
 
     k: np.ndarray
     v: np.ndarray
+    length: int = -1
+    frozen: bool = False
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            self.length = self.k.shape[2]
 
     @property
     def seq_len(self) -> int:
-        return self.k.shape[2]
+        return self.length
+
+    @property
+    def keys(self) -> np.ndarray:
+        """View of the live keys, ``(batch, heads, length, head_dim)``."""
+        return self.k[:, :, :self.length]
+
+    @property
+    def values(self) -> np.ndarray:
+        """View of the live values, ``(batch, heads, length, head_dim)``."""
+        return self.v[:, :, :self.length]
+
+    def snapshot(self) -> "KVCache":
+        """A frozen alias sharing this cache's buffers.
+
+        Safe to store: the live owner only ever writes *past* the
+        snapshot's ``length``, and anyone appending through the
+        snapshot itself copies first (``frozen`` forces reallocation).
+        """
+        return KVCache(k=self.k, v=self.v, length=self.length, frozen=True)
+
+    def append(self, new_k: np.ndarray, new_v: np.ndarray) -> "KVCache":
+        """Extend by ``new_k``/``new_v`` (``(batch, heads, t, head_dim)``).
+
+        Returns a new :class:`KVCache` handle; buffers are reused in
+        place when owned and large enough, else reallocated with
+        headroom.
+        """
+        step = new_k.shape[2]
+        total = self.length + step
+        k, v = self.k, self.v
+        if self.frozen or total > k.shape[2]:
+            shape = list(k.shape)
+            shape[2] = total + _CACHE_HEADROOM
+            k = np.empty(tuple(shape), dtype=self.k.dtype)
+            v = np.empty(tuple(shape), dtype=self.v.dtype)
+            k[:, :, :self.length] = self.keys
+            v[:, :, :self.length] = self.values
+        k[:, :, self.length:total] = new_k
+        v[:, :, self.length:total] = new_v
+        return KVCache(k=k, v=v, length=total)
 
 
 class CausalSelfAttention(Module):
@@ -79,10 +139,10 @@ class CausalSelfAttention(Module):
         new_cache = None
         if cache is not None:
             past_len = cache.seq_len
+            new_cache = cache.append(k.data, v.data)
             if past_len:
-                k = Tensor(np.concatenate([cache.k, k.data], axis=2))
-                v = Tensor(np.concatenate([cache.v, v.data], axis=2))
-            new_cache = KVCache(k=k.data, v=v.data)
+                k = Tensor(new_cache.keys)
+                v = Tensor(new_cache.values)
 
         total = past_len + seq
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))

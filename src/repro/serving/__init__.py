@@ -1,0 +1,18 @@
+"""Serving: continuous-batching inference engine + prefix KV cache.
+
+:class:`InferenceEngine` multiplexes many generation requests over one
+model with mid-flight admission and retirement, batched decode steps,
+and prefix-cache prefill reuse — while keeping every request's output
+bit-identical to the sequential :func:`repro.models.generate`.  See
+``docs/SERVING.md`` for the design and its float-determinism rules.
+"""
+
+from .engine import (EngineConfig, EngineQueueFullError, EngineRequest,
+                     EngineStoppedError, InferenceEngine)
+from .prefix_cache import PrefixCache, PrefixCacheStats
+
+__all__ = [
+    "EngineConfig", "EngineQueueFullError", "EngineRequest",
+    "EngineStoppedError", "InferenceEngine", "PrefixCache",
+    "PrefixCacheStats",
+]

@@ -1,0 +1,608 @@
+"""Continuous-batching inference engine with prefix KV-cache reuse.
+
+One background thread owns the model and runs a step loop:
+
+1. **Admit** — move queued requests into the in-flight set (up to
+   ``max_batch_size``), prefilling each prompt in position-aligned
+   chunks — batched across same-shape prompts — and reusing
+   prefix-cache snapshots where the prompt shares a stored prefix
+   (see :mod:`.prefix_cache`).
+2. **Sample** — every active sequence picks its next token with the
+   *same* :func:`repro.models.select_next_token` the sequential
+   :func:`repro.models.generate` loop uses, driven by its own
+   per-request ``default_rng(config.seed)`` and processor chain.
+3. **Retire** — sequences that hit their stop token or token budget
+   leave the batch mid-flight; their slot is refilled on the next
+   admit pass.
+4. **Forward** — survivors are grouped by
+   :meth:`~repro.models.base.LanguageModel.stacking_key`; groups stack
+   their KV caches into one batched ``next_logits`` call, ungroupable
+   states (``key is None``, e.g. the LSTM) step one by one.
+
+Equality contract: for any request, the engine's token stream is
+**bit-identical** to ``models.generate(model, prompt, config)`` run
+alone — regardless of what else shares the batch, and regardless of
+prefix-cache hits.  The pieces that make that true: stacked transformer
+decode is per-slice (row-stable) matmul; prefill chunking is aligned
+to absolute positions; sampling state is per-request.  Property-tested
+in ``tests/test_properties_serving.py``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models import (GenerationConfig, LanguageModel, LogitsProcessor,
+                      PREFILL_CHUNK, build_processors, generate as
+                      sequential_generate, select_next_token)
+from ..nn import no_grad
+from ..obs import (MetricsRegistry, Tracer, get_registry, get_tracer)
+from .prefix_cache import PrefixCache
+
+
+class EngineQueueFullError(RuntimeError):
+    """Raised by :meth:`InferenceEngine.submit` when the queue is full."""
+
+
+class EngineStoppedError(RuntimeError):
+    """Raised when a request cannot complete because the engine stopped."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Serving knobs (independent of per-request decoding knobs)."""
+
+    max_batch_size: int = 8
+    prefill_chunk: int = PREFILL_CHUNK
+    prefix_cache_bytes: int = 32 * 1024 * 1024
+    max_queue: int = 64
+
+    def validate(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.prefill_chunk < 1:
+            raise ValueError("prefill_chunk must be >= 1")
+        if self.prefix_cache_bytes < 0:
+            raise ValueError("prefix_cache_bytes must be >= 0")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+
+
+_WAKE = object()  # queue sentinel: stop() nudges a blocked _admit awake
+
+
+class EngineRequest:
+    """Per-request handle: a streaming token iterator plus a final result.
+
+    Token delivery is a plain list append (atomic under the GIL); the
+    engine only takes the condition lock when a streaming consumer is
+    actually waiting, so the common ``result()``-only path costs no
+    synchronization per token.
+    """
+
+    def __init__(self, request_id: int, prompt_ids: List[int],
+                 config: GenerationConfig,
+                 processors: Sequence[LogitsProcessor],
+                 submitted_at: float) -> None:
+        self.request_id = request_id
+        self.prompt_ids = prompt_ids
+        self.config = config
+        self.processors = processors
+        self.submitted_at = submitted_at
+        self._done = threading.Event()
+        self._generated: List[int] = []
+        self._error: Optional[BaseException] = None
+        self._cond = threading.Condition()
+        self._waiters = 0
+
+    # -- engine side ---------------------------------------------------
+    def _deliver(self, token: int) -> None:
+        self._generated.append(token)
+        if self._waiters:
+            with self._cond:
+                self._cond.notify_all()
+
+    def _finish(self, error: Optional[BaseException] = None) -> None:
+        self._error = error
+        self._done.set()
+        if self._waiters:
+            with self._cond:
+                self._cond.notify_all()
+
+    # -- caller side ---------------------------------------------------
+    def tokens(self, timeout: Optional[float] = None) -> Iterator[int]:
+        """Yield generated token ids as they are produced.
+
+        ``timeout`` bounds the wait for each *individual* token; on
+        engine failure the stored error is raised.
+        """
+        index = 0
+        while True:
+            if index < len(self._generated):
+                token = self._generated[index]
+                index += 1
+                yield token
+                continue
+            if self._done.is_set():
+                if index < len(self._generated):
+                    continue  # tokens landed while we checked
+                if self._error is not None:
+                    raise self._error
+                return
+            with self._cond:
+                self._waiters += 1
+                try:
+                    if (index >= len(self._generated)
+                            and not self._done.is_set()):
+                        if not self._cond.wait(timeout=timeout):
+                            raise TimeoutError(
+                                f"request {self.request_id}: no token "
+                                f"within {timeout}s")
+                finally:
+                    self._waiters -= 1
+
+    def result(self, timeout: Optional[float] = None) -> List[int]:
+        """Block until generation completes; returns the new token ids."""
+        if not self._done.wait(timeout=timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not finished within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return list(self._generated)
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+@dataclass
+class _Sequence:
+    """Engine-internal state for one in-flight request."""
+
+    request: EngineRequest
+    config: GenerationConfig
+    processors: List[LogitsProcessor]
+    rng: np.random.Generator
+    state: Any = None
+    logits: Optional[np.ndarray] = None
+    generated: List[int] = field(default_factory=list)
+    admitted_at: float = 0.0
+    first_token_at: Optional[float] = None
+
+
+def _state_nbytes(obj: Any, _depth: int = 0) -> int:
+    """Recursive byte count of the numpy arrays reachable from ``obj``."""
+    if _depth > 8 or obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (list, tuple)):
+        return sum(_state_nbytes(item, _depth + 1) for item in obj)
+    if isinstance(obj, dict):
+        return sum(_state_nbytes(item, _depth + 1) for item in obj.values())
+    if hasattr(obj, "__dict__"):
+        return _state_nbytes(vars(obj), _depth + 1)
+    return 0
+
+
+class _EngineMetrics:
+    """Engine metric handles, resolved once at construction."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.clock = registry.clock
+        self.requests = registry.counter(
+            "engine_requests_total",
+            help="Engine requests by final outcome")
+        self.tokens = registry.counter(
+            "engine_tokens_total",
+            help="Tokens emitted by the serving engine").labels()
+        self.steps = registry.counter(
+            "engine_steps_total",
+            help="Batched decode steps executed").labels()
+        self.batch_occupancy = registry.histogram(
+            "engine_batch_occupancy",
+            help="Active sequences per decode step").labels()
+        self.active_sequences = registry.gauge(
+            "engine_active_sequences",
+            help="Sequences currently in the decode batch").labels()
+        self.queue_depth = registry.gauge(
+            "engine_queue_depth",
+            help="Requests waiting for admission").labels()
+        self.queue_wait_seconds = registry.histogram(
+            "engine_queue_wait_seconds",
+            help="Submit-to-admission wait per request").labels()
+        self.ttft_seconds = registry.histogram(
+            "engine_ttft_seconds",
+            help="Submit-to-first-token latency per request").labels()
+        self.cache_hits = registry.counter(
+            "engine_prefix_cache_hits_total",
+            help="Prefix-cache lookups that reused a snapshot").labels()
+        self.cache_misses = registry.counter(
+            "engine_prefix_cache_misses_total",
+            help="Prefix-cache lookups that found nothing").labels()
+        self.cache_evictions = registry.counter(
+            "engine_prefix_cache_evictions_total",
+            help="Snapshots evicted to stay under the byte budget").labels()
+        self.cache_hit_tokens = registry.counter(
+            "engine_prefix_cache_hit_tokens_total",
+            help="Prompt tokens skipped thanks to prefix-cache hits").labels()
+        self.cache_bytes = registry.gauge(
+            "engine_prefix_cache_bytes",
+            help="Bytes currently held by the prefix cache").labels()
+        self.cache_hit_rate = registry.gauge(
+            "engine_prefix_cache_hit_rate",
+            help="Lifetime prefix-cache hit rate").labels()
+
+
+class InferenceEngine:
+    """Continuous-batching serving engine around one language model.
+
+    The engine owns a background thread; the model must not be trained
+    or mutated while the engine is running.  Use as a context manager
+    or call :meth:`stop` explicitly.
+    """
+
+    def __init__(self, model: LanguageModel,
+                 config: Optional[EngineConfig] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.config = config or EngineConfig()
+        self.config.validate()
+        self.model = model
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.metrics = _EngineMetrics(self.registry)
+        self.prefix_cache = PrefixCache(self.config.prefix_cache_bytes,
+                                        chunk_size=self.config.prefill_chunk)
+        self._queue: "queue.Queue[EngineRequest]" = queue.Queue(
+            maxsize=self.config.max_queue)
+        self._active: List[_Sequence] = []
+        # Stacked decode states from the previous step, keyed by group
+        # membership — skips re-concatenating KV caches while a batch
+        # is stable (see _forward).
+        self._stacked_states: Dict[Tuple[int, ...], Any] = {}
+        self._stop_event = threading.Event()
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-engine", daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, prompt_ids: Sequence[int],
+               config: Optional[GenerationConfig] = None,
+               processors: Sequence[LogitsProcessor] = ()) -> EngineRequest:
+        """Enqueue a request; returns a streaming :class:`EngineRequest`.
+
+        Raises :class:`EngineQueueFullError` when ``max_queue`` requests
+        are already waiting, and :class:`EngineStoppedError` after
+        :meth:`stop`.  Beam search is not batched — use
+        :meth:`generate`, which falls back to the sequential decoder.
+        """
+        if self._stop_event.is_set():
+            raise EngineStoppedError("engine has been stopped")
+        config = config or GenerationConfig()
+        config.validate()
+        if config.strategy == "beam":
+            raise ValueError(
+                "beam search is not continuously batched; use "
+                "InferenceEngine.generate() for the sequential fallback")
+        prompt = [int(t) for t in prompt_ids]
+        if not prompt:
+            raise ValueError("prompt must contain at least one token")
+        with self._id_lock:
+            self._next_id += 1
+            request_id = self._next_id
+        request = EngineRequest(request_id, prompt, config, list(processors),
+                                submitted_at=self.metrics.clock.now())
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            raise EngineQueueFullError(
+                f"engine queue is full ({self.config.max_queue} waiting)")
+        self.metrics.queue_depth.set(self._queue.qsize())
+        return request
+
+    def generate(self, prompt_ids: Sequence[int],
+                 config: Optional[GenerationConfig] = None,
+                 processors: Sequence[LogitsProcessor] = ()) -> List[int]:
+        """Synchronous façade: submit, wait, return the new token ids.
+
+        Beam-search configs bypass the batch and run the sequential
+        decoder (beam state is not continuously batchable).
+        """
+        config = config or GenerationConfig()
+        config.validate()
+        if config.strategy == "beam":
+            return sequential_generate(self.model, prompt_ids, config,
+                                       processors, registry=self.registry,
+                                       tracer=self.tracer)
+        return self.submit(prompt_ids, config, processors).result()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Shut the engine thread down and fail all unfinished requests."""
+        self._stop_event.set()
+        try:
+            self._queue.put_nowait(_WAKE)
+        except queue.Full:
+            pass  # queue has work, so the thread is not blocked idle
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive() and not self._stop_event.is_set()
+
+    def stats(self) -> Dict[str, Any]:
+        """Point-in-time engine stats (for the CLI and debug endpoints)."""
+        return {
+            "running": self.running,
+            "active_sequences": len(self._active),
+            "queue_depth": self._queue.qsize(),
+            "max_batch_size": self.config.max_batch_size,
+            "prefix_cache": self.prefix_cache.stats.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # Engine thread
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        self.model.eval()
+        with no_grad():
+            while not self._stop_event.is_set():
+                self._admit()
+                if not self._active:
+                    continue
+                try:
+                    self._step()
+                except BaseException as error:  # noqa: BLE001 - fail requests
+                    for seq in self._active:
+                        self._finish(seq, error=error)
+                    self._active = []
+        self._drain()
+
+    def _admit(self) -> None:
+        """Refill the batch from the queue; prefill newly admitted prompts."""
+        block = not self._active
+        admitted: List[_Sequence] = []
+        while len(self._active) + len(admitted) < self.config.max_batch_size:
+            try:
+                if block:
+                    request = self._queue.get(timeout=0.05)
+                    block = False
+                else:
+                    request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if request is _WAKE:
+                break
+            now = self.metrics.clock.now()
+            self.metrics.queue_wait_seconds.observe(now - request.submitted_at)
+            admitted.append(_Sequence(
+                request=request, config=request.config,
+                processors=build_processors(request.config,
+                                            request.processors),
+                rng=np.random.default_rng(request.config.seed),
+                admitted_at=now))
+        if admitted:
+            self._prefill_admitted(admitted)
+        self.metrics.queue_depth.set(self._queue.qsize())
+        self.metrics.active_sequences.set(len(self._active))
+
+    def _prefill_admitted(self, admitted: List[_Sequence]) -> None:
+        """Prefill an admission wave, batching same-shape prompts.
+
+        Rows whose prompts have equal length and equal cache-hit depth
+        take identical chunk boundaries from identical positions, so
+        they can share batched ``prefill_stacked`` trunk calls; the
+        rest (and models without batched prefill) go one by one.
+        Chunks end at absolute multiples of ``prefill_chunk`` — the
+        same boundaries :func:`repro.models.prefill_prompt` uses — so a
+        warm run replays exactly the trunk calls of a cold run and the
+        logits match bit for bit.  Snapshots are stored at those same
+        boundaries plus the full prompt, which keeps every stored
+        depth *eligible* for future lookups (see
+        :class:`~repro.serving.prefix_cache.PrefixCache`).
+        """
+        groups: Dict[Tuple[int, int], List[Tuple[_Sequence, Any, Any]]] = {}
+        for seq in admitted:
+            prompt = seq.request.prompt_ids
+            hit_len, snapshot = self.prefix_cache.lookup(prompt)
+            if hit_len:
+                self.metrics.cache_hits.inc()
+                self.metrics.cache_hit_tokens.inc(hit_len)
+                logits, state = snapshot
+            else:
+                self.metrics.cache_misses.inc()
+                logits, state = None, self.model.start_state(1)
+            groups.setdefault((len(prompt), hit_len), []).append(
+                (seq, logits, state))
+        for (prompt_len, hit_len), members in groups.items():
+            done = (len(members) > 1 and hit_len < prompt_len
+                    and self._prefill_stacked(members, prompt_len, hit_len))
+            if not done:
+                for seq, logits, state in members:
+                    try:
+                        self._prefill_one(seq, logits, state, hit_len)
+                    except BaseException as error:  # noqa: BLE001
+                        self._finish(seq, error=error)
+                        continue
+                    self._active.append(seq)
+        cache_stats = self.prefix_cache.stats
+        self.metrics.cache_evictions.inc(
+            cache_stats.evictions - self.metrics.cache_evictions.value)
+        self.metrics.cache_bytes.set(cache_stats.bytes)
+        self.metrics.cache_hit_rate.set(cache_stats.snapshot()["hit_rate"])
+
+    def _prefill_stacked(self, members: List[Tuple[_Sequence, Any, Any]],
+                         prompt_len: int, hit_len: int) -> bool:
+        """Try one batched prefill for an equal-shape admission group.
+
+        Returns ``False`` (having activated nothing) when the model
+        cannot batch these rows — callers then run the single-sequence
+        path.  Bit-exactness is inherited from ``prefill_stacked``'s
+        row-stability contract, so both paths produce the same logits.
+        """
+        states = [state for _, _, state in members]
+        keys = {self.model.stacking_key(state) for state in states}
+        if len(keys) != 1 or None in keys:
+            return False
+        chunk_size = self.config.prefill_chunk
+        prompts = [seq.request.prompt_ids for seq, _, _ in members]
+        try:
+            stacked = self.model.stack_states(states)
+            with ExitStack() as spans:
+                for seq, _, _ in members:
+                    spans.enter_context(self.tracer.span(
+                        "engine.prefill",
+                        request=seq.request.request_id,
+                        tokens=prompt_len, cached_tokens=hit_len,
+                        batched=len(members)))
+                position = hit_len
+                logits = None
+                while position < prompt_len:
+                    chunk_end = min(prompt_len,
+                                    (position // chunk_size + 1) * chunk_size)
+                    ids = np.asarray([p[position:chunk_end] for p in prompts])
+                    logits, stacked = self.model.prefill_stacked(ids, stacked)
+                    position = chunk_end
+                    if chunk_end % chunk_size == 0 or chunk_end == prompt_len:
+                        rows = self.model.split_states(stacked, len(members))
+                        for row, prompt in enumerate(prompts):
+                            snap = self.model.snapshot_state(rows[row])
+                            nbytes = _state_nbytes(snap) + logits[row].nbytes
+                            self.prefix_cache.insert(
+                                prompt[:chunk_end],
+                                (logits[row:row + 1], snap), nbytes)
+        except (NotImplementedError, ValueError):
+            return False
+        rows = self.model.split_states(stacked, len(members))
+        for row, (seq, _, _) in enumerate(members):
+            seq.logits = logits[row]
+            seq.state = rows[row]
+            self._active.append(seq)
+        return True
+
+    def _prefill_one(self, seq: _Sequence, logits: Any, state: Any,
+                     hit_len: int) -> None:
+        """Chunked single-sequence prefill (resuming from a cache hit)."""
+        prompt = seq.request.prompt_ids
+        chunk_size = self.config.prefill_chunk
+        with self.tracer.span("engine.prefill",
+                              request=seq.request.request_id,
+                              tokens=len(prompt), cached_tokens=hit_len):
+            position = hit_len
+            while position < len(prompt):
+                chunk_end = min(len(prompt),
+                                (position // chunk_size + 1) * chunk_size)
+                logits, state = self.model.prefill(
+                    np.asarray(prompt[position:chunk_end]), state)
+                position = chunk_end
+                if chunk_end % chunk_size == 0 or chunk_end == len(prompt):
+                    nbytes = _state_nbytes(state) + logits.nbytes
+                    self.prefix_cache.insert(
+                        prompt[:chunk_end],
+                        (logits, self.model.snapshot_state(state)), nbytes)
+        seq.logits = logits[0]
+        seq.state = state
+
+    def _step(self) -> None:
+        """One engine step: sample, deliver, retire, batched forward."""
+        self.metrics.steps.inc()
+        self.metrics.batch_occupancy.observe(len(self._active))
+        survivors: List[_Sequence] = []
+        for seq in self._active:
+            token = select_next_token(seq.logits, seq.generated, seq.config,
+                                      seq.processors, seq.rng)
+            seq.generated.append(token)
+            seq.request._deliver(token)
+            if seq.first_token_at is None:
+                seq.first_token_at = self.metrics.clock.now()
+                self.metrics.ttft_seconds.observe(
+                    seq.first_token_at - seq.request.submitted_at)
+            stopped = (seq.config.stop_token_id is not None
+                       and token == seq.config.stop_token_id)
+            if stopped or len(seq.generated) >= seq.config.max_new_tokens:
+                self._finish(seq)
+            else:
+                survivors.append(seq)
+        self._forward(survivors)
+        self._active = survivors
+        self.metrics.active_sequences.set(len(self._active))
+
+    def _forward(self, survivors: List[_Sequence]) -> None:
+        """Advance survivors one token, batching same-key states."""
+        groups: Dict[Any, List[_Sequence]] = {}
+        singles: List[_Sequence] = []
+        for seq in survivors:
+            key = self.model.stacking_key(seq.state)
+            if key is None:
+                singles.append(seq)
+            else:
+                groups.setdefault(key, []).append(seq)
+        new_stacked: Dict[Tuple[int, ...], Any] = {}
+        for key, members in groups.items():
+            if len(members) == 1:
+                singles.extend(members)
+                continue
+            # Reuse last step's stacked state while the group is
+            # stable: stack(split(x)) == x element-for-element, so this
+            # skips a per-step cache concatenation without changing a
+            # single bit of output.
+            member_ids = tuple(id(seq) for seq in members)
+            stacked = self._stacked_states.get(member_ids)
+            if stacked is None:
+                stacked = self.model.stack_states(
+                    [s.state for s in members])
+            logits, new_state = self.model.next_logits(
+                np.asarray([s.generated[-1] for s in members]), stacked)
+            new_stacked[member_ids] = new_state
+            states = self.model.split_states(new_state, len(members))
+            for row, seq in enumerate(members):
+                seq.logits = logits[row]
+                seq.state = states[row]
+        self._stacked_states = new_stacked
+        for seq in singles:
+            logits, state = self.model.next_logits(
+                np.asarray([seq.generated[-1]]), seq.state)
+            seq.logits = logits[0]
+            seq.state = state
+
+    def _finish(self, seq: _Sequence,
+                error: Optional[BaseException] = None) -> None:
+        outcome = "failed" if error is not None else "completed"
+        self.metrics.requests.labels(outcome=outcome).inc()
+        if error is None:
+            self.metrics.tokens.inc(len(seq.generated))
+        seq.request._finish(error=error)
+
+    def _drain(self) -> None:
+        """Fail everything still queued or in flight after stop()."""
+        error = EngineStoppedError("engine stopped before request completed")
+        for seq in self._active:
+            self._finish(seq, error=error)
+        self._active = []
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if request is _WAKE:
+                continue
+            self.metrics.requests.labels(outcome="failed").inc()
+            request._finish(error=error)
+        self.metrics.active_sequences.set(0)
+        self.metrics.queue_depth.set(0)

@@ -1,0 +1,191 @@
+"""Prefix KV-cache: a token-trie with an LRU byte budget.
+
+Recipe prompts share long prefixes — every Ratatouille request starts
+with the same control tokens and ingredient-list scaffold — so the
+engine snapshots decoder state (KV caches + last-position logits)
+keyed on the prompt-token prefix and replays the deepest stored
+ancestor instead of re-running prefill from scratch.
+
+Correctness constraint (see ``docs/SERVING.md``): float rounding in
+the numpy/BLAS stack depends on the exact gemm shapes, so a cache hit
+is only *bit-reproducible* if resuming from it issues exactly the same
+trunk calls a cold run would.  :func:`repro.models.prefill_prompt`
+splits prompts at absolute multiples of the chunk size, therefore a
+stored prefix is only eligible when its depth is a chunk multiple —
+or when it matches the whole query, in which case no prefill runs at
+all.  Construct with ``chunk_size=None`` to disable that gate (useful
+for models whose prefill is an exact per-token loop).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+
+class _Node:
+    """One trie node; ``has_entry`` marks a stored snapshot at this depth."""
+
+    __slots__ = ("children", "parent", "token", "has_entry")
+
+    def __init__(self, parent: Optional["_Node"] = None,
+                 token: Optional[int] = None) -> None:
+        self.children: Dict[int, "_Node"] = {}
+        self.parent = parent
+        self.token = token
+        self.has_entry = False
+
+
+@dataclass
+class _Entry:
+    value: Any
+    nbytes: int
+    node: _Node
+
+
+@dataclass
+class PrefixCacheStats:
+    """Point-in-time counters; ``snapshot()`` returns a plain dict."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    rejected: int = 0
+    hit_tokens: int = 0
+    bytes: int = 0
+    entries: int = 0
+
+    def snapshot(self) -> Dict[str, float]:
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits, "misses": self.misses,
+            "evictions": self.evictions, "rejected": self.rejected,
+            "hit_tokens": self.hit_tokens, "bytes": self.bytes,
+            "entries": self.entries,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+
+class PrefixCache:
+    """LRU map from token prefixes to opaque snapshots, budgeted in bytes.
+
+    Invariants (property-tested in ``tests/test_serving_prefix_cache.py``):
+
+    * total stored bytes never exceed ``max_bytes``;
+    * an entry larger than the whole budget is rejected outright;
+    * evicted entries are never returned by :meth:`lookup`;
+    * :meth:`lookup` returns the deepest *eligible* stored prefix of
+      the query and refreshes its LRU recency.
+    """
+
+    def __init__(self, max_bytes: int,
+                 chunk_size: Optional[int] = None) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 or None")
+        self.max_bytes = max_bytes
+        self.chunk_size = chunk_size
+        self._root = _Node()
+        self._entries: "OrderedDict[Tuple[int, ...], _Entry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = PrefixCacheStats()
+
+    # ------------------------------------------------------------------
+    def _eligible(self, depth: int, query_len: int) -> bool:
+        if self.chunk_size is None:
+            return True
+        return depth == query_len or depth % self.chunk_size == 0
+
+    def insert(self, tokens: Iterable[int], value: Any, nbytes: int) -> bool:
+        """Store ``value`` for the exact token path; returns False if rejected."""
+        key = tuple(int(t) for t in tokens)
+        if not key:
+            raise ValueError("cannot cache an empty prefix")
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        with self._lock:
+            if nbytes > self.max_bytes:
+                self.stats.rejected += 1
+                return False
+            existing = self._entries.get(key)
+            if existing is not None:
+                self.stats.bytes -= existing.nbytes
+                existing.value = value
+                existing.nbytes = nbytes
+                self._entries.move_to_end(key)
+            else:
+                node = self._root
+                for token in key:
+                    child = node.children.get(token)
+                    if child is None:
+                        child = _Node(parent=node, token=token)
+                        node.children[token] = child
+                    node = child
+                node.has_entry = True
+                self._entries[key] = _Entry(value=value, nbytes=nbytes,
+                                            node=node)
+                self.stats.entries += 1
+            self.stats.bytes += nbytes
+            while self.stats.bytes > self.max_bytes:
+                self._evict_lru()
+            return True
+
+    def lookup(self, tokens: Iterable[int]) -> Tuple[int, Any]:
+        """Deepest eligible stored prefix of ``tokens``.
+
+        Returns ``(depth, value)``; ``(0, None)`` on a miss.
+        """
+        key = tuple(int(t) for t in tokens)
+        with self._lock:
+            best_depth = 0
+            node = self._root
+            for depth, token in enumerate(key, start=1):
+                node = node.children.get(token)
+                if node is None:
+                    break
+                if node.has_entry and self._eligible(depth, len(key)):
+                    best_depth = depth
+            if best_depth == 0:
+                self.stats.misses += 1
+                return 0, None
+            hit_key = key[:best_depth]
+            entry = self._entries[hit_key]
+            self._entries.move_to_end(hit_key)
+            self.stats.hits += 1
+            self.stats.hit_tokens += best_depth
+            return best_depth, entry.value
+
+    # ------------------------------------------------------------------
+    def _evict_lru(self) -> None:
+        key, entry = self._entries.popitem(last=False)
+        self.stats.bytes -= entry.nbytes
+        self.stats.entries -= 1
+        self.stats.evictions += 1
+        node = entry.node
+        node.has_entry = False
+        # Prune now-empty branches so the trie does not leak nodes.
+        while (node.parent is not None and not node.children
+               and not node.has_entry):
+            parent = node.parent
+            del parent.children[node.token]
+            node.parent = None
+            node = parent
+
+    def clear(self) -> None:
+        with self._lock:
+            self._root = _Node()
+            self._entries.clear()
+            self.stats.bytes = 0
+            self.stats.entries = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, tokens: Iterable[int]) -> bool:
+        key = tuple(int(t) for t in tokens)
+        with self._lock:
+            return key in self._entries

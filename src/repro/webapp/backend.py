@@ -11,9 +11,17 @@ Endpoints:
 * ``POST /api/generate_async`` + ``GET /api/job?id=...`` — queued
   generation with backpressure (429 when the queue is full), the
   load-handling story of Sec. VI;
+* ``POST /api/generate_stream`` — server-sent-events token streaming
+  through the serving engine (``docs/SERVING.md``);
+* ``GET /api/engine`` — serving-engine and prefix-cache stats;
 * ``GET /api/metrics`` — the observability exposition (JSON by
   default, ``?format=text`` for the Prometheus-style form); see
   ``docs/OBSERVABILITY.md``.
+
+Every decoding knob in a generation payload is validated server-side
+(:meth:`~repro.models.GenerationConfig.validate` plus a
+``max_new_tokens`` cap) and rejected with HTTP 400 before any model
+work happens.
 """
 
 from __future__ import annotations
@@ -25,26 +33,58 @@ from ..models import GenerationConfig
 from ..obs import (MetricsRegistry, Tracer, get_registry, get_tracer,
                    render_json, render_text)
 from ..recipedb import IngredientCatalog, PairingGraph, default_catalog
+from ..serving import EngineQueueFullError, InferenceEngine
 from .framework import App, Request, Response
 from .jobs import JobQueue, QueueFullError
 
 MAX_INGREDIENTS = 20
 
+#: Server-side ceiling on requested generation length.  Client-supplied
+#: ``max_new_tokens`` beyond this is a 400, not a silent clamp.
+MAX_NEW_TOKENS_CAP = 512
 
-def _parse_generation_request(payload: dict) -> tuple:
-    """Validate a generation payload; returns (names, config, checklist)."""
+_CONFIG_FIELDS = (
+    ("max_new_tokens", int, 220),
+    ("strategy", str, "sample"),
+    ("temperature", float, 0.8),
+    ("top_k", int, 20),
+    ("top_p", float, 1.0),
+    ("beam_size", int, 4),
+    ("length_penalty", float, 0.7),
+    ("repetition_penalty", float, 1.0),
+    ("seed", int, 0),
+)
+
+
+def _parse_generation_request(payload: dict,
+                              max_new_tokens_cap: int = MAX_NEW_TOKENS_CAP
+                              ) -> tuple:
+    """Validate a generation payload; returns (names, config, checklist).
+
+    Raises :class:`ValueError` (→ HTTP 400) on anything malformed: a
+    non-coercible knob, a value :meth:`GenerationConfig.validate`
+    rejects, or a ``max_new_tokens`` beyond the server's cap.
+    """
     selected = payload.get("ingredients")
     if not isinstance(selected, list) or not selected:
         raise ValueError("'ingredients' must be a non-empty list")
     if len(selected) > MAX_INGREDIENTS:
         raise ValueError(f"at most {MAX_INGREDIENTS} ingredients supported")
     names = [str(name) for name in selected]
-    config = GenerationConfig(
-        max_new_tokens=int(payload.get("max_new_tokens", 220)),
-        temperature=float(payload.get("temperature", 0.8)),
-        top_k=int(payload.get("top_k", 20)),
-        seed=int(payload.get("seed", 0)),
-    )
+    values = {}
+    for name, cast, default in _CONFIG_FIELDS:
+        raw = payload.get(name, default)
+        try:
+            values[name] = cast(raw)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"'{name}' must be a {cast.__name__}, got {raw!r}") from None
+    config = GenerationConfig(**values)
+    config.validate()
+    if config.max_new_tokens > max_new_tokens_cap:
+        raise ValueError(
+            f"max_new_tokens is capped at {max_new_tokens_cap} "
+            f"(got {config.max_new_tokens})")
     return names, config, bool(payload.get("checklist", False))
 
 
@@ -64,18 +104,33 @@ def create_backend(pipeline: Ratatouille,
                    pairing: Optional[PairingGraph] = None,
                    job_queue: Optional[JobQueue] = None,
                    registry: Optional[MetricsRegistry] = None,
-                   tracer: Optional[Tracer] = None) -> App:
+                   tracer: Optional[Tracer] = None,
+                   use_engine: bool = True,
+                   engine: Optional[InferenceEngine] = None,
+                   max_new_tokens_cap: int = MAX_NEW_TOKENS_CAP) -> App:
     """Build the backend :class:`~repro.webapp.framework.App`.
 
     ``registry``/``tracer`` are what ``GET /api/metrics`` exposes and
-    what the job queue reports into; they default to the process-wide
-    instances.
+    what the job queue and serving engine report into; they default to
+    the process-wide instances.
+
+    By default generation routes through a
+    :class:`~repro.serving.InferenceEngine` (continuous batching +
+    prefix KV-cache reuse); the engine's outputs are bit-identical to
+    the in-process decoder, so this is purely a throughput change.
+    Pass ``use_engine=False`` for the plain in-process path, or an
+    ``engine`` to share one across apps.  The engine is stored as
+    ``app.engine`` so embedding code can stop it.
     """
     catalog = catalog or default_catalog()
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
     jobs = job_queue or JobQueue(workers=1, max_pending=16, registry=registry)
+    if engine is None and use_engine:
+        engine = InferenceEngine(pipeline.model, registry=registry,
+                                 tracer=tracer)
     app = App(name="ratatouille-backend")
+    app.engine = engine
 
     @app.route("/api/health")
     def health(request: Request) -> Response:
@@ -104,18 +159,23 @@ def create_backend(pipeline: Ratatouille,
 
     @app.route("/api/generate", methods=("POST",))
     def generate_recipe(request: Request) -> Response:
-        names, config, checklist = _parse_generation_request(request.json())
-        recipe = pipeline.generate(names, generation=config,
-                                   checklist=checklist)
+        names, config, checklist = _parse_generation_request(
+            request.json(), max_new_tokens_cap)
+        try:
+            recipe = pipeline.generate(names, generation=config,
+                                       checklist=checklist, engine=engine)
+        except EngineQueueFullError as exc:
+            return Response.error(str(exc), status=429)
         return Response.json(_recipe_payload(recipe))
 
     @app.route("/api/generate_async", methods=("POST",))
     def generate_async(request: Request) -> Response:
-        names, config, checklist = _parse_generation_request(request.json())
+        names, config, checklist = _parse_generation_request(
+            request.json(), max_new_tokens_cap)
 
         def work():
             recipe = pipeline.generate(names, generation=config,
-                                       checklist=checklist)
+                                       checklist=checklist, engine=engine)
             return _recipe_payload(recipe)
 
         try:
@@ -124,6 +184,47 @@ def create_backend(pipeline: Ratatouille,
             return Response.error(str(exc), status=429)
         return Response.json({"job_id": job_id, "status": "pending"},
                              status=202)
+
+    @app.route("/api/generate_stream", methods=("POST",))
+    def generate_stream(request: Request) -> Response:
+        if engine is None:
+            return Response.error(
+                "streaming requires the serving engine "
+                "(backend started with use_engine=False)", status=503)
+        names, config, checklist = _parse_generation_request(
+            request.json(), max_new_tokens_cap)
+        if config.strategy == "beam":
+            return Response.error(
+                "beam search cannot stream; use /api/generate")
+        prompt_text, prompt_ids, config, processors = pipeline.prepare_prompt(
+            names, generation=config, checklist=checklist)
+        clock = registry.clock
+        start = clock.now()
+        try:
+            handle = engine.submit(prompt_ids, config, processors)
+        except EngineQueueFullError as exc:
+            return Response.error(str(exc), status=429)
+
+        def events():
+            try:
+                for token in handle.tokens():
+                    yield {"token": int(token),
+                           "text": pipeline.tokenizer.decode([int(token)])}
+                recipe = pipeline.finish_recipe(
+                    prompt_text, handle.result(), names,
+                    elapsed=clock.now() - start)
+            except Exception as exc:  # noqa: BLE001 - headers already sent
+                yield {"error": str(exc)}
+                return
+            yield {"done": True, "recipe": _recipe_payload(recipe)}
+
+        return Response.event_stream(events())
+
+    @app.route("/api/engine")
+    def engine_stats(request: Request) -> Response:
+        if engine is None:
+            return Response.json({"enabled": False})
+        return Response.json({"enabled": True, **engine.stats()})
 
     @app.route("/api/job")
     def job_status(request: Request) -> Response:

@@ -7,7 +7,7 @@ web-app example to exercise the services exactly as a browser would.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 from urllib.error import HTTPError
 from urllib.request import Request as UrlRequest
 from urllib.request import urlopen
@@ -65,6 +65,35 @@ class RatatouilleClient:
     def generate(self, ingredients: List[str], **options) -> Dict[str, Any]:
         payload = {"ingredients": ingredients, **options}
         return self._request("POST", "/api/generate", payload)
+
+    def generate_stream(self, ingredients: List[str],
+                        **options) -> Iterator[Dict[str, Any]]:
+        """Stream a generation as it decodes (server-sent events).
+
+        Yields ``{"token": id, "text": piece}`` per generated token,
+        then a final ``{"done": true, "recipe": {...}}`` event.
+        """
+        payload = {"ingredients": ingredients, **options}
+        url = f"{self.base_url}/api/generate_stream"
+        data = json.dumps(payload).encode("utf-8")
+        request = UrlRequest(url, data=data,
+                             headers={"Content-Type": "application/json"},
+                             method="POST")
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                for line in response:
+                    line = line.decode("utf-8").strip()
+                    if line.startswith("data: "):
+                        yield json.loads(line[len("data: "):])
+        except HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:  # noqa: BLE001 - best-effort error detail
+                detail = exc.reason
+            raise ApiError(exc.code, detail) from exc
+
+    def engine_stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/api/engine")
 
     def suggest(self, ingredients: List[str], limit: int = 5) -> List[Dict]:
         payload = {"ingredients": ingredients, "limit": limit}

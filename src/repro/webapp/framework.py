@@ -13,7 +13,7 @@ import json
 import threading
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 Handler = Callable[["Request"], "Response"]
@@ -41,17 +41,42 @@ class Request:
 
 @dataclass
 class Response:
-    """An HTTP response; use the class helpers to construct one."""
+    """An HTTP response; use the class helpers to construct one.
+
+    A response is either *buffered* (``body`` bytes, the default) or
+    *streamed*: when ``stream`` is set the server sends no
+    Content-Length, writes each chunk as it is produced and flushes
+    after every write — the transport for server-sent events.
+    """
 
     status: int = 200
     body: bytes = b""
     content_type: str = "application/json"
     headers: Dict[str, str] = field(default_factory=dict)
+    stream: Optional[Iterable[bytes]] = None
 
     @classmethod
     def json(cls, payload: Any, status: int = 200) -> "Response":
         return cls(status=status,
                    body=json.dumps(payload, ensure_ascii=False).encode("utf-8"))
+
+    @classmethod
+    def event_stream(cls, events: Iterable[Any],
+                     status: int = 200) -> "Response":
+        """A server-sent-events response.
+
+        ``events`` yields JSON-serializable payloads, each framed as
+        one ``data: {...}\\n\\n`` SSE message.  The iterable is pulled
+        lazily inside the server thread, so a generator that blocks on
+        an :class:`~repro.serving.EngineRequest` streams tokens to the
+        client as the engine produces them.
+        """
+        def frames() -> Iterator[bytes]:
+            for event in events:
+                payload = json.dumps(event, ensure_ascii=False)
+                yield f"data: {payload}\n\n".encode("utf-8")
+        return cls(status=status, content_type="text/event-stream",
+                   headers={"Cache-Control": "no-cache"}, stream=frames())
 
     @classmethod
     def text(cls, text: str, status: int = 200,
@@ -121,7 +146,12 @@ class _RequestHandler(BaseHTTPRequestHandler):
         response = self.app.dispatch(request)
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
-        self.send_header("Content-Length", str(len(response.body)))
+        if response.stream is None:
+            self.send_header("Content-Length", str(len(response.body)))
+        else:
+            # Streamed: no length up front; the connection close marks
+            # the end of the body (we speak HTTP/1.0, no chunked coding).
+            self.send_header("Connection", "close")
         # CORS: the decoupled frontend lives on another origin.
         self.send_header("Access-Control-Allow-Origin", "*")
         self.send_header("Access-Control-Allow-Headers", "Content-Type")
@@ -129,7 +159,15 @@ class _RequestHandler(BaseHTTPRequestHandler):
         for key, value in response.headers.items():
             self.send_header(key, value)
         self.end_headers()
-        self.wfile.write(response.body)
+        if response.stream is None:
+            self.wfile.write(response.body)
+            return
+        try:
+            for chunk in response.stream:
+                self.wfile.write(chunk)
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; nothing to clean up
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._handle("GET")

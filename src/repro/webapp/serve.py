@@ -35,6 +35,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="corpus size when training on the fly")
     backend.add_argument("--train-steps", type=int, default=200,
                          help="training steps when no checkpoint is given")
+    backend.add_argument("--engine", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="route generation through the continuous-"
+                              "batching serving engine (--no-engine for the "
+                              "in-process decoder)")
 
     frontend = sub.add_parser("frontend", help="the static picker UI")
     frontend.add_argument("--port", type=int, default=8080)
@@ -65,7 +70,7 @@ def build_server(argv: List[str]) -> Server:
             pipeline = Ratatouille.quickstart(
                 model_name="distilgpt2", num_recipes=args.train_recipes,
                 seed=0, config=config)
-        app = create_backend(pipeline)
+        app = create_backend(pipeline, use_engine=args.engine)
     else:
         app = create_frontend(args.backend_url)
     return Server(app, host=args.host, port=args.port)

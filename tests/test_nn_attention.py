@@ -77,6 +77,48 @@ class TestCausalSelfAttention:
             assert param.grad is not None, name
 
 
+class TestKVCacheBuffer:
+    """Capacity-buffer semantics: in-place append, frozen copy-on-append."""
+
+    def _chunk(self, rng, t):
+        return (rng.standard_normal((1, 2, t, 4)).astype(np.float32),
+                rng.standard_normal((1, 2, t, 4)).astype(np.float32))
+
+    def test_append_values_match_concatenation(self, rng):
+        cache = empty_cache(1, 2, 4)
+        expect_k = np.zeros((1, 2, 0, 4), dtype=np.float32)
+        for t in (3, 1, 1, 5):
+            k, v = self._chunk(rng, t)
+            cache = cache.append(k, v)
+            expect_k = np.concatenate([expect_k, k], axis=2)
+        assert cache.seq_len == 10
+        np.testing.assert_array_equal(cache.keys, expect_k)
+
+    def test_append_reuses_buffer_in_place(self, rng):
+        cache = empty_cache(1, 2, 4).append(*self._chunk(rng, 1))
+        grown = cache.append(*self._chunk(rng, 1))
+        # The first append allocated headroom; the second must not.
+        assert grown.k is cache.k
+        assert grown.seq_len == cache.seq_len + 1
+
+    def test_frozen_snapshot_survives_owner_appends(self, rng):
+        cache = empty_cache(1, 2, 4).append(*self._chunk(rng, 4))
+        snap = cache.snapshot()
+        before = snap.keys.copy()
+        cache.append(*self._chunk(rng, 1))  # owner keeps going
+        np.testing.assert_array_equal(snap.keys, before)
+
+    def test_append_through_snapshot_copies(self, rng):
+        cache = empty_cache(1, 2, 4).append(*self._chunk(rng, 4))
+        snap = cache.snapshot()
+        owner_before = cache.keys.copy()
+        k, v = self._chunk(rng, 1)
+        resumed = snap.append(k, v)
+        assert resumed.k is not cache.k  # frozen forces reallocation
+        np.testing.assert_array_equal(cache.keys, owner_before)
+        np.testing.assert_array_equal(resumed.keys[:, :, -1:], k)
+
+
 class TestMLP:
     def test_shape_preserved(self, rng):
         mlp = MLP(16, 64, 0.0, rng)

@@ -220,8 +220,11 @@ class TestMetricsCli:
                      "--trace"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert "generation_requests_total" in payload["metrics"]
+        assert "engine_requests_total" in payload["metrics"]
         names = [s["name"] for s in payload["trace"]["spans"]]
-        assert names == ["generate", "generate"]
+        # Two sequential generates, then the engine demo's prefills.
+        assert names[:2] == ["generate", "generate"]
+        assert names.count("engine.prefill") == 4
 
     def test_no_mode_errors(self):
         from repro.cli import main

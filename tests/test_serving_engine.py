@@ -1,0 +1,284 @@
+"""Serving engine: batching, streaming, retirement, backpressure, cache.
+
+The load-bearing assertion throughout: whatever shares the batch,
+every request's output is bit-identical to the sequential
+``models.generate`` path (see ``docs/SERVING.md`` for why that holds).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.models import GenerationConfig, distilgpt2, generate
+from repro.models.lstm import LSTMConfig, LSTMLanguageModel
+from repro.obs import MetricsRegistry, NullRegistry, NullTracer, Tracer
+from repro.serving import (EngineConfig, EngineQueueFullError,
+                           EngineStoppedError, InferenceEngine)
+
+VOCAB = 32
+
+
+@pytest.fixture(scope="module")
+def model():
+    return distilgpt2(vocab_size=VOCAB, context_length=128)
+
+
+def _prompt(seed, length):
+    rng = np.random.default_rng(seed)
+    return [int(t) for t in rng.integers(0, VOCAB, size=length)]
+
+
+def _sequential(model, prompt, config):
+    return generate(model, prompt, config,
+                    registry=NullRegistry(), tracer=NullTracer())
+
+
+class TestBatchedEqualsSequential:
+    def test_concurrent_mixed_requests(self, model):
+        requests = [
+            (_prompt(i, 3 + 11 * i), GenerationConfig(
+                max_new_tokens=8 + 4 * (i % 3),
+                strategy="greedy" if i % 2 else "sample",
+                temperature=0.8, top_k=8, top_p=0.9,
+                seed=i, stop_token_id=2))
+            for i in range(6)
+        ]
+        expected = [_sequential(model, p, c) for p, c in requests]
+        with InferenceEngine(model, EngineConfig(max_batch_size=4)) as engine:
+            handles = [engine.submit(p, c) for p, c in requests]
+            actual = [h.result(timeout=60) for h in handles]
+        assert actual == expected
+
+    def test_sync_facade(self, model):
+        prompt = _prompt(7, 10)
+        config = GenerationConfig(max_new_tokens=10, seed=3)
+        expected = _sequential(model, prompt, config)
+        with InferenceEngine(model) as engine:
+            assert engine.generate(prompt, config) == expected
+
+    def test_unstackable_model_still_batches_scheduling(self):
+        lstm = _GatedModel()
+        prompts = [[1 + i, 2, 3] for i in range(3)]
+        config = GenerationConfig(max_new_tokens=6, seed=0)
+        lstm.gate.set()
+        expected = [_sequential(lstm, p, config) for p in prompts]
+        lstm.gate.clear()
+        registry = MetricsRegistry()
+        with InferenceEngine(lstm, registry=registry) as engine:
+            # Gate the first prefill so all three requests are queued
+            # before the first decode step runs.
+            handles = [engine.submit(p, config) for p in prompts]
+            assert lstm.entered.wait(timeout=10)
+            lstm.gate.set()
+            assert [h.result(timeout=60) for h in handles] == expected
+        # All three ran in the same decode steps (continuous batching),
+        # even though LSTM states cannot be stacked.
+        occupancy = registry.histogram("engine_batch_occupancy").labels()
+        assert occupancy.percentile(50) == 3
+
+    def test_batched_prefill_equals_single(self, model):
+        # Equal-length prompts admitted in one wave share batched
+        # prefill_stacked trunk calls; outputs must still match the
+        # one-at-a-time sequential path bit for bit.
+        requests = [(_prompt(100 + i, 50),
+                     GenerationConfig(max_new_tokens=6, seed=i))
+                    for i in range(5)]
+        expected = [_sequential(model, p, c) for p, c in requests]
+        registry = MetricsRegistry()
+        with InferenceEngine(model, registry=registry) as engine:
+            handles = [engine.submit(p, c) for p, c in requests]
+            assert [h.result(timeout=60) for h in handles] == expected
+
+    def test_prefill_stacked_matches_prefill_rows(self, model):
+        # The model-level contract the engine's batched prefill rests on.
+        from repro.models import prefill_prompt
+        prompts = [_prompt(60 + i, 48) for i in range(4)]
+        singles = [prefill_prompt(model, p) for p in prompts]
+        stacked_state = model.stack_states(
+            [model.start_state(1) for _ in prompts])
+        position = 0
+        while position < 48:
+            chunk_end = min(48, position + 32)
+            ids = np.asarray([p[position:chunk_end] for p in prompts])
+            logits, stacked_state = model.prefill_stacked(ids, stacked_state)
+            position = chunk_end
+        rows = model.split_states(stacked_state, len(prompts))
+        for row, (single_logits, single_state) in enumerate(singles):
+            np.testing.assert_array_equal(logits[row], single_logits[0])
+            for a, b in zip(rows[row].caches, single_state.caches):
+                np.testing.assert_array_equal(a.keys, b.keys)
+                np.testing.assert_array_equal(a.values, b.values)
+
+    def test_beam_rejected_by_submit_but_served_by_generate(self, model):
+        prompt = _prompt(1, 6)
+        config = GenerationConfig(strategy="beam", beam_size=2,
+                                  max_new_tokens=6)
+        expected = _sequential(model, prompt, config)
+        with InferenceEngine(model, registry=NullRegistry(),
+                             tracer=NullTracer()) as engine:
+            with pytest.raises(ValueError, match="beam"):
+                engine.submit(prompt, config)
+            assert engine.generate(prompt, config) == expected
+
+
+class TestStreaming:
+    def test_tokens_stream_matches_result(self, model):
+        prompt = _prompt(5, 8)
+        config = GenerationConfig(max_new_tokens=12, seed=9)
+        with InferenceEngine(model) as engine:
+            handle = engine.submit(prompt, config)
+            streamed = list(handle.tokens(timeout=30))
+            assert streamed == handle.result(timeout=1)
+        assert streamed == _sequential(model, prompt, config)
+
+    def test_stop_token_retires_mid_flight(self, model):
+        # One request stops early; the other keeps decoding to its
+        # budget — retirement must not disturb the survivor.
+        configs = [GenerationConfig(max_new_tokens=20, strategy="greedy",
+                                    stop_token_id=None, seed=0),
+                   GenerationConfig(max_new_tokens=20, strategy="sample",
+                                    stop_token_id=1, temperature=1.5, seed=4)]
+        prompts = [_prompt(11, 4), _prompt(12, 4)]
+        expected = [_sequential(model, p, c)
+                    for p, c in zip(prompts, configs)]
+        with InferenceEngine(model) as engine:
+            handles = [engine.submit(p, c)
+                       for p, c in zip(prompts, configs)]
+            assert [h.result(timeout=60) for h in handles] == expected
+
+
+class TestPrefixCache:
+    def test_warm_cache_is_bit_identical(self, model):
+        shared = _prompt(42, 40)
+        config = GenerationConfig(max_new_tokens=8, seed=5)
+        suffixed = shared + _prompt(43, 7)
+        cold = _sequential(model, suffixed, config)
+        with InferenceEngine(model) as engine:
+            engine.generate(shared, config)      # seeds the cache
+            warm = engine.generate(suffixed, config)
+            assert warm == cold
+            stats = engine.prefix_cache.stats
+            assert stats.hits >= 1
+            assert stats.hit_tokens >= 32  # reused a chunk-aligned prefix
+
+    def test_cache_disabled_by_zero_budget(self, model):
+        prompt = _prompt(3, 40)
+        config = GenerationConfig(max_new_tokens=4, seed=0)
+        with InferenceEngine(model, EngineConfig(prefix_cache_bytes=0)) \
+                as engine:
+            first = engine.generate(prompt, config)
+            second = engine.generate(prompt, config)
+            assert first == second == _sequential(model, prompt, config)
+            assert engine.prefix_cache.stats.hits == 0
+            assert engine.prefix_cache.stats.bytes == 0
+
+
+class _GatedModel(LSTMLanguageModel):
+    """LSTM whose first forward blocks until the test opens the gate."""
+
+    def __init__(self):
+        super().__init__(LSTMConfig(vocab_size=16, d_embed=4, d_hidden=8,
+                                    num_layers=1, dropout=0.0))
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    def next_logits(self, ids, state):
+        self.entered.set()
+        self.gate.wait(timeout=10)
+        return super().next_logits(ids, state)
+
+
+class TestBackpressureAndShutdown:
+    def test_queue_full_raises(self):
+        gated = _GatedModel()
+        engine = InferenceEngine(gated, EngineConfig(max_batch_size=1,
+                                                     max_queue=1))
+        try:
+            config = GenerationConfig(max_new_tokens=2, seed=0)
+            first = engine.submit([1, 2], config)   # blocks in prefill
+            assert gated.entered.wait(timeout=10)
+            second = engine.submit([1, 2], config)  # sits in the queue
+            with pytest.raises(EngineQueueFullError):
+                engine.submit([1, 2], config)
+            gated.gate.set()
+            assert first.result(timeout=30) == second.result(timeout=30)
+        finally:
+            gated.gate.set()
+            engine.stop()
+
+    def test_stop_fails_pending_requests(self):
+        gated = _GatedModel()
+        engine = InferenceEngine(gated, EngineConfig(max_batch_size=1,
+                                                     max_queue=4))
+        config = GenerationConfig(max_new_tokens=2, seed=0)
+        stuck = engine.submit([1, 2], config)
+        assert gated.entered.wait(timeout=10)
+        queued = engine.submit([3, 4], config)
+        gate_release = threading.Timer(0.2, gated.gate.set)
+        gate_release.start()
+        engine.stop(timeout=30)
+        gate_release.cancel()
+        gated.gate.set()
+        with pytest.raises(EngineStoppedError):
+            queued.result(timeout=5)
+        with pytest.raises(EngineStoppedError):
+            engine.submit([1], config)
+        # The in-flight request either finished or was failed — but it
+        # is definitely resolved, never left hanging.
+        try:
+            stuck.result(timeout=5)
+        except EngineStoppedError:
+            pass
+
+    def test_context_manager_stops_thread(self, model):
+        with InferenceEngine(model) as engine:
+            assert engine.running
+        assert not engine.running
+
+
+class TestValidation:
+    def test_invalid_config_rejected_at_submit(self, model):
+        with InferenceEngine(model) as engine:
+            with pytest.raises(ValueError):
+                engine.submit([1], GenerationConfig(temperature=-1.0))
+            with pytest.raises(ValueError):
+                engine.submit([], GenerationConfig())
+
+    def test_engine_config_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(max_batch_size=0).validate()
+        with pytest.raises(ValueError):
+            EngineConfig(prefill_chunk=0).validate()
+        with pytest.raises(ValueError):
+            EngineConfig(max_queue=0).validate()
+
+    def test_stats_shape(self, model):
+        with InferenceEngine(model) as engine:
+            engine.generate([1, 2, 3], GenerationConfig(max_new_tokens=2))
+            stats = engine.stats()
+        assert stats["max_batch_size"] == EngineConfig().max_batch_size
+        assert set(stats["prefix_cache"]) >= {"hits", "misses", "bytes",
+                                              "hit_rate"}
+
+
+class TestObservability:
+    def test_metrics_and_spans_recorded(self, model):
+        registry, tracer = MetricsRegistry(), Tracer()
+        with InferenceEngine(model, registry=registry,
+                             tracer=tracer) as engine:
+            handles = [engine.submit(_prompt(i, 6),
+                                     GenerationConfig(max_new_tokens=5,
+                                                      seed=i))
+                       for i in range(3)]
+            for handle in handles:
+                handle.result(timeout=60)
+        completed = registry.counter("engine_requests_total").labels(
+            outcome="completed")
+        assert completed.value == 3
+        assert registry.counter("engine_tokens_total").labels().value == 15
+        assert registry.histogram("engine_ttft_seconds").labels().count == 3
+        assert "engine_prefix_cache_hits_total" in registry
+        prefills = [span for root in tracer.roots()
+                    for span in root.find("engine.prefill")]
+        assert len(prefills) == 3

@@ -1,0 +1,158 @@
+"""Prefix KV-cache trie: unit tests + Hypothesis LRU/byte invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import PrefixCache
+
+
+class TestLookupSemantics:
+    def test_exact_roundtrip(self):
+        cache = PrefixCache(max_bytes=1000)
+        assert cache.insert([1, 2, 3], "abc", nbytes=10)
+        assert cache.lookup([1, 2, 3]) == (3, "abc")
+
+    def test_deepest_prefix_wins(self):
+        cache = PrefixCache(max_bytes=1000)
+        cache.insert([1], "a", nbytes=1)
+        cache.insert([1, 2], "ab", nbytes=1)
+        cache.insert([1, 2, 3], "abc", nbytes=1)
+        assert cache.lookup([1, 2, 3, 4, 5]) == (3, "abc")
+        assert cache.lookup([1, 2, 9]) == (2, "ab")
+        assert cache.lookup([1, 9]) == (1, "a")
+
+    def test_miss_on_divergent_first_token(self):
+        cache = PrefixCache(max_bytes=1000)
+        cache.insert([1, 2], "ab", nbytes=1)
+        assert cache.lookup([2, 1]) == (0, None)
+        assert cache.stats.misses == 1
+
+    def test_chunk_eligibility_gates_partial_depths(self):
+        # Snapshots stored off the chunk grid are only usable for an
+        # exact whole-query match — resuming prefill from them would
+        # chunk at different absolute boundaries than a cold run.
+        cache = PrefixCache(max_bytes=1000, chunk_size=4)
+        cache.insert([1, 2, 3, 4, 5, 6], "depth6", nbytes=1)
+        cache.insert([1, 2, 3, 4], "depth4", nbytes=1)
+        assert cache.lookup([1, 2, 3, 4, 5, 6]) == (6, "depth6")
+        assert cache.lookup([1, 2, 3, 4, 5, 6, 7]) == (4, "depth4")
+        assert cache.lookup([1, 2, 3, 4, 5]) == (4, "depth4")
+
+    def test_update_existing_key_replaces_value_and_bytes(self):
+        cache = PrefixCache(max_bytes=100)
+        cache.insert([1, 2], "old", nbytes=60)
+        cache.insert([1, 2], "new", nbytes=30)
+        assert cache.lookup([1, 2]) == (2, "new")
+        assert cache.stats.bytes == 30
+        assert cache.stats.entries == 1
+
+
+class TestBudget:
+    def test_oversized_entry_rejected(self):
+        cache = PrefixCache(max_bytes=10)
+        assert not cache.insert([1], "big", nbytes=11)
+        assert cache.lookup([1]) == (0, None)
+        assert cache.stats.rejected == 1
+        assert cache.stats.bytes == 0
+
+    def test_lru_eviction_order(self):
+        cache = PrefixCache(max_bytes=30)
+        cache.insert([1], "a", nbytes=10)
+        cache.insert([2], "b", nbytes=10)
+        cache.insert([3], "c", nbytes=10)
+        cache.lookup([1])  # refresh [1]; [2] becomes LRU
+        cache.insert([4], "d", nbytes=10)
+        assert cache.lookup([2]) == (0, None)
+        assert cache.lookup([1]) == (1, "a")
+        assert cache.lookup([4]) == (1, "d")
+        assert cache.stats.evictions == 1
+
+    def test_eviction_prunes_trie_nodes(self):
+        cache = PrefixCache(max_bytes=10)
+        cache.insert([1, 2, 3], "a", nbytes=10)
+        cache.insert([4, 5], "b", nbytes=10)  # evicts [1,2,3]
+        assert list(cache._root.children) == [4]
+
+    def test_clear(self):
+        cache = PrefixCache(max_bytes=100)
+        cache.insert([1, 2], "a", nbytes=10)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.bytes == 0
+        assert cache.lookup([1, 2]) == (0, None)
+
+    def test_contains(self):
+        cache = PrefixCache(max_bytes=100)
+        cache.insert([7, 8], "x", nbytes=1)
+        assert [7, 8] in cache
+        assert [7] not in cache
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefixCache(max_bytes=-1)
+        with pytest.raises(ValueError):
+            PrefixCache(max_bytes=10, chunk_size=0)
+        cache = PrefixCache(max_bytes=10)
+        with pytest.raises(ValueError):
+            cache.insert([], "empty", nbytes=1)
+        with pytest.raises(ValueError):
+            cache.insert([1], "neg", nbytes=-1)
+
+
+_key = st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=6)
+_op = st.one_of(
+    st.tuples(st.just("insert"), _key, st.integers(min_value=0, max_value=40)),
+    st.tuples(st.just("lookup"), _key, st.just(0)),
+)
+
+
+@pytest.mark.property
+class TestInvariants:
+    @given(budget=st.integers(min_value=0, max_value=100),
+           ops=st.lists(_op, max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_bytes_never_exceed_budget(self, budget, ops):
+        cache = PrefixCache(max_bytes=budget, chunk_size=None)
+        for kind, key, nbytes in ops:
+            if kind == "insert":
+                accepted = cache.insert(key, tuple(key), nbytes)
+                assert accepted == (nbytes <= budget)
+            else:
+                depth, value = cache.lookup(key)
+                if depth:
+                    # Whatever comes back is a live stored prefix of
+                    # the query, carrying the value stored for it.
+                    assert value == tuple(key[:depth])
+                    assert key[:depth] in cache
+            assert cache.stats.bytes <= budget
+            assert cache.stats.bytes == sum(
+                entry.nbytes for entry in cache._entries.values())
+            assert cache.stats.entries == len(cache._entries)
+
+    @given(budget=st.integers(min_value=1, max_value=60),
+           keys=st.lists(_key, min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_evicted_entries_never_returned(self, budget, keys):
+        cache = PrefixCache(max_bytes=budget, chunk_size=None)
+        for key in keys:
+            cache.insert(key, tuple(key), nbytes=1)
+        # Everything still stored must be retrievable at full depth;
+        # everything evicted must not resolve to its own key.
+        live = set(cache._entries)
+        for key in keys:
+            depth, value = cache.lookup(key)
+            if tuple(key) in live:
+                assert depth == len(key) and value == tuple(key)
+            else:
+                assert depth < len(key)
+
+    @given(keys=st.lists(_key, min_size=1, max_size=20, unique_by=tuple))
+    @settings(max_examples=60, deadline=None)
+    def test_unbounded_budget_keeps_everything(self, keys):
+        cache = PrefixCache(max_bytes=10**9, chunk_size=None)
+        for key in keys:
+            cache.insert(key, tuple(key), nbytes=100)
+        for key in keys:
+            assert cache.lookup(key) == (len(key), tuple(key))
+        assert cache.stats.evictions == 0

@@ -1,0 +1,23 @@
+"""Throughput gate for the serving engine (slow tier).
+
+Runs ``benchmarks/run_serving_throughput.py`` — the engine must beat
+sequential decoding by the configured factor at concurrency 8 while
+producing bit-identical output.  Excluded from the tier-1 default run;
+invoke with ``pytest -m slow``.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+
+import run_serving_throughput  # noqa: E402
+
+
+def test_engine_clears_throughput_gate():
+    assert run_serving_throughput.main(["--rounds", "3"]) == 0
