@@ -164,6 +164,18 @@ class LanguageModel(Module):
         """
         return state
 
+    def compact_state(self, state: Any) -> Any:
+        """Like :meth:`snapshot_state`, but sharing no memory with ``state``.
+
+        Long-lived stores (the serving engine's prefix cache) use this
+        so a stored snapshot retains exactly its own bytes: a frozen
+        alias of one row of a stacked batch state would otherwise pin
+        the entire batch buffer alive while byte accounting sees only
+        the row.  The default defers to :meth:`snapshot_state`, correct
+        for models whose states are already self-contained.
+        """
+        return self.snapshot_state(state)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

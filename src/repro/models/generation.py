@@ -385,13 +385,26 @@ def _beam_loop(model: LanguageModel, config: GenerationConfig,
         candidates.sort(key=lambda b: b.score(config.length_penalty),
                         reverse=True)
         beams = candidates[:config.beam_size]
-        # Advance the survivors one step (states are immutable snapshots,
-        # so siblings from the same parent can safely share the input state).
+        # Advance the survivors one step.  Siblings cut from the same
+        # parent share that parent's state *object*, and a transformer
+        # KV cache appends into spare capacity in place — so when a
+        # state is shared, every sibling must resume from a frozen
+        # snapshot (append then copies instead of writing the shared
+        # buffer).  A state with a single surviving user keeps the
+        # cheap in-place path.
+        state_users: dict = {}
+        for beam in beams:
+            if not beam.finished:
+                sid = id(beam.state)
+                state_users[sid] = state_users.get(sid, 0) + 1
         for beam in beams:
             if beam.finished:
                 continue
+            state = beam.state
+            if state_users[id(state)] > 1:
+                state = model.snapshot_state(state)
             logits, new_state = model.next_logits(
-                np.array([beam.tokens[-1]]), beam.state)
+                np.array([beam.tokens[-1]]), state)
             beam.logits = logits[0]
             beam.state = new_state
         metrics.token_seconds.observe(metrics.clock.now() - step_start)

@@ -223,6 +223,12 @@ class GPT2Model(LanguageModel):
         return GPT2State(caches=[c.snapshot() for c in state.caches],
                          position=state.position)
 
+    def compact_state(self, state: GPT2State) -> GPT2State:
+        # Frozen deep copies of the live cache regions: retains exactly
+        # the snapshot's own bytes, never the source capacity buffer.
+        return GPT2State(caches=[c.compact() for c in state.caches],
+                         position=state.position)
+
     def config_dict(self) -> dict:
         return {"model_type": self.model_type, **asdict(self.config)}
 

@@ -202,6 +202,7 @@ class GPTNeoModel(LanguageModel):
     stack_states = GPT2Model.stack_states
     split_states = GPT2Model.split_states
     snapshot_state = GPT2Model.snapshot_state
+    compact_state = GPT2Model.compact_state
 
 
 def gpt_neo_small(vocab_size: int, seed: int = 0,

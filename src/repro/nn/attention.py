@@ -79,6 +79,20 @@ class KVCache:
         """
         return KVCache(k=self.k, v=self.v, length=self.length, frozen=True)
 
+    def compact(self) -> "KVCache":
+        """A frozen deep copy of just the live region.
+
+        Unlike :meth:`snapshot` this shares no memory with the source,
+        so storing it retains exactly ``length`` positions' worth of
+        bytes — a snapshot of a batch-row view would instead pin the
+        whole stacked batch buffer (capacity headroom included) alive.
+        """
+        # .copy(), not ascontiguousarray: a single-row view is already
+        # flagged contiguous, and ascontiguousarray would return the
+        # pinning view unchanged.
+        return KVCache(k=self.keys.copy(), v=self.values.copy(),
+                       length=self.length, frozen=True)
+
     def append(self, new_k: np.ndarray, new_v: np.ndarray) -> "KVCache":
         """Extend by ``new_k``/``new_v`` (``(batch, heads, t, head_dim)``).
 

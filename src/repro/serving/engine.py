@@ -96,6 +96,7 @@ class EngineRequest:
         self.processors = processors
         self.submitted_at = submitted_at
         self._done = threading.Event()
+        self._cancelled = threading.Event()
         self._generated: List[int] = []
         self._error: Optional[BaseException] = None
         self._cond = threading.Condition()
@@ -116,6 +117,21 @@ class EngineRequest:
                 self._cond.notify_all()
 
     # -- caller side ---------------------------------------------------
+    def cancel(self) -> None:
+        """Ask the engine to stop decoding this request.
+
+        Safe from any thread and idempotent.  The engine drops the
+        request at its next admit/step pass and finishes it with the
+        tokens produced so far (no error), freeing its batch slot for
+        other requests — the fate of e.g. a streaming client that
+        disconnected mid-generation.  No-op once the request is done.
+        """
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
     def tokens(self, timeout: Optional[float] = None) -> Iterator[int]:
         """Yield generated token ids as they are produced.
 
@@ -308,6 +324,14 @@ class InferenceEngine:
         except queue.Full:
             raise EngineQueueFullError(
                 f"engine queue is full ({self.config.max_queue} waiting)")
+        if self._stop_event.is_set():
+            # stop() may have run its drain between the check at the top
+            # and the put above, in which case nobody will ever pop this
+            # request — fail it here so result() cannot block forever.
+            if not request.done:
+                request._finish(error=EngineStoppedError(
+                    "engine has been stopped"))
+            raise EngineStoppedError("engine has been stopped")
         self.metrics.queue_depth.set(self._queue.qsize())
         return request
 
@@ -389,6 +413,10 @@ class InferenceEngine:
                 break
             if request is _WAKE:
                 break
+            if request.cancelled:
+                self.metrics.requests.labels(outcome="cancelled").inc()
+                request._finish()
+                continue
             now = self.metrics.clock.now()
             self.metrics.queue_wait_seconds.observe(now - request.submitted_at)
             admitted.append(_Sequence(
@@ -482,11 +510,16 @@ class InferenceEngine:
                     if chunk_end % chunk_size == 0 or chunk_end == prompt_len:
                         rows = self.model.split_states(stacked, len(members))
                         for row, prompt in enumerate(prompts):
-                            snap = self.model.snapshot_state(rows[row])
-                            nbytes = _state_nbytes(snap) + logits[row].nbytes
+                            # Compact copies, not row-view snapshots: a
+                            # view would pin the whole stacked batch
+                            # buffer while _state_nbytes counts one row,
+                            # blowing the cache's byte budget silently.
+                            snap = self.model.compact_state(rows[row])
+                            row_logits = logits[row:row + 1].copy()
+                            nbytes = _state_nbytes(snap) + row_logits.nbytes
                             self.prefix_cache.insert(
                                 prompt[:chunk_end],
-                                (logits[row:row + 1], snap), nbytes)
+                                (row_logits, snap), nbytes)
         except (NotImplementedError, ValueError):
             return False
         rows = self.model.split_states(stacked, len(members))
@@ -512,10 +545,15 @@ class InferenceEngine:
                     np.asarray(prompt[position:chunk_end]), state)
                 position = chunk_end
                 if chunk_end % chunk_size == 0 or chunk_end == len(prompt):
-                    nbytes = _state_nbytes(state) + logits.nbytes
+                    # Compact copies: store (and account) only the live
+                    # cache region — not the capacity buffer the
+                    # in-flight sequence keeps appending into, nor the
+                    # whole-chunk logits the last-position view pins.
+                    snap = self.model.compact_state(state)
+                    last_logits = logits.copy()
+                    nbytes = _state_nbytes(snap) + last_logits.nbytes
                     self.prefix_cache.insert(
-                        prompt[:chunk_end],
-                        (logits, self.model.snapshot_state(state)), nbytes)
+                        prompt[:chunk_end], (last_logits, snap), nbytes)
         seq.logits = logits[0]
         seq.state = state
 
@@ -525,6 +563,11 @@ class InferenceEngine:
         self.metrics.batch_occupancy.observe(len(self._active))
         survivors: List[_Sequence] = []
         for seq in self._active:
+            if seq.request.cancelled:
+                # Abandoned (e.g. streaming client disconnected): free
+                # the batch slot instead of decoding to the budget.
+                self._finish(seq, outcome="cancelled")
+                continue
             token = select_next_token(seq.logits, seq.generated, seq.config,
                                       seq.processors, seq.rng)
             seq.generated.append(token)
@@ -582,8 +625,10 @@ class InferenceEngine:
             seq.state = state
 
     def _finish(self, seq: _Sequence,
-                error: Optional[BaseException] = None) -> None:
-        outcome = "failed" if error is not None else "completed"
+                error: Optional[BaseException] = None,
+                outcome: Optional[str] = None) -> None:
+        if outcome is None:
+            outcome = "failed" if error is not None else "completed"
         self.metrics.requests.labels(outcome=outcome).inc()
         if error is None:
             self.metrics.tokens.inc(len(seq.generated))

@@ -207,16 +207,24 @@ def create_backend(pipeline: Ratatouille,
 
         def events():
             try:
-                for token in handle.tokens():
-                    yield {"token": int(token),
-                           "text": pipeline.tokenizer.decode([int(token)])}
-                recipe = pipeline.finish_recipe(
-                    prompt_text, handle.result(), names,
-                    elapsed=clock.now() - start)
-            except Exception as exc:  # noqa: BLE001 - headers already sent
-                yield {"error": str(exc)}
-                return
-            yield {"done": True, "recipe": _recipe_payload(recipe)}
+                try:
+                    for token in handle.tokens():
+                        yield {"token": int(token),
+                               "text": pipeline.tokenizer.decode([int(token)])}
+                    recipe = pipeline.finish_recipe(
+                        prompt_text, handle.result(), names,
+                        elapsed=clock.now() - start)
+                except Exception as exc:  # noqa: BLE001 - headers already sent
+                    yield {"error": str(exc)}
+                    return
+                yield {"done": True, "recipe": _recipe_payload(recipe)}
+            finally:
+                # Runs on normal completion AND when the framework
+                # closes an abandoned stream (client disconnected):
+                # cancel so the engine does not keep decoding to
+                # max_new_tokens in a batch slot nobody is reading.
+                if not handle.done:
+                    handle.cancel()
 
         return Response.event_stream(events())
 

@@ -72,9 +72,18 @@ class Response:
         client as the engine produces them.
         """
         def frames() -> Iterator[bytes]:
-            for event in events:
-                payload = json.dumps(event, ensure_ascii=False)
-                yield f"data: {payload}\n\n".encode("utf-8")
+            try:
+                for event in events:
+                    payload = json.dumps(event, ensure_ascii=False)
+                    yield f"data: {payload}\n\n".encode("utf-8")
+            finally:
+                # Deterministically close the source generator when the
+                # stream is abandoned (client disconnect), so its own
+                # cleanup — e.g. cancelling an engine request — runs
+                # now, not at some later garbage collection.
+                close = getattr(events, "close", None)
+                if close is not None:
+                    close()
         return cls(status=status, content_type="text/event-stream",
                    headers={"Cache-Control": "no-cache"}, stream=frames())
 
@@ -167,7 +176,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 self.wfile.write(chunk)
                 self.wfile.flush()
         except (BrokenPipeError, ConnectionResetError):
-            pass  # client went away mid-stream; nothing to clean up
+            pass  # client went away mid-stream
+        finally:
+            # Tell the stream it is done either way, so generator
+            # backends can release resources held for the client
+            # (the serving engine's batch slot, most importantly).
+            close = getattr(response.stream, "close", None)
+            if close is not None:
+                close()
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._handle("GET")

@@ -110,6 +110,39 @@ class TestBeam:
                                                      max_new_tokens=6))
         assert log_prob(beam) >= log_prob(greedy) - 1e-6
 
+    def test_beam_siblings_do_not_corrupt_shared_kv_cache(self):
+        """Regression: transformer KV caches append in place, and beam
+        siblings cut from the same parent share the parent's state
+        object — without snapshotting, advancing one sibling used to
+        overwrite the other's cache slot in the shared buffer.
+
+        Reference run: identical search, but every ``next_logits`` call
+        receives a deep-copied state, so no buffer is ever shared.
+        """
+        import copy
+
+        from repro.models import distilgpt2
+
+        # This exact model/config/prompt combination is verified to
+        # produce a *different* (wrong) output under the pre-fix
+        # shared-state advance — don't tweak it casually.
+        gpt2 = distilgpt2(vocab_size=VOCAB, context_length=128)
+
+        class _CopyStateModel:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def next_logits(self, ids, state):
+                return self._inner.next_logits(ids, copy.deepcopy(state))
+
+        config = GenerationConfig(strategy="beam", beam_size=3,
+                                  max_new_tokens=12)
+        expected = generate(_CopyStateModel(gpt2), [1, 2, 3], config)
+        assert generate(gpt2, [1, 2, 3], config) == expected
+
 
 class TestFilters:
     def test_top_k_keeps_k(self):

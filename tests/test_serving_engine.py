@@ -173,6 +173,31 @@ class TestPrefixCache:
             assert engine.prefix_cache.stats.hits == 0
             assert engine.prefix_cache.stats.bytes == 0
 
+    def test_stored_snapshots_own_their_memory(self, model):
+        # Regression: snapshots from batched prefill used to be row
+        # views into the stacked (batch, heads, capacity, head_dim)
+        # buffer, pinning the whole batch alive while the byte budget
+        # accounted one row.  Every stored array must own exactly the
+        # bytes the cache charged for it.
+        from repro.serving.engine import _state_nbytes
+        requests = [(_prompt(200 + i, 40),
+                     GenerationConfig(max_new_tokens=2, seed=i))
+                    for i in range(4)]
+        with InferenceEngine(model) as engine:
+            handles = [engine.submit(p, c) for p, c in requests]
+            for handle in handles:
+                handle.result(timeout=60)
+            entries = list(engine.prefix_cache._entries.values())
+        assert entries
+        for entry in entries:
+            logits, state = entry.value
+            assert _state_nbytes(entry.value) == entry.nbytes
+            assert logits.base is None
+            for cache in state.caches:
+                assert cache.k.base is None          # owns its buffer
+                assert cache.k.shape[0] == 1         # one row, not a batch
+                assert cache.k.shape[2] == cache.length  # no headroom
+
 
 class _GatedModel(LSTMLanguageModel):
     """LSTM whose first forward blocks until the test opens the gate."""
@@ -235,6 +260,67 @@ class TestBackpressureAndShutdown:
         with InferenceEngine(model) as engine:
             assert engine.running
         assert not engine.running
+
+    def test_submit_racing_stop_drain_cannot_hang(self, model):
+        # Regression: if stop()'s drain ran between submit's stop check
+        # and its queue put, the request was never finished and a
+        # result() caller with no timeout blocked forever.  Force that
+        # exact interleaving and require submit to fail the request.
+        engine = InferenceEngine(model)
+        real_put = engine._queue.put_nowait
+
+        def put_after_drain(item):
+            engine._queue.put_nowait = real_put  # one-shot hook
+            engine.stop()                        # drain sees an empty queue
+            real_put(item)                       # request lands post-drain
+
+        engine._queue.put_nowait = put_after_drain
+        with pytest.raises(EngineStoppedError):
+            engine.submit([1, 2], GenerationConfig(max_new_tokens=2))
+
+
+class TestCancellation:
+    def test_cancel_mid_flight_returns_partial(self, model):
+        config = GenerationConfig(max_new_tokens=300, seed=0)
+        registry = MetricsRegistry()
+        with InferenceEngine(model, registry=registry) as engine:
+            handle = engine.submit(_prompt(1, 4), config)
+            first = next(handle.tokens(timeout=30))
+            handle.cancel()
+            tokens = handle.result(timeout=30)
+            assert tokens[0] == first
+            assert len(tokens) < 300
+            # The batch slot is free again: new requests still serve.
+            out = engine.generate(_prompt(2, 4),
+                                  GenerationConfig(max_new_tokens=3, seed=1))
+            assert len(out) == 3
+        cancelled = registry.counter("engine_requests_total").labels(
+            outcome="cancelled")
+        assert cancelled.value == 1
+
+    def test_cancelled_queued_request_never_decodes(self):
+        gated = _GatedModel()
+        engine = InferenceEngine(gated, EngineConfig(max_batch_size=1))
+        try:
+            config = GenerationConfig(max_new_tokens=4, seed=0)
+            first = engine.submit([1, 2], config)   # blocks in prefill
+            assert gated.entered.wait(timeout=10)
+            queued = engine.submit([3, 4], config)
+            queued.cancel()
+            gated.gate.set()
+            assert len(first.result(timeout=30)) == 4
+            assert queued.result(timeout=30) == []
+        finally:
+            gated.gate.set()
+            engine.stop()
+
+    def test_cancel_after_done_is_noop(self, model):
+        config = GenerationConfig(max_new_tokens=3, seed=2)
+        with InferenceEngine(model) as engine:
+            handle = engine.submit(_prompt(9, 4), config)
+            result = handle.result(timeout=60)
+            handle.cancel()
+            assert handle.result(timeout=1) == result
 
 
 class TestValidation:

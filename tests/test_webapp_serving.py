@@ -149,6 +149,37 @@ class TestEngineBackedGeneration:
         assert {"engine_tokens_total", "engine_queue_wait_seconds"} <= names
 
 
+class TestStreamCancellation:
+    def test_abandoned_stream_cancels_engine_request(self, pipeline):
+        # Closing the response stream (what the framework does when the
+        # client disconnects mid-write) must cancel the engine request,
+        # not leave it decoding to max_new_tokens in an occupied slot.
+        import time
+
+        from repro.webapp.framework import Request
+
+        registry = MetricsRegistry()
+        app = create_backend(pipeline, registry=registry, tracer=Tracer())
+        try:
+            payload = {"ingredients": ["garlic"], "max_new_tokens": 300,
+                       "seed": 0}
+            response = app.dispatch(Request(
+                method="POST", path="/api/generate_stream", query={},
+                headers={}, body=json.dumps(payload).encode("utf-8")))
+            assert response.status == 200
+            stream = iter(response.stream)
+            assert next(stream).startswith(b"data:")  # tokens are flowing
+            response.stream.close()                   # client went away
+            cancelled = registry.counter("engine_requests_total").labels(
+                outcome="cancelled")
+            deadline = time.monotonic() + 30
+            while cancelled.value < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert cancelled.value == 1
+        finally:
+            app.engine.stop()
+
+
 class TestEngineDisabled:
     @pytest.fixture(scope="class")
     def plain_backend(self, pipeline):
