@@ -95,6 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
                        default=True,
                        help="route generation through the serving engine "
                             "(--no-engine for the in-process decoder)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-request latency budget; expired "
+                            "requests get a partial result or 504")
+    serve.add_argument("--shed-watermark", type=int, default=None,
+                       help="admission-control high-water mark in queued "
+                            "decode tokens (503 + Retry-After beyond it)")
+    serve.add_argument("--supervise", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="wrap the engine in a restarting watchdog")
+    serve.add_argument("--degraded-fallback",
+                       action=argparse.BooleanOptionalAction, default=False,
+                       help="serve sequential degraded responses while the "
+                            "engine is down")
 
     metrics = sub.add_parser(
         "metrics", help="inspect observability metrics")
@@ -208,6 +221,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             "--engine" if args.engine else "--no-engine"]
     if args.checkpoint:
         argv += ["--checkpoint", args.checkpoint]
+    if args.deadline_ms is not None:
+        argv += ["--deadline-ms", str(args.deadline_ms)]
+    if args.shed_watermark is not None:
+        argv += ["--shed-watermark", str(args.shed_watermark)]
+    if args.supervise is not None:
+        argv += ["--supervise" if args.supervise else "--no-supervise"]
+    if args.degraded_fallback:
+        argv += ["--degraded-fallback"]
     from .webapp.serve import build_server
     server = build_server(argv)
     server.start()

@@ -7,12 +7,13 @@ bit-identical to the sequential :func:`repro.models.generate`.  See
 ``docs/SERVING.md`` for the design and its float-determinism rules.
 """
 
-from .engine import (EngineConfig, EngineQueueFullError, EngineRequest,
-                     EngineStoppedError, InferenceEngine)
+from .engine import (DeadlineExceededError, EngineConfig, EngineCrashedError,
+                     EngineQueueFullError, EngineRequest, EngineStoppedError,
+                     InferenceEngine)
 from .prefix_cache import PrefixCache, PrefixCacheStats
 
 __all__ = [
-    "EngineConfig", "EngineQueueFullError", "EngineRequest",
-    "EngineStoppedError", "InferenceEngine", "PrefixCache",
-    "PrefixCacheStats",
+    "DeadlineExceededError", "EngineConfig", "EngineCrashedError",
+    "EngineQueueFullError", "EngineRequest", "EngineStoppedError",
+    "InferenceEngine", "PrefixCache", "PrefixCacheStats",
 ]

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -43,6 +44,7 @@ from ..models import (GenerationConfig, LanguageModel, LogitsProcessor,
                       sequential_generate, select_next_token)
 from ..nn import no_grad
 from ..obs import (MetricsRegistry, Tracer, get_registry, get_tracer)
+from ..resilience.faults import fault_check
 from .prefix_cache import PrefixCache
 
 
@@ -52,6 +54,36 @@ class EngineQueueFullError(RuntimeError):
 
 class EngineStoppedError(RuntimeError):
     """Raised when a request cannot complete because the engine stopped."""
+
+
+class EngineCrashedError(RuntimeError):
+    """The engine thread died; the request was failed, not completed.
+
+    Raised to every request that was queued or in flight when the
+    engine thread crashed (and by :meth:`InferenceEngine.submit` on a
+    crashed engine).  A :class:`~repro.resilience.EngineSupervisor` can
+    restart a crashed engine; requests are never silently replayed.
+    """
+
+
+class DeadlineExceededError(RuntimeError):
+    """A request's ``deadline_ms`` budget expired before it finished.
+
+    ``tokens`` holds whatever was generated before expiry — a prefix of
+    the request's full decode, because deadline retirement uses the
+    same mid-batch retirement path as stop tokens, which never perturbs
+    other sequences.  The HTTP layer turns this into a partial result
+    (some tokens) or a 504 (none).
+    """
+
+    def __init__(self, request_id: int, deadline_ms: float,
+                 tokens: Sequence[int]) -> None:
+        super().__init__(
+            f"request {request_id} exceeded its {deadline_ms:.0f} ms "
+            f"deadline after {len(tokens)} token(s)")
+        self.request_id = request_id
+        self.deadline_ms = deadline_ms
+        self.tokens = list(tokens)
 
 
 @dataclass(frozen=True)
@@ -89,18 +121,25 @@ class EngineRequest:
     def __init__(self, request_id: int, prompt_ids: List[int],
                  config: GenerationConfig,
                  processors: Sequence[LogitsProcessor],
-                 submitted_at: float) -> None:
+                 submitted_at: float,
+                 deadline: Optional[float] = None,
+                 deadline_ms: Optional[float] = None) -> None:
         self.request_id = request_id
         self.prompt_ids = prompt_ids
         self.config = config
         self.processors = processors
         self.submitted_at = submitted_at
+        #: Absolute expiry on the engine's metrics clock (None = no deadline).
+        self.deadline = deadline
+        #: The original relative budget, kept for error messages.
+        self.deadline_ms = deadline_ms
         self._done = threading.Event()
         self._cancelled = threading.Event()
         self._generated: List[int] = []
         self._error: Optional[BaseException] = None
         self._cond = threading.Condition()
         self._waiters = 0
+        self._finish_lock = threading.Lock()
 
     # -- engine side ---------------------------------------------------
     def _deliver(self, token: int) -> None:
@@ -109,12 +148,22 @@ class EngineRequest:
             with self._cond:
                 self._cond.notify_all()
 
-    def _finish(self, error: Optional[BaseException] = None) -> None:
-        self._error = error
-        self._done.set()
+    def _finish(self, error: Optional[BaseException] = None) -> bool:
+        """Resolve the request once; later calls are no-ops.
+
+        Returns whether *this* call did the resolving — the engine only
+        counts outcome metrics for the winning call, so a request that
+        e.g. crashes while already deadline-failed is counted once.
+        """
+        with self._finish_lock:
+            if self._done.is_set():
+                return False
+            self._error = error
+            self._done.set()
         if self._waiters:
             with self._cond:
                 self._cond.notify_all()
+        return True
 
     # -- caller side ---------------------------------------------------
     def cancel(self) -> None:
@@ -135,8 +184,10 @@ class EngineRequest:
     def tokens(self, timeout: Optional[float] = None) -> Iterator[int]:
         """Yield generated token ids as they are produced.
 
-        ``timeout`` bounds the wait for each *individual* token; on
-        engine failure the stored error is raised.
+        ``timeout`` bounds the *total* wait for each individual token
+        against a monotonic deadline — spurious condition-variable
+        wakeups do not reset the budget.  On engine failure the stored
+        error is raised.
         """
         index = 0
         while True:
@@ -151,15 +202,22 @@ class EngineRequest:
                 if self._error is not None:
                     raise self._error
                 return
+            wait_deadline = (None if timeout is None
+                             else time.monotonic() + timeout)
             with self._cond:
                 self._waiters += 1
                 try:
-                    if (index >= len(self._generated)
-                            and not self._done.is_set()):
-                        if not self._cond.wait(timeout=timeout):
+                    while (index >= len(self._generated)
+                           and not self._done.is_set()):
+                        if wait_deadline is None:
+                            self._cond.wait()
+                            continue
+                        remaining = wait_deadline - time.monotonic()
+                        if remaining <= 0:
                             raise TimeoutError(
                                 f"request {self.request_id}: no token "
                                 f"within {timeout}s")
+                        self._cond.wait(timeout=remaining)
                 finally:
                     self._waiters -= 1
 
@@ -279,11 +337,15 @@ class InferenceEngine:
         self._queue: "queue.Queue[EngineRequest]" = queue.Queue(
             maxsize=self.config.max_queue)
         self._active: List[_Sequence] = []
+        # Requests popped from the queue but not yet active: a crash
+        # mid-admission must be able to fail them, or they would hang.
+        self._admitting: List[EngineRequest] = []
         # Stacked decode states from the previous step, keyed by group
         # membership — skips re-concatenating KV caches while a batch
         # is stable (see _forward).
         self._stacked_states: Dict[Tuple[int, ...], Any] = {}
         self._stop_event = threading.Event()
+        self._crashed: Optional[BaseException] = None
         self._next_id = 0
         self._id_lock = threading.Lock()
         self._thread = threading.Thread(target=self._run,
@@ -295,53 +357,76 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     def submit(self, prompt_ids: Sequence[int],
                config: Optional[GenerationConfig] = None,
-               processors: Sequence[LogitsProcessor] = ()) -> EngineRequest:
+               processors: Sequence[LogitsProcessor] = (),
+               deadline_ms: Optional[float] = None) -> EngineRequest:
         """Enqueue a request; returns a streaming :class:`EngineRequest`.
 
+        ``deadline_ms`` is a total latency budget from this call: a
+        request still queued or decoding when it expires is retired
+        with :class:`DeadlineExceededError` carrying the tokens
+        generated so far (see ``docs/RESILIENCE.md``).
+
         Raises :class:`EngineQueueFullError` when ``max_queue`` requests
-        are already waiting, and :class:`EngineStoppedError` after
-        :meth:`stop`.  Beam search is not batched — use
+        are already waiting, :class:`EngineStoppedError` after
+        :meth:`stop`, and :class:`EngineCrashedError` if the engine
+        thread has died.  Beam search is not batched — use
         :meth:`generate`, which falls back to the sequential decoder.
         """
-        if self._stop_event.is_set():
-            raise EngineStoppedError("engine has been stopped")
+        self._check_serving()
         config = config or GenerationConfig()
         config.validate()
         if config.strategy == "beam":
             raise ValueError(
                 "beam search is not continuously batched; use "
                 "InferenceEngine.generate() for the sequential fallback")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0 (or None)")
         prompt = [int(t) for t in prompt_ids]
         if not prompt:
             raise ValueError("prompt must contain at least one token")
         with self._id_lock:
             self._next_id += 1
             request_id = self._next_id
-        request = EngineRequest(request_id, prompt, config, list(processors),
-                                submitted_at=self.metrics.clock.now())
+        now = self.metrics.clock.now()
+        request = EngineRequest(
+            request_id, prompt, config, list(processors), submitted_at=now,
+            deadline=None if deadline_ms is None else now + deadline_ms / 1e3,
+            deadline_ms=deadline_ms)
         try:
             self._queue.put_nowait(request)
         except queue.Full:
             raise EngineQueueFullError(
                 f"engine queue is full ({self.config.max_queue} waiting)")
-        if self._stop_event.is_set():
-            # stop() may have run its drain between the check at the top
-            # and the put above, in which case nobody will ever pop this
-            # request — fail it here so result() cannot block forever.
-            if not request.done:
-                request._finish(error=EngineStoppedError(
-                    "engine has been stopped"))
-            raise EngineStoppedError("engine has been stopped")
+        if self._stop_event.is_set() or self._crashed is not None:
+            # stop()'s drain (or a crash's fail_inflight) may have run
+            # between the check at the top and the put above, in which
+            # case nobody will ever pop this request — fail it here so
+            # result() cannot block forever.
+            error = (EngineCrashedError("engine thread has crashed")
+                     if self._crashed is not None
+                     else EngineStoppedError("engine has been stopped"))
+            self._resolve(request, error=error)
+            raise type(error)(str(error))
         self.metrics.queue_depth.set(self._queue.qsize())
         return request
 
+    def _check_serving(self) -> None:
+        if self._crashed is not None:
+            raise EngineCrashedError(
+                f"engine thread has crashed: {self._crashed!r}")
+        if self._stop_event.is_set():
+            raise EngineStoppedError("engine has been stopped")
+
     def generate(self, prompt_ids: Sequence[int],
                  config: Optional[GenerationConfig] = None,
-                 processors: Sequence[LogitsProcessor] = ()) -> List[int]:
+                 processors: Sequence[LogitsProcessor] = (),
+                 deadline_ms: Optional[float] = None) -> List[int]:
         """Synchronous façade: submit, wait, return the new token ids.
 
         Beam-search configs bypass the batch and run the sequential
-        decoder (beam state is not continuously batchable).
+        decoder (beam state is not continuously batchable; it also
+        ignores ``deadline_ms``, since only the batched decode loop can
+        retire requests mid-flight).
         """
         config = config or GenerationConfig()
         config.validate()
@@ -349,7 +434,8 @@ class InferenceEngine:
             return sequential_generate(self.model, prompt_ids, config,
                                        processors, registry=self.registry,
                                        tracer=self.tracer)
-        return self.submit(prompt_ids, config, processors).result()
+        return self.submit(prompt_ids, config, processors,
+                           deadline_ms=deadline_ms).result()
 
     def stop(self, timeout: float = 5.0) -> None:
         """Shut the engine thread down and fail all unfinished requests."""
@@ -370,10 +456,45 @@ class InferenceEngine:
     def running(self) -> bool:
         return self._thread.is_alive() and not self._stop_event.is_set()
 
+    @property
+    def crashed(self) -> Optional[BaseException]:
+        """The exception that killed the engine thread, if any."""
+        return self._crashed
+
+    def fail_inflight(self, error: BaseException) -> int:
+        """Fail every queued and in-flight request with ``error``.
+
+        Only meaningful once the engine thread is no longer serving (a
+        crash or a hard kill); the supervisor calls this before
+        restarting so no request can block forever on a dead engine.
+        Idempotent — already-resolved requests are untouched.  Returns
+        the number of requests failed by this call.
+        """
+        failed = 0
+        for request in list(self._admitting):
+            failed += self._resolve(request, error=error)
+        self._admitting = []
+        for seq in list(self._active):
+            failed += self._resolve(seq.request, error=error)
+        self._active = []
+        self._stacked_states = {}
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if request is _WAKE:
+                continue
+            failed += self._resolve(request, error=error)
+        self.metrics.active_sequences.set(0)
+        self.metrics.queue_depth.set(0)
+        return failed
+
     def stats(self) -> Dict[str, Any]:
         """Point-in-time engine stats (for the CLI and debug endpoints)."""
         return {
             "running": self.running,
+            "crashed": self._crashed is not None,
             "active_sequences": len(self._active),
             "queue_depth": self._queue.qsize(),
             "max_batch_size": self.config.max_batch_size,
@@ -384,18 +505,33 @@ class InferenceEngine:
     # Engine thread
     # ------------------------------------------------------------------
     def _run(self) -> None:
-        self.model.eval()
-        with no_grad():
-            while not self._stop_event.is_set():
-                self._admit()
-                if not self._active:
-                    continue
-                try:
-                    self._step()
-                except BaseException as error:  # noqa: BLE001 - fail requests
-                    for seq in self._active:
-                        self._finish(seq, error=error)
-                    self._active = []
+        try:
+            self.model.eval()
+            with no_grad():
+                while not self._stop_event.is_set():
+                    self._admit()
+                    if not self._active:
+                        continue
+                    try:
+                        self._step()
+                    except BaseException as error:  # noqa: BLE001
+                        # A step-level failure (e.g. a model.forward
+                        # fault) takes down the requests sharing the
+                        # batch — with a named error — but not the
+                        # engine itself.
+                        for seq in self._active:
+                            self._finish(seq, error=error)
+                        self._active = []
+                        self._stacked_states = {}
+        except BaseException as error:  # noqa: BLE001 - crash, not stop
+            # Anything escaping the loop (e.g. a prefix_cache.get fault
+            # during admission) is a crash: mark it, fail everything
+            # in flight with a named error so no caller hangs, and let
+            # the thread die.  A supervisor may build a replacement.
+            self._crashed = error
+            self.fail_inflight(EngineCrashedError(
+                f"engine thread crashed: {error!r}"))
+            return
         self._drain()
 
     def _admit(self) -> None:
@@ -413,11 +549,19 @@ class InferenceEngine:
                 break
             if request is _WAKE:
                 break
+            self._admitting.append(request)
             if request.cancelled:
-                self.metrics.requests.labels(outcome="cancelled").inc()
-                request._finish()
+                self._resolve(request, outcome="cancelled")
+                self._admitting.pop()
                 continue
             now = self.metrics.clock.now()
+            if request.deadline is not None and now >= request.deadline:
+                # Expired while still queued: never admitted, no tokens.
+                self._resolve(request, error=DeadlineExceededError(
+                    request.request_id, request.deadline_ms, ()),
+                    outcome="deadline")
+                self._admitting.pop()
+                continue
             self.metrics.queue_wait_seconds.observe(now - request.submitted_at)
             admitted.append(_Sequence(
                 request=request, config=request.config,
@@ -427,6 +571,7 @@ class InferenceEngine:
                 admitted_at=now))
         if admitted:
             self._prefill_admitted(admitted)
+        self._admitting = []
         self.metrics.queue_depth.set(self._queue.qsize())
         self.metrics.active_sequences.set(len(self._active))
 
@@ -448,6 +593,9 @@ class InferenceEngine:
         groups: Dict[Tuple[int, int], List[Tuple[_Sequence, Any, Any]]] = {}
         for seq in admitted:
             prompt = seq.request.prompt_ids
+            # Chaos hook: a fault here escapes _admit and kills the
+            # engine thread — the supervisor-restart scenario.
+            fault_check("prefix_cache.get")
             hit_len, snapshot = self.prefix_cache.lookup(prompt)
             if hit_len:
                 self.metrics.cache_hits.inc()
@@ -532,6 +680,7 @@ class InferenceEngine:
     def _prefill_one(self, seq: _Sequence, logits: Any, state: Any,
                      hit_len: int) -> None:
         """Chunked single-sequence prefill (resuming from a cache hit)."""
+        fault_check("model.forward")
         prompt = seq.request.prompt_ids
         chunk_size = self.config.prefill_chunk
         with self.tracer.span("engine.prefill",
@@ -561,12 +710,22 @@ class InferenceEngine:
         """One engine step: sample, deliver, retire, batched forward."""
         self.metrics.steps.inc()
         self.metrics.batch_occupancy.observe(len(self._active))
+        now = self.metrics.clock.now()
         survivors: List[_Sequence] = []
         for seq in self._active:
             if seq.request.cancelled:
                 # Abandoned (e.g. streaming client disconnected): free
                 # the batch slot instead of decoding to the budget.
                 self._finish(seq, outcome="cancelled")
+                continue
+            if (seq.request.deadline is not None
+                    and now >= seq.request.deadline):
+                # Expired mid-batch: retire with the partial tokens.
+                # Same retirement path as a stop token, so survivors'
+                # outputs are untouched (bit-identical — tested).
+                self._finish(seq, error=DeadlineExceededError(
+                    seq.request.request_id, seq.request.deadline_ms,
+                    seq.generated), outcome="deadline")
                 continue
             token = select_next_token(seq.logits, seq.generated, seq.config,
                                       seq.processors, seq.rng)
@@ -588,6 +747,10 @@ class InferenceEngine:
 
     def _forward(self, survivors: List[_Sequence]) -> None:
         """Advance survivors one token, batching same-key states."""
+        if survivors:
+            # Chaos hook: fails this step's batch (named error) while
+            # the engine itself keeps serving.
+            fault_check("model.forward")
         groups: Dict[Any, List[_Sequence]] = {}
         singles: List[_Sequence] = []
         for seq in survivors:
@@ -624,15 +787,24 @@ class InferenceEngine:
             seq.logits = logits[0]
             seq.state = state
 
-    def _finish(self, seq: _Sequence,
-                error: Optional[BaseException] = None,
-                outcome: Optional[str] = None) -> None:
+    def _resolve(self, request: EngineRequest,
+                 error: Optional[BaseException] = None,
+                 outcome: Optional[str] = None, tokens: int = 0) -> bool:
+        """Finish ``request`` exactly once, with outcome accounting."""
+        if not request._finish(error=error):
+            return False
         if outcome is None:
             outcome = "failed" if error is not None else "completed"
         self.metrics.requests.labels(outcome=outcome).inc()
         if error is None:
-            self.metrics.tokens.inc(len(seq.generated))
-        seq.request._finish(error=error)
+            self.metrics.tokens.inc(tokens)
+        return True
+
+    def _finish(self, seq: _Sequence,
+                error: Optional[BaseException] = None,
+                outcome: Optional[str] = None) -> None:
+        self._resolve(seq.request, error=error, outcome=outcome,
+                      tokens=len(seq.generated))
 
     def _drain(self) -> None:
         """Fail everything still queued or in flight after stop()."""
@@ -647,7 +819,6 @@ class InferenceEngine:
                 break
             if request is _WAKE:
                 continue
-            self.metrics.requests.labels(outcome="failed").inc()
-            request._finish(error=error)
+            self._resolve(request, error=error)
         self.metrics.active_sequences.set(0)
         self.metrics.queue_depth.set(0)

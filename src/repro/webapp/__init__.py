@@ -7,18 +7,21 @@ dockerized-deployment config emitter (:mod:`.deploy`).
 """
 
 from .backend import create_backend
-from .client import ApiError, RatatouilleClient
+from .client import (ApiError, CircuitBreaker, CircuitOpenError,
+                     RatatouilleClient, RetryPolicy, StreamInterrupted)
 from .deploy import (DeploymentConfig, ServiceSpec, render_compose,
                      render_dockerfile, scale_out, write_deployment)
 from .framework import App, Request, Response, Server
-from .jobs import Job, JobQueue, JobStatus, QueueFullError
+from .jobs import SHUTDOWN_ERROR, Job, JobQueue, JobStatus, QueueFullError
 from .middleware import (AccessRecord, MetricsMiddleware, RateLimiter,
                          RequestLog)
 from .frontend import create_frontend, render_page
 
 __all__ = [
-    "ApiError", "App", "DeploymentConfig", "RatatouilleClient", "Request",
-    "Response", "Server", "ServiceSpec", "create_backend", "create_frontend",
+    "ApiError", "App", "CircuitBreaker", "CircuitOpenError",
+    "DeploymentConfig", "RatatouilleClient", "Request",
+    "Response", "RetryPolicy", "SHUTDOWN_ERROR", "Server", "ServiceSpec",
+    "StreamInterrupted", "create_backend", "create_frontend",
     "AccessRecord", "Job", "JobQueue", "JobStatus", "MetricsMiddleware",
     "QueueFullError", "RateLimiter", "RequestLog",
     "render_compose", "render_dockerfile", "render_page", "scale_out",

@@ -33,7 +33,13 @@ from ..models import GenerationConfig
 from ..obs import (MetricsRegistry, Tracer, get_registry, get_tracer,
                    render_json, render_text)
 from ..recipedb import IngredientCatalog, PairingGraph, default_catalog
-from ..serving import EngineQueueFullError, InferenceEngine
+from ..resilience import (AdmissionController, OverloadShedError,
+                          ResilienceConfig)
+from ..resilience.supervisor import (EngineSupervisor, EngineUnavailableError,
+                                     sequential_fallback)
+from ..serving import (DeadlineExceededError, EngineCrashedError,
+                       EngineQueueFullError, EngineStoppedError,
+                       InferenceEngine)
 from .framework import App, Request, Response
 from .jobs import JobQueue, QueueFullError
 
@@ -88,6 +94,24 @@ def _parse_generation_request(payload: dict,
     return names, config, bool(payload.get("checklist", False))
 
 
+def _parse_deadline(payload: dict,
+                    default_ms: Optional[float]) -> Optional[float]:
+    """Per-request deadline: ``deadline_ms`` in the payload, else the
+    server default (``None`` disables).  Raises ValueError (→ 400) on a
+    non-positive or non-numeric value."""
+    raw = payload.get("deadline_ms")
+    if raw is None:
+        return default_ms
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"'deadline_ms' must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError("'deadline_ms' must be > 0")
+    return value
+
+
 def _recipe_payload(recipe) -> dict:
     return {
         "title": recipe.title,
@@ -107,7 +131,8 @@ def create_backend(pipeline: Ratatouille,
                    tracer: Optional[Tracer] = None,
                    use_engine: bool = True,
                    engine: Optional[InferenceEngine] = None,
-                   max_new_tokens_cap: int = MAX_NEW_TOKENS_CAP) -> App:
+                   max_new_tokens_cap: int = MAX_NEW_TOKENS_CAP,
+                   resilience: Optional[ResilienceConfig] = None) -> App:
     """Build the backend :class:`~repro.webapp.framework.App`.
 
     ``registry``/``tracer`` are what ``GET /api/metrics`` exposes and
@@ -121,16 +146,102 @@ def create_backend(pipeline: Ratatouille,
     Pass ``use_engine=False`` for the plain in-process path, or an
     ``engine`` to share one across apps.  The engine is stored as
     ``app.engine`` so embedding code can stop it.
+
+    ``resilience`` (see ``docs/RESILIENCE.md``) adds the failure
+    envelope: request deadlines (``deadline_ms`` in payloads, plus a
+    server default → partial result or 504), admission control (503 +
+    ``Retry-After`` past the watermark) and engine supervision
+    (watchdog restarts; degraded sequential fallback marked
+    ``"degraded": true``).  ``None`` — the default — changes nothing.
     """
     catalog = catalog or default_catalog()
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
     jobs = job_queue or JobQueue(workers=1, max_pending=16, registry=registry)
     if engine is None and use_engine:
-        engine = InferenceEngine(pipeline.model, registry=registry,
-                                 tracer=tracer)
+        if resilience is not None and resilience.supervise:
+            def _factory() -> InferenceEngine:
+                return InferenceEngine(pipeline.model, registry=registry,
+                                       tracer=tracer)
+            fallback = (sequential_fallback(pipeline.model)
+                        if resilience.degraded_fallback else None)
+            engine = EngineSupervisor(
+                _factory,
+                max_restarts=resilience.max_restarts,
+                backoff_seconds=resilience.restart_backoff_seconds,
+                fallback=fallback,
+                registry=registry)
+        else:
+            engine = InferenceEngine(pipeline.model, registry=registry,
+                                     tracer=tracer)
+    supervisor = engine if isinstance(engine, EngineSupervisor) else None
+    default_deadline_ms = (resilience.default_deadline_ms
+                           if resilience is not None else None)
+    admission: Optional[AdmissionController] = None
+    if resilience is not None and resilience.shed_watermark_tokens:
+        admission = AdmissionController(
+            resilience.shed_watermark_tokens,
+            tokens_per_second_hint=resilience.tokens_per_second_hint,
+            registry=registry)
     app = App(name="ratatouille-backend")
     app.engine = engine
+    app.admission = admission
+
+    def _admit(cost: int) -> Optional[Response]:
+        """Acquire admission; a Response means "shed, answer with this"."""
+        if admission is None:
+            return None
+        try:
+            admission.try_acquire(cost)
+        except OverloadShedError as exc:
+            return Response.error(
+                str(exc), status=503,
+                headers={"Retry-After": str(exc.retry_after)})
+        return None
+
+    def _release(cost: int) -> None:
+        if admission is not None:
+            admission.release(cost)
+
+    def _run_generation(names, config, checklist, deadline_ms,
+                        allow_partial: bool) -> dict:
+        """Generate through whatever decode path is configured.
+
+        Returns the JSON payload; deadline expiry becomes either a
+        partial recipe (``"partial": true``, when the client opted in
+        and tokens exist) or re-raises for the 504 path.
+        """
+        if engine is None:
+            recipe = pipeline.generate(names, generation=config,
+                                       checklist=checklist)
+            return _recipe_payload(recipe)
+        prompt_text, prompt_ids, config, processors = pipeline.prepare_prompt(
+            names, generation=config, checklist=checklist)
+        clock = registry.clock
+        start = clock.now()
+        degraded = False
+        try:
+            if supervisor is not None:
+                new_ids, degraded = supervisor.generate_ex(
+                    prompt_ids, config, processors, deadline_ms=deadline_ms)
+            else:
+                new_ids = engine.generate(prompt_ids, config, processors,
+                                          deadline_ms=deadline_ms)
+        except DeadlineExceededError as exc:
+            if not (allow_partial and exc.tokens):
+                raise
+            recipe = pipeline.finish_recipe(prompt_text, exc.tokens, names,
+                                            elapsed=clock.now() - start)
+            payload = _recipe_payload(recipe)
+            payload["partial"] = True
+            payload["deadline_ms"] = exc.deadline_ms
+            return payload
+        recipe = pipeline.finish_recipe(prompt_text, new_ids, names,
+                                        elapsed=clock.now() - start)
+        payload = _recipe_payload(recipe)
+        if degraded:
+            payload["degraded"] = True
+        return payload
 
     @app.route("/api/health")
     def health(request: Request) -> Response:
@@ -159,29 +270,57 @@ def create_backend(pipeline: Ratatouille,
 
     @app.route("/api/generate", methods=("POST",))
     def generate_recipe(request: Request) -> Response:
+        payload = request.json()
         names, config, checklist = _parse_generation_request(
-            request.json(), max_new_tokens_cap)
+            payload, max_new_tokens_cap)
+        deadline_ms = _parse_deadline(payload, default_deadline_ms)
+        allow_partial = bool(payload.get("partial", False))
+        cost = config.max_new_tokens
+        shed = _admit(cost)
+        if shed is not None:
+            return shed
         try:
-            recipe = pipeline.generate(names, generation=config,
-                                       checklist=checklist, engine=engine)
+            body = _run_generation(names, config, checklist, deadline_ms,
+                                   allow_partial)
+        except DeadlineExceededError as exc:
+            return Response.error(str(exc), status=504)
         except EngineQueueFullError as exc:
             return Response.error(str(exc), status=429)
-        return Response.json(_recipe_payload(recipe))
+        except (EngineCrashedError, EngineStoppedError,
+                EngineUnavailableError) as exc:
+            return Response.error(str(exc), status=503)
+        finally:
+            _release(cost)
+        return Response.json(body)
 
     @app.route("/api/generate_async", methods=("POST",))
     def generate_async(request: Request) -> Response:
+        payload = request.json()
         names, config, checklist = _parse_generation_request(
-            request.json(), max_new_tokens_cap)
+            payload, max_new_tokens_cap)
+        deadline_ms = _parse_deadline(payload, default_deadline_ms)
+        allow_partial = bool(payload.get("partial", False))
+        cost = config.max_new_tokens
+        shed = _admit(cost)
+        if shed is not None:
+            return shed
 
         def work():
-            recipe = pipeline.generate(names, generation=config,
-                                       checklist=checklist, engine=engine)
-            return _recipe_payload(recipe)
+            # The admitted work is released when the job resolves, not
+            # when it is queued — queued-but-unstarted jobs are exactly
+            # the backlog admission control must count.
+            try:
+                return _run_generation(names, config, checklist, deadline_ms,
+                                       allow_partial)
+            finally:
+                _release(cost)
 
         try:
             job_id = jobs.submit(work)
-        except QueueFullError as exc:
-            return Response.error(str(exc), status=429)
+        except (QueueFullError, RuntimeError) as exc:
+            _release(cost)
+            status = 429 if isinstance(exc, QueueFullError) else 503
+            return Response.error(str(exc), status=status)
         return Response.json({"job_id": job_id, "status": "pending"},
                              status=202)
 
@@ -191,8 +330,10 @@ def create_backend(pipeline: Ratatouille,
             return Response.error(
                 "streaming requires the serving engine "
                 "(backend started with use_engine=False)", status=503)
+        payload = request.json()
         names, config, checklist = _parse_generation_request(
-            request.json(), max_new_tokens_cap)
+            payload, max_new_tokens_cap)
+        deadline_ms = _parse_deadline(payload, default_deadline_ms)
         if config.strategy == "beam":
             return Response.error(
                 "beam search cannot stream; use /api/generate")
@@ -200,20 +341,38 @@ def create_backend(pipeline: Ratatouille,
             names, generation=config, checklist=checklist)
         clock = registry.clock
         start = clock.now()
+        cost = config.max_new_tokens
+        shed = _admit(cost)
+        if shed is not None:
+            return shed
         try:
-            handle = engine.submit(prompt_ids, config, processors)
+            handle = engine.submit(prompt_ids, config, processors,
+                                   deadline_ms=deadline_ms)
         except EngineQueueFullError as exc:
+            _release(cost)
             return Response.error(str(exc), status=429)
+        except (EngineCrashedError, EngineStoppedError,
+                EngineUnavailableError) as exc:
+            _release(cost)
+            return Response.error(str(exc), status=503)
 
         def events():
+            emitted = 0
             try:
                 try:
                     for token in handle.tokens():
+                        emitted += 1
                         yield {"token": int(token),
                                "text": pipeline.tokenizer.decode([int(token)])}
                     recipe = pipeline.finish_recipe(
                         prompt_text, handle.result(), names,
                         elapsed=clock.now() - start)
+                except DeadlineExceededError as exc:
+                    # headers already sent; the deadline becomes a
+                    # terminal event instead of a 504 status.
+                    yield {"error": str(exc), "deadline_exceeded": True,
+                           "tokens_emitted": emitted}
+                    return
                 except Exception as exc:  # noqa: BLE001 - headers already sent
                     yield {"error": str(exc)}
                     return
@@ -222,7 +381,9 @@ def create_backend(pipeline: Ratatouille,
                 # Runs on normal completion AND when the framework
                 # closes an abandoned stream (client disconnected):
                 # cancel so the engine does not keep decoding to
-                # max_new_tokens in a batch slot nobody is reading.
+                # max_new_tokens in a batch slot nobody is reading,
+                # and return the admitted work to the gate.
+                _release(cost)
                 if not handle.done:
                     handle.cancel()
 
@@ -233,6 +394,17 @@ def create_backend(pipeline: Ratatouille,
         if engine is None:
             return Response.json({"enabled": False})
         return Response.json({"enabled": True, **engine.stats()})
+
+    @app.route("/api/resilience")
+    def resilience_stats(request: Request) -> Response:
+        payload = {
+            "enabled": resilience is not None,
+            "default_deadline_ms": default_deadline_ms,
+            "admission": admission.stats() if admission is not None else None,
+            "supervisor": (engine.stats()["supervisor"]
+                           if supervisor is not None else None),
+        }
+        return Response.json(payload)
 
     @app.route("/api/job")
     def job_status(request: Request) -> Response:

@@ -16,6 +16,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..resilience.faults import InjectedFault, fault_check
+
 Handler = Callable[["Request"], "Response"]
 
 
@@ -99,8 +101,13 @@ class Response:
                         content_type="text/html; charset=utf-8")
 
     @classmethod
-    def error(cls, message: str, status: int = 400) -> "Response":
-        return cls.json({"error": message}, status=status)
+    def error(cls, message: str, status: int = 400,
+              headers: Optional[Dict[str, str]] = None) -> "Response":
+        """A JSON error body; ``headers`` carries hints like Retry-After."""
+        response = cls.json({"error": message}, status=status)
+        if headers:
+            response.headers.update(headers)
+        return response
 
 
 class App:
@@ -173,9 +180,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
             return
         try:
             for chunk in response.stream:
+                # "framework.write": chaos point modelling the client
+                # hanging up mid-stream — same handling as a real
+                # broken pipe, so the test suite can prove the engine
+                # slot is always released.
+                fault_check("framework.write")
                 self.wfile.write(chunk)
                 self.wfile.flush()
-        except (BrokenPipeError, ConnectionResetError):
+        except (BrokenPipeError, ConnectionResetError, InjectedFault):
             pass  # client went away mid-stream
         finally:
             # Tell the stream it is done either way, so generator

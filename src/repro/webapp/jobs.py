@@ -18,6 +18,12 @@ from enum import Enum
 from typing import Any, Callable, Dict, Optional
 
 from ..obs import MetricsRegistry, get_registry
+from ..resilience.faults import fault_check
+
+#: The error message shutdown stamps on still-pending jobs; clients
+#: polling ``GET /api/job`` see it verbatim and can tell "the service
+#: restarted" apart from "your recipe failed".
+SHUTDOWN_ERROR = "JobQueueShutdown: queue shut down before job ran"
 
 
 class JobStatus(str, Enum):
@@ -135,6 +141,13 @@ class JobQueue:
             self._rejected.inc()
             raise QueueFullError(
                 f"job queue full ({self._queue.maxsize} pending)") from None
+        if self._shutdown:
+            # Lost the race with shutdown(): the drain may already have
+            # passed our job by.  Fail it here (idempotently — the
+            # worker/drain skips non-PENDING jobs) rather than leave a
+            # job id that never resolves.
+            self._fail_pending(job)
+            raise RuntimeError("queue is shut down")
         self._submitted.inc()
         self._depth.set(self._queue.qsize())
         return job.job_id
@@ -148,13 +161,21 @@ class JobQueue:
 
     def wait(self, job_id: str, timeout: float = 60.0,
              poll: float = 0.02) -> Job:
-        """Block until the job finishes (or ``timeout`` seconds pass)."""
-        deadline = time.time() + timeout
-        while time.time() < deadline:
+        """Block until the job finishes (or ``timeout`` seconds pass).
+
+        The budget is measured against a monotonic deadline, so wall
+        clock adjustments (NTP steps) can neither cut the wait short
+        nor extend it.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
             job = self.get(job_id)
             if job.status in (JobStatus.DONE, JobStatus.FAILED):
                 return job
-            time.sleep(poll)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            time.sleep(min(poll, remaining))
         raise TimeoutError(f"job {job_id} still {self.get(job_id).status.value} "
                            f"after {timeout}s")
 
@@ -163,13 +184,45 @@ class JobQueue:
         return self._queue.qsize()
 
     def shutdown(self) -> None:
-        """Stop accepting work; workers exit after draining sentinels."""
+        """Stop accepting work and fail every still-pending job.
+
+        Pre-fix behaviour left queued jobs ``PENDING`` forever — a
+        client polling ``GET /api/job`` after a restart would wait
+        until its own timeout with no signal.  Now each undrained job
+        resolves ``FAILED`` with the named :data:`SHUTDOWN_ERROR`.
+        One sentinel suffices regardless of worker count: each exiting
+        worker re-posts it for the next (a bounded queue may not have
+        room for one sentinel per worker).
+        """
         self._shutdown = True
-        for _ in self._threads:
+        # Drain jobs still waiting; a worker may race us for any given
+        # job — whoever dequeues it resolves it, and _fail_pending /
+        # the RUNNING transition are both under the lock so exactly one
+        # side wins.
+        while True:
             try:
-                self._queue.put_nowait(None)  # type: ignore[arg-type]
-            except queue.Full:
+                job = self._queue.get_nowait()
+            except queue.Empty:
                 break
+            if job is None:
+                continue
+            self._fail_pending(job)
+            self._queue.task_done()
+        self._depth.set(0)
+        try:
+            self._queue.put_nowait(None)  # type: ignore[arg-type]
+        except queue.Full:
+            pass  # a worker will drain and re-post; shutdown flag is set
+
+    def _fail_pending(self, job: Job) -> None:
+        """Resolve a never-started job as FAILED (shutdown path)."""
+        with self._lock:
+            if job.status is not JobStatus.PENDING:
+                return
+            job.status = JobStatus.FAILED
+        job.error = SHUTDOWN_ERROR
+        job.finished_at = self._clock()
+        self._completed.labels(status=JobStatus.FAILED.value).inc()
 
     # ------------------------------------------------------------------
     # Worker loop
@@ -178,12 +231,33 @@ class JobQueue:
         while True:
             job = self._queue.get()
             if job is None:
+                # Re-post the sentinel so one wakes every worker even
+                # when the bounded queue could not hold one per thread.
+                try:
+                    self._queue.put_nowait(None)  # type: ignore[arg-type]
+                except queue.Full:
+                    pass
                 return
             self._depth.set(self._queue.qsize())
-            job.status = JobStatus.RUNNING
+            with self._lock:
+                if job.status is not JobStatus.PENDING:
+                    # shutdown() already failed it while it sat queued
+                    self._queue.task_done()
+                    continue
+                if self._shutdown:
+                    job.status = JobStatus.FAILED
+                else:
+                    job.status = JobStatus.RUNNING
+            if job.status is JobStatus.FAILED:
+                job.error = SHUTDOWN_ERROR
+                job.finished_at = self._clock()
+                self._completed.labels(status=JobStatus.FAILED.value).inc()
+                self._queue.task_done()
+                continue
             job.started_at = self._clock()
             self._wait_seconds.observe(job.started_at - job.submitted_at)
             try:
+                fault_check("jobs.worker")
                 job.result = job.func()
                 job.status = JobStatus.DONE
             except Exception as exc:  # noqa: BLE001 - job errors are data

@@ -15,6 +15,7 @@ adds both as composable wrappers around an :class:`~.framework.App`:
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -200,5 +201,10 @@ class RateLimiter:
     def _dispatch(self, request: Request) -> Response:
         client = request.headers.get(self.CLIENT_HEADER, "anonymous")
         if not self._take_token(client):
-            return Response.error("rate limit exceeded", status=429)
+            # One token refills in 1/rate seconds; tell the client when
+            # to come back instead of letting it hot-loop on 429s.
+            retry_after = max(1, math.ceil(1.0 / self.rate))
+            return Response.error(
+                "rate limit exceeded", status=429,
+                headers={"Retry-After": str(retry_after)})
         return self._inner_dispatch(request)

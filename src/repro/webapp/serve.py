@@ -13,6 +13,7 @@ import sys
 from typing import List, Optional
 
 from ..core import PipelineConfig, Ratatouille
+from ..resilience import ResilienceConfig
 from ..training import TrainingConfig
 from .backend import create_backend
 from .framework import Server
@@ -40,6 +41,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="route generation through the continuous-"
                               "batching serving engine (--no-engine for the "
                               "in-process decoder)")
+    backend.add_argument("--deadline-ms", type=float, default=None,
+                         help="default per-request latency budget; expired "
+                              "requests get a partial result or 504")
+    backend.add_argument("--shed-watermark", type=int, default=None,
+                         help="admission-control high-water mark in queued "
+                              "decode tokens; beyond it requests shed with "
+                              "503 + Retry-After")
+    backend.add_argument("--supervise", action=argparse.BooleanOptionalAction,
+                         default=None,
+                         help="wrap the engine in a restarting watchdog "
+                              "(defaults on when any resilience flag is set)")
+    backend.add_argument("--max-restarts", type=int, default=3,
+                         help="engine restart budget for the supervisor")
+    backend.add_argument("--degraded-fallback",
+                         action=argparse.BooleanOptionalAction, default=False,
+                         help="serve sequential (slow, marked degraded) "
+                              "responses while the engine is down")
 
     frontend = sub.add_parser("frontend", help="the static picker UI")
     frontend.add_argument("--port", type=int, default=8080)
@@ -70,7 +88,23 @@ def build_server(argv: List[str]) -> Server:
             pipeline = Ratatouille.quickstart(
                 model_name="distilgpt2", num_recipes=args.train_recipes,
                 seed=0, config=config)
-        app = create_backend(pipeline, use_engine=args.engine)
+        resilience = None
+        wants_resilience = (args.deadline_ms is not None
+                            or args.shed_watermark is not None
+                            or args.supervise
+                            or args.degraded_fallback)
+        if wants_resilience:
+            supervise = args.supervise
+            if supervise is None:
+                supervise = args.engine  # default on with the engine
+            resilience = ResilienceConfig(
+                default_deadline_ms=args.deadline_ms,
+                shed_watermark_tokens=args.shed_watermark,
+                supervise=bool(supervise and args.engine),
+                max_restarts=args.max_restarts,
+                degraded_fallback=args.degraded_fallback)
+        app = create_backend(pipeline, use_engine=args.engine,
+                             resilience=resilience)
     else:
         app = create_frontend(args.backend_url)
     return Server(app, host=args.host, port=args.port)

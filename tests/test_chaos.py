@@ -1,0 +1,218 @@
+"""Chaos suite: under any seeded fault schedule, nothing ever hangs.
+
+Every test here installs a :class:`FaultInjector` against one (or all)
+of the named failure points and asserts the liveness contract: every
+request terminates — with a result, a named error, or a deadline — and
+the system keeps serving (or degrades loudly) afterwards.
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import GenerationConfig
+from repro.models.lstm import LSTMConfig, LSTMLanguageModel
+from repro.obs import MetricsRegistry
+from repro.resilience import (FAULT_POINTS, EngineSupervisor, FaultInjector,
+                              FaultSpec, InjectedFault, inject_faults)
+from repro.serving import (DeadlineExceededError, EngineCrashedError,
+                           EngineStoppedError, InferenceEngine)
+from repro.resilience.supervisor import EngineUnavailableError
+from repro.webapp import JobQueue, JobStatus
+
+pytestmark = pytest.mark.chaos
+
+CONFIG = GenerationConfig(max_new_tokens=4, seed=0)
+
+#: Every way a request is allowed to terminate under chaos.  Anything
+#: else — and in particular a hang — is a bug.
+TERMINAL_ERRORS = (InjectedFault, EngineCrashedError, EngineStoppedError,
+                   EngineUnavailableError, DeadlineExceededError,
+                   TimeoutError)
+
+
+def _model():
+    return LSTMLanguageModel(LSTMConfig(vocab_size=16, d_embed=4, d_hidden=8,
+                                        num_layers=1, dropout=0.0))
+
+
+class TestEveryNamedPoint:
+    def test_model_forward_fails_requests_not_engine(self):
+        model = _model()
+        engine = InferenceEngine(model)
+        try:
+            injector = FaultInjector(
+                {"model.forward": FaultSpec(schedule={0})})
+            with inject_faults(injector):
+                handle = engine.submit([1, 2, 3], CONFIG)
+                with pytest.raises((InjectedFault, EngineCrashedError)):
+                    handle.result(timeout=10)
+            # The engine survived a step-level fault and still serves.
+            assert engine.crashed is None
+            assert len(engine.generate([1, 2, 3], CONFIG)) == 4
+        finally:
+            engine.stop()
+
+    def test_prefix_cache_get_crashes_engine_but_resolves_requests(self):
+        model = _model()
+        engine = InferenceEngine(model)
+        try:
+            injector = FaultInjector(
+                {"prefix_cache.get": FaultSpec(schedule={0})})
+            with inject_faults(injector):
+                handle = engine.submit([1, 2, 3], CONFIG)
+                with pytest.raises(EngineCrashedError):
+                    handle.result(timeout=10)
+            assert engine.crashed is not None
+            with pytest.raises(EngineCrashedError):
+                engine.submit([1, 2], CONFIG)
+        finally:
+            engine.stop()
+
+    def test_jobs_worker_fault_fails_job_named(self):
+        registry = MetricsRegistry()
+        jobs = JobQueue(workers=1, max_pending=4, registry=registry)
+        try:
+            injector = FaultInjector(
+                {"jobs.worker": FaultSpec(schedule={0})})
+            with inject_faults(injector):
+                doomed = jobs.submit(lambda: "never")
+                survivor = jobs.submit(lambda: "ran")
+                failed = jobs.wait(doomed, timeout=10)
+                done = jobs.wait(survivor, timeout=10)
+            assert failed.status is JobStatus.FAILED
+            assert "InjectedFault" in failed.error
+            assert done.status is JobStatus.DONE and done.result == "ran"
+        finally:
+            jobs.shutdown()
+
+    def test_framework_write_releases_engine_slot(self):
+        # A client disconnect mid-stream (simulated at the write path)
+        # must cancel the engine request — the slot frees, the next
+        # request decodes, nothing leaks.
+        pipeline = _tiny_pipeline()
+        from repro.webapp import (RatatouilleClient, Server, StreamInterrupted,
+                                  create_backend)
+        registry = MetricsRegistry()
+        app = create_backend(pipeline, registry=registry)
+        try:
+            injector = FaultInjector(
+                {"framework.write": FaultSpec(schedule={2})})
+            with Server(app) as server, inject_faults(injector):
+                client = RatatouilleClient(server.url, timeout=30,
+                                           retry=None)
+                with pytest.raises(StreamInterrupted) as excinfo:
+                    for _ in client.generate_stream(["garlic", "onion"],
+                                                    max_new_tokens=30,
+                                                    seed=1):
+                        pass
+                # tokens received before the cut are surfaced, typed.
+                assert len(excinfo.value.tokens) >= 1
+                # The slot is free: a fresh request completes normally.
+                recipe = client.generate(["garlic"], max_new_tokens=8)
+                assert "title" in recipe
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                stats = app.engine.stats()
+                if (stats["active_sequences"] == 0
+                        and stats["queue_depth"] == 0):
+                    break
+                time.sleep(0.02)
+            assert stats["active_sequences"] == 0
+            assert stats["queue_depth"] == 0
+        finally:
+            app.engine.stop()
+
+    def test_all_points_are_exercised_by_this_suite(self):
+        # Guard: a new fault point must come with chaos coverage.
+        assert set(FAULT_POINTS) == {"model.forward", "prefix_cache.get",
+                                     "jobs.worker", "framework.write"}
+
+
+_PIPELINE = None
+
+
+def _tiny_pipeline():
+    """One tiny trained pipeline shared across chaos tests (slow to build)."""
+    global _PIPELINE
+    if _PIPELINE is None:
+        from repro.core import PipelineConfig, Ratatouille
+        from repro.training import TrainingConfig
+        config = PipelineConfig(
+            model_name="word-lstm",
+            training=TrainingConfig(max_steps=5, batch_size=4,
+                                    eval_every=10**9))
+        _PIPELINE = Ratatouille.quickstart(model_name="word-lstm",
+                                           num_recipes=30, seed=0,
+                                           config=config)
+    return _PIPELINE
+
+
+@pytest.mark.property
+class TestChaosProperty:
+    @given(seed=st.integers(0, 2**16),
+           forward_rate=st.floats(0.0, 0.4),
+           cache_schedule=st.frozensets(st.integers(0, 8), max_size=2),
+           delay_ms=st.integers(0, 3))
+    @settings(max_examples=8, deadline=None)
+    def test_concurrent_requests_all_terminate(self, seed, forward_rate,
+                                               cache_schedule, delay_ms):
+        """Liveness under arbitrary seeded fault plans.
+
+        N concurrent requests against a supervised engine, with faults
+        at both the survivable point (``model.forward``) and the
+        crash point (``prefix_cache.get``): every request resolves
+        within the timeout bound, and restarts never exceed the cap.
+        """
+        model = _model()
+        registry = MetricsRegistry()
+        plan = {
+            "model.forward": FaultSpec(rate=forward_rate,
+                                       delay_seconds=delay_ms / 1e3),
+            "prefix_cache.get": FaultSpec(schedule=cache_schedule,
+                                          max_faults=2),
+        }
+        injector = FaultInjector(plan, seed=seed)
+        max_restarts = 3
+
+        def factory():
+            return InferenceEngine(model, registry=registry)
+
+        sup = EngineSupervisor(factory, max_restarts=max_restarts,
+                               backoff_seconds=0.002, poll_seconds=0.002,
+                               registry=registry)
+        outcomes = []
+        lock = threading.Lock()
+
+        def one_request(i):
+            config = GenerationConfig(max_new_tokens=3 + i % 3, seed=i)
+            try:
+                handle = sup.submit([1 + i % 5, 2, 3], config,
+                                    deadline_ms=30_000.0)
+                result = handle.result(timeout=30)
+                outcome = ("ok", len(result))
+            except TERMINAL_ERRORS as exc:
+                outcome = ("error", type(exc).__name__)
+            with lock:
+                outcomes.append(outcome)
+
+        try:
+            with inject_faults(injector):
+                threads = [threading.Thread(target=one_request, args=(i,))
+                           for i in range(6)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=60)
+                # The liveness bound: every worker thread came back.
+                assert not any(t.is_alive() for t in threads), \
+                    "a request hung under fault injection"
+        finally:
+            sup.stop()
+        assert len(outcomes) == 6
+        assert sup.restarts <= max_restarts
+        # Nothing timed out: "terminate" means resolve, not give up.
+        assert ("error", "TimeoutError") not in outcomes

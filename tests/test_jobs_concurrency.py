@@ -157,6 +157,39 @@ class TestShutdown:
         queue.shutdown()
         queue.shutdown()
 
+    def test_shutdown_fails_pending_jobs_named(self, registry):
+        # Regression: pending jobs used to stay PENDING forever after
+        # shutdown — a client polling GET /api/job would never learn
+        # its fate.  They must resolve FAILED with the named error.
+        from repro.webapp.jobs import SHUTDOWN_ERROR
+
+        queue = JobQueue(workers=1, max_pending=8, registry=registry)
+        gate = _Gate()
+        running = queue.submit(gate)
+        gate.entered.wait(timeout=5)
+        pending = [queue.submit(lambda: "never") for _ in range(3)]
+        queue.shutdown()
+        gate.release.set()
+        for job_id in pending:
+            job = queue.wait(job_id, timeout=5)
+            assert job.status is JobStatus.FAILED
+            assert job.error == SHUTDOWN_ERROR
+            assert job.finished_at is not None
+        # The job that was already running still completed.
+        assert queue.wait(running, timeout=5).status is JobStatus.DONE
+        failed = registry.counter("jobs_completed_total").labels(
+            status="failed").value
+        assert failed == 3
+
+    def test_shutdown_wakes_every_worker_with_tiny_queue(self, registry):
+        # More workers than queue slots: shutdown can only fit one
+        # sentinel, so exiting workers must re-post it for the rest.
+        queue = JobQueue(workers=4, max_pending=1, registry=registry)
+        queue.shutdown()
+        for thread in queue._threads:
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+
 
 class TestBurstConsistency:
     def test_counters_consistent_after_burst(self, registry):

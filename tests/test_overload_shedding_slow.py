@@ -1,0 +1,23 @@
+"""Overload-shedding gate for admission control (slow tier).
+
+Runs ``benchmarks/run_overload_shedding.py`` — at 4x offered load the
+admission gate must shed traffic while keeping the p99 latency of
+admitted requests within 2x of the uncontended p99.  Excluded from the
+tier-1 default run; invoke with ``pytest -m slow``.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+
+import run_overload_shedding  # noqa: E402
+
+
+def test_admission_clears_overload_gate():
+    assert run_overload_shedding.main([]) == 0
