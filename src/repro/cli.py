@@ -108,6 +108,16 @@ def build_parser() -> argparse.ArgumentParser:
                        action=argparse.BooleanOptionalAction, default=False,
                        help="serve sequential degraded responses while the "
                             "engine is down")
+    serve.add_argument("--speculative",
+                       action=argparse.BooleanOptionalAction, default=False,
+                       help="speculative decoding: an n-gram draft proposes "
+                            "tokens the model verifies in one batched "
+                            "forward (greedy output is unchanged)")
+    serve.add_argument("--speculative-k", type=int, default=4,
+                       help="draft tokens per verify step (with "
+                            "--speculative)")
+    serve.add_argument("--draft-order", type=int, default=3,
+                       help="n-gram order of the speculative draft")
 
     metrics = sub.add_parser(
         "metrics", help="inspect observability metrics")
@@ -229,6 +239,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         argv += ["--supervise" if args.supervise else "--no-supervise"]
     if args.degraded_fallback:
         argv += ["--degraded-fallback"]
+    if args.speculative:
+        argv += ["--speculative",
+                 "--speculative-k", str(args.speculative_k),
+                 "--draft-order", str(args.draft_order)]
     from .webapp.serve import build_server
     server = build_server(argv)
     server.start()

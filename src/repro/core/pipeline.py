@@ -104,6 +104,28 @@ class Ratatouille:
         texts, _ = PreprocessingPipeline(config.preprocess).run(recipes)
         return cls.from_texts(texts, config=config)
 
+    def build_draft(self, order: int = 3,
+                    num_recipes: Optional[int] = None,
+                    seed: Optional[int] = None) -> "NGramDraft":
+        """Fit an n-gram draft model for speculative decoding.
+
+        Regenerates the training corpus from the pipeline's recorded
+        ``num_recipes``/``corpus_seed`` (so the draft sees the same
+        distribution the target model was trained on), preprocesses it
+        with the same pipeline, tokenizes with this pipeline's
+        tokenizer, and counts n-grams.  Cheap — one counting pass, a
+        few seconds even for large corpora.
+        """
+        from ..models.speculative import NGramDraft
+
+        recipes = generate_corpus(
+            num_recipes if num_recipes is not None else self.config.num_recipes,
+            seed=seed if seed is not None else self.config.corpus_seed)
+        texts, _ = PreprocessingPipeline(self.config.preprocess).run(recipes)
+        sequences = [self.tokenizer.encode(text) for text in texts]
+        return NGramDraft.fit(sequences, self.tokenizer.vocab_size,
+                              order=order)
+
     # ------------------------------------------------------------------
     # Generation (the web app backend operation)
     # ------------------------------------------------------------------

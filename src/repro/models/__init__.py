@@ -11,24 +11,30 @@ decoding strategies in :mod:`repro.models.generation`.
 
 from .base import LanguageModel
 from .generation import (PREFILL_CHUNK, ChecklistBonus, GenerationConfig,
-                         LogitsProcessor, RepetitionPenalty, build_processors,
-                         generate, prefill_prompt, select_next_token)
+                         LogitsProcessor, RepetitionPenalty, SpecWalkOutcome,
+                         build_processors, draft_context, generate,
+                         prefill_prompt, sampling_distribution,
+                         select_next_token, speculative_walk)
 from .gpt2 import GPT2Config, GPT2Model, GPT2State, distilgpt2, gpt2_medium
 from .gpt_neo import GPTNeoConfig, GPTNeoModel, gpt_neo_small
 from .lstm import LSTMConfig, LSTMLanguageModel, char_lstm, word_lstm
 from .ngram import NGramLanguageModel
+from .speculative import (DraftModel, NGramDraft, SpeculativeMetrics,
+                          resolve_draft)
 from .inspection import (attention_maps, render_attention_ascii, surprisal,
                          top_next_tokens)
 from .summary import group_by_top_level, memory_megabytes, summarize
 
 __all__ = [
-    "ChecklistBonus", "GenerationConfig", "GPT2Config", "GPT2Model",
-    "GPT2State", "GPTNeoConfig", "GPTNeoModel", "LanguageModel",
-    "LogitsProcessor", "LSTMConfig", "LSTMLanguageModel",
-    "NGramLanguageModel", "PREFILL_CHUNK", "RepetitionPenalty",
+    "ChecklistBonus", "DraftModel", "GenerationConfig", "GPT2Config",
+    "GPT2Model", "GPT2State", "GPTNeoConfig", "GPTNeoModel",
+    "LanguageModel", "LogitsProcessor", "LSTMConfig", "LSTMLanguageModel",
+    "NGramDraft", "NGramLanguageModel", "PREFILL_CHUNK",
+    "RepetitionPenalty", "SpecWalkOutcome", "SpeculativeMetrics",
     "attention_maps", "build_processors", "char_lstm", "distilgpt2",
-    "generate", "prefill_prompt", "render_attention_ascii",
-    "select_next_token", "surprisal", "top_next_tokens",
-    "group_by_top_level", "memory_megabytes", "summarize",
-    "gpt2_medium", "gpt_neo_small", "word_lstm",
+    "draft_context", "generate", "prefill_prompt",
+    "render_attention_ascii", "resolve_draft", "sampling_distribution",
+    "select_next_token", "speculative_walk", "surprisal",
+    "top_next_tokens", "group_by_top_level", "memory_megabytes",
+    "summarize", "gpt2_medium", "gpt_neo_small", "word_lstm",
 ]

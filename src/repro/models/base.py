@@ -110,6 +110,40 @@ class LanguageModel(Module):
             logits, state = self.next_logits(np.array([token]), state)
         return logits, state
 
+    def verify_chunk(self, ids: np.ndarray,
+                     state: Any) -> Tuple[np.ndarray, List[Any]]:
+        """Decode a ``(batch, steps)`` chunk of *known* tokens exactly.
+
+        The speculative-decoding verify step: every row's logits at
+        every step must be **bit-identical** to walking
+        :meth:`next_logits` one token at a time, because speculative
+        greedy decode is contractually bit-identical to the sequential
+        decode loop (``docs/SERVING.md``).
+
+        Returns ``(logits, states)`` where ``logits`` is ``(batch,
+        steps, vocab)`` (``logits[:, t]`` scores the token *after*
+        chunk token ``t``) and ``states[t]`` is the decoding state
+        after consuming chunk tokens ``0..t`` — callers resume from
+        ``states[a]`` when they accept ``a + 1`` chunk tokens and
+        discard the rest.  Only one returned state may be resumed;
+        the others are invalidated by that resume (they may share
+        buffers).
+
+        The default walks :meth:`next_logits`, which is exact for
+        every model but amortizes nothing; transformers override it
+        with a batched pass built from per-slice matmuls.
+        """
+        ids = np.asarray(ids)
+        if ids.ndim != 2 or ids.shape[1] == 0:
+            raise ValueError("verify_chunk expects (batch, steps) ids")
+        logits_steps: List[np.ndarray] = []
+        states: List[Any] = []
+        for t in range(ids.shape[1]):
+            logits, state = self.next_logits(ids[:, t], state)
+            logits_steps.append(logits)
+            states.append(self.snapshot_state(state))
+        return np.stack(logits_steps, axis=1), states
+
     def prefill_stacked(self, ids: np.ndarray,
                         state: Any) -> Tuple[np.ndarray, Any]:
         """Prefill one ``(batch, chunk)`` of prompt tokens batched.

@@ -10,6 +10,7 @@ related work).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -18,6 +19,7 @@ import numpy as np
 from ..nn import no_grad
 from ..obs import MetricsRegistry, Span, Tracer, get_registry, get_tracer
 from .base import LanguageModel
+from .speculative import DraftModel, SpeculativeMetrics
 
 
 class _GenerationMetrics:
@@ -74,6 +76,15 @@ class GenerationConfig:
     repetition_penalty: float = 1.0
     stop_token_id: Optional[int] = None
     seed: int = 0
+    #: Draft tokens proposed per speculative verify step; 0 disables
+    #: speculative decoding.  Ignored by beam search.
+    speculative_k: int = 0
+    #: Draft model for speculative decoding: a
+    #: :class:`~repro.models.speculative.DraftModel` instance, or a
+    #: spec string (``"ngram"`` / ``"ngram:<order>"``) that the
+    #: serving layer resolves against its training corpus.  ``None``
+    #: means "use the caller's / engine's default draft".
+    draft: Optional[object] = None
 
     def validate(self) -> None:
         if self.strategy not in ("greedy", "sample", "beam"):
@@ -92,6 +103,11 @@ class GenerationConfig:
             raise ValueError("length_penalty must be in [0, 2]")
         if self.repetition_penalty < 1.0:
             raise ValueError("repetition_penalty must be >= 1.0")
+        if not 0 <= self.speculative_k <= 64:
+            raise ValueError("speculative_k must be in [0, 64]")
+        if self.draft is not None and not isinstance(self.draft,
+                                                     (DraftModel, str)):
+            raise ValueError("draft must be a DraftModel or a spec string")
 
 
 class LogitsProcessor:
@@ -102,21 +118,45 @@ class LogitsProcessor:
 
 
 class RepetitionPenalty(LogitsProcessor):
-    """CTRL-style penalty: dampen logits of already-generated tokens."""
+    """CTRL-style penalty: dampen logits of already-generated tokens.
+
+    The seen-token index array is maintained incrementally: each call
+    consumes only the history suffix the previous call has not seen,
+    so the per-step cost is O(new tokens) instead of re-uniquing the
+    whole history.  One instance therefore assumes the histories it is
+    shown grow monotonically (the decode loops construct a fresh
+    processor chain per request, which guarantees that); a shorter
+    history resets the cache.
+    """
 
     def __init__(self, penalty: float) -> None:
         if penalty < 1.0:
             raise ValueError("penalty must be >= 1.0")
         self.penalty = penalty
+        self._mask: Optional[np.ndarray] = None
+        self._seen: Optional[np.ndarray] = None
+        self._consumed = 0
 
     def __call__(self, logits: np.ndarray, generated: List[int]) -> np.ndarray:
         if self.penalty == 1.0 or not generated:
             return logits
+        if (self._mask is None or self._mask.shape[0] != logits.shape[0]
+                or len(generated) < self._consumed):
+            self._mask = np.zeros(logits.shape[0], dtype=bool)
+            self._seen = None
+            self._consumed = 0
+        if len(generated) > self._consumed:
+            self._mask[np.asarray(generated[self._consumed:],
+                                  dtype=np.intp)] = True
+            self._seen = None
+            self._consumed = len(generated)
+        if self._seen is None:
+            # flatnonzero(mask) == np.unique(generated): sorted, deduped
+            self._seen = np.flatnonzero(self._mask)
         logits = logits.copy()
-        seen = np.unique(np.asarray(generated))
-        values = logits[seen]
-        logits[seen] = np.where(values > 0, values / self.penalty,
-                                values * self.penalty)
+        values = logits[self._seen]
+        logits[self._seen] = np.where(values > 0, values / self.penalty,
+                                      values * self.penalty)
         return logits
 
 
@@ -134,6 +174,18 @@ class ChecklistBonus(LogitsProcessor):
         self.ingredient_token_ids = [list(ids) for ids in ingredient_token_ids]
         self.bonus = bonus
         self._done = [False] * len(self.ingredient_token_ids)
+        # token id -> indices of ingredients containing it, for O(new
+        # tokens) incremental check-off instead of a per-call scan of
+        # every pending ingredient's token list.
+        self._by_token: dict = {}
+        for index, token_ids in enumerate(self.ingredient_token_ids):
+            for token in token_ids:
+                self._by_token.setdefault(token, []).append(index)
+        self._arrays = [np.asarray(ids, dtype=np.intp)
+                        for ids in self.ingredient_token_ids]
+        self._consumed = 0
+        self._bonus_idx: Optional[np.ndarray] = None
+        self._bonus_vocab = -1
 
     @property
     def coverage(self) -> float:
@@ -143,50 +195,110 @@ class ChecklistBonus(LogitsProcessor):
         return sum(self._done) / len(self._done)
 
     def __call__(self, logits: np.ndarray, generated: List[int]) -> np.ndarray:
-        generated_set = set(generated)
+        if len(generated) < self._consumed:
+            self._consumed = 0  # history shrank: re-consume from scratch
+        for token in generated[self._consumed:]:
+            for index in self._by_token.get(token, ()):
+                if not self._done[index]:
+                    self._done[index] = True
+                    self._bonus_idx = None
+        self._consumed = len(generated)
+        vocab = logits.shape[0]
+        if self._bonus_idx is None or self._bonus_vocab != vocab:
+            pending = [arr for index, arr in enumerate(self._arrays)
+                       if not self._done[index]]
+            idx = (np.concatenate(pending) if pending
+                   else np.empty(0, dtype=np.intp))
+            # Duplicate ids (within or across ingredients) stay
+            # duplicated: np.add.at then applies the bonus once per
+            # occurrence, matching the original per-token loop.
+            self._bonus_idx = idx[(idx >= 0) & (idx < vocab)]
+            self._bonus_vocab = vocab
         logits = logits.copy()
-        for index, token_ids in enumerate(self.ingredient_token_ids):
-            if self._done[index]:
-                continue
-            if any(t in generated_set for t in token_ids):
-                self._done[index] = True
-                continue
-            for token in token_ids:
-                if 0 <= token < logits.shape[0]:
-                    logits[token] += self.bonus
+        if self._bonus_idx.size:
+            np.add.at(logits, self._bonus_idx, self.bonus)
         return logits
 
 
-def _filter_top_k(logits: np.ndarray, k: int) -> np.ndarray:
+class _DecodeWorkspace:
+    """Reusable per-thread scratch buffers for one vocab size.
+
+    The sampling filters and softmax in the decode hot loop otherwise
+    allocate several vocab-sized float64 arrays per emitted token.
+    Buffers are float64 (the dtype ``select_next_token`` promotes
+    scores to); all operations write the same values the allocating
+    versions produced, so reuse changes nothing bitwise.
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.softmax = np.empty(size, dtype=np.float64)
+        self.top_k = np.empty(size, dtype=np.float64)
+        self.top_p = np.empty(size, dtype=np.float64)
+        self.sorted = np.empty(size, dtype=np.float64)
+        self.cumsum = np.empty(size, dtype=np.float64)
+
+
+_workspaces = threading.local()
+
+
+def _workspace(size: int) -> _DecodeWorkspace:
+    ws = getattr(_workspaces, "ws", None)
+    if ws is None or ws.size != size:
+        ws = _DecodeWorkspace(size)
+        _workspaces.ws = ws
+    return ws
+
+
+def _filter_top_k(logits: np.ndarray, k: int,
+                  ws: Optional[_DecodeWorkspace] = None) -> np.ndarray:
     if k <= 0 or k >= logits.shape[0]:
         return logits
     # Keep exactly k by index (not by threshold) so tied logits cannot
     # leak extra candidates past the cap.
     keep = np.argpartition(logits, -k)[-k:]
-    filtered = np.full_like(logits, -np.inf)
+    if ws is None:
+        filtered = np.full_like(logits, -np.inf)
+    else:
+        filtered = ws.top_k
+        filtered.fill(-np.inf)
     filtered[keep] = logits[keep]
     return filtered
 
 
-def _filter_top_p(logits: np.ndarray, p: float) -> np.ndarray:
+def _filter_top_p(logits: np.ndarray, p: float,
+                  ws: Optional[_DecodeWorkspace] = None) -> np.ndarray:
     if p >= 1.0:
         return logits
     order = np.argsort(logits)[::-1]
-    sorted_logits = logits[order]
-    probs = _softmax(sorted_logits)
-    cumulative = np.cumsum(probs)
+    if ws is None:
+        sorted_logits = logits[order]
+    else:
+        sorted_logits = np.take(logits, order, out=ws.sorted)
+    probs = _softmax(sorted_logits, out=None if ws is None else ws.softmax)
+    cumulative = np.cumsum(probs, out=None if ws is None else ws.cumsum)
     # Keep the smallest prefix whose mass reaches p (always >= 1 token).
     cutoff = int(np.searchsorted(cumulative, p) + 1)
-    filtered = np.full_like(logits, -np.inf)
+    if ws is None:
+        filtered = np.full_like(logits, -np.inf)
+    else:
+        filtered = ws.top_p
+        filtered.fill(-np.inf)
     keep = order[:cutoff]
     filtered[keep] = logits[keep]
     return filtered
 
 
-def _softmax(logits: np.ndarray) -> np.ndarray:
-    shifted = logits - logits.max()
-    exp = np.exp(shifted)
-    return exp / exp.sum()
+def _softmax(logits: np.ndarray,
+             out: Optional[np.ndarray] = None) -> np.ndarray:
+    if out is None:
+        shifted = logits - logits.max()
+        exp = np.exp(shifted)
+        return exp / exp.sum()
+    np.subtract(logits, logits.max(), out=out)
+    np.exp(out, out=out)
+    out /= out.sum()
+    return out
 
 
 #: Default prompt-chunk size for :func:`prefill_prompt`.  A tuning
@@ -241,32 +353,165 @@ def build_processors(config: GenerationConfig,
     return all_processors
 
 
+def _processed_scores(logits: np.ndarray, generated: List[int],
+                      processors: Sequence[LogitsProcessor]) -> np.ndarray:
+    scores = logits.astype(np.float64)
+    for processor in processors:
+        scores = processor(scores, generated)
+    return scores
+
+
+def sampling_distribution(logits: np.ndarray, generated: List[int],
+                          config: GenerationConfig,
+                          processors: Sequence[LogitsProcessor]
+                          ) -> np.ndarray:
+    """The exact distribution ``strategy="sample"`` draws from.
+
+    Processors, temperature, top-k/top-p filters, softmax — the same
+    operations in the same order as :func:`select_next_token`'s
+    sampled branch, so speculative rejection sampling targets exactly
+    the sequential loop's distribution.  The returned array may alias
+    a per-thread workspace buffer: consume it before the next call on
+    the same thread.
+    """
+    ws = _workspace(logits.shape[0])
+    scores = _processed_scores(logits, generated, processors)
+    scores = scores / config.temperature
+    scores = _filter_top_k(scores, config.top_k, ws)
+    scores = _filter_top_p(scores, config.top_p, ws)
+    return _softmax(scores, out=ws.softmax)
+
+
 def select_next_token(logits: np.ndarray, generated: List[int],
                       config: GenerationConfig,
                       processors: Sequence[LogitsProcessor],
                       rng: np.random.Generator) -> int:
     """One decode decision: processors, filters, then greedy/sampled pick.
 
-    Shared by the sequential loop below and the serving engine's
-    batched loop, so both make bit-identical choices from identical
-    logits (the engine's batched == sequential equality contract).
+    Shared by the sequential loop below, the speculative walk, and the
+    serving engine's batched loop, so all make bit-identical choices
+    from identical logits (the engine's batched == sequential equality
+    contract).
     """
-    scores = logits.astype(np.float64)
-    for processor in processors:
-        scores = processor(scores, generated)
     if config.strategy == "greedy":
-        return int(scores.argmax())
-    scores = scores / config.temperature
-    scores = _filter_top_k(scores, config.top_k)
-    scores = _filter_top_p(scores, config.top_p)
-    return int(rng.choice(scores.shape[0], p=_softmax(scores)))
+        return int(_processed_scores(logits, generated, processors).argmax())
+    probs = sampling_distribution(logits, generated, config, processors)
+    return int(rng.choice(probs.shape[0], p=probs))
+
+
+@dataclass
+class SpecWalkOutcome:
+    """Result of one speculative acceptance walk.
+
+    ``accepted`` counts proposal tokens the target agreed with — it is
+    also the index into ``verify_chunk``'s ``states`` list to resume
+    from.  ``emitted`` counts tokens appended to the history this walk
+    (accepted + the correction or bonus token).  ``done`` means the
+    walk emitted the stop token or exhausted ``max_new_tokens``.
+    """
+
+    accepted: int
+    emitted: int
+    done: bool
+
+
+def speculative_walk(chunk_logits: np.ndarray, proposals: Sequence[int],
+                     draft_dists: Optional[np.ndarray], generated: List[int],
+                     config: GenerationConfig,
+                     processors: Sequence[LogitsProcessor],
+                     rng: np.random.Generator,
+                     on_token=None) -> SpecWalkOutcome:
+    """Accept/reject one verified proposal, emitting into ``generated``.
+
+    ``chunk_logits`` is ``(len(proposals) + 1, vocab)`` — the target's
+    logits for the chunk ``[pending] + proposals`` where ``pending``
+    is the previously emitted, not-yet-verified token: row ``i`` is
+    the distribution the sequential loop would see when choosing the
+    token at proposal position ``i``, and the final row yields the
+    bonus token when every proposal is accepted.
+
+    Greedy decode re-derives each position's argmax via
+    :func:`select_next_token`, so the emitted sequence is bit-identical
+    to the sequential loop (mismatches merely end the walk early with
+    the sequential loop's token as the correction).  Sampled decode
+    uses distribution-preserving rejection sampling: accept proposal
+    ``t`` with probability ``min(1, p(t) / q(t))`` against the draft
+    distribution ``q`` (``draft_dists[i]``), else resample from the
+    normalized residual ``max(p - q, 0)`` — each emitted token is an
+    exact sample from ``p``, though the rng stream differs from the
+    sequential loop's.
+
+    Stateful processors observe exactly one call per emitted position,
+    in order, with the same histories as sequential decode.
+    """
+    emitted = 0
+    accepted = 0
+    greedy = config.strategy == "greedy"
+
+    def emit(token: int) -> bool:
+        nonlocal emitted
+        generated.append(token)
+        emitted += 1
+        if on_token is not None:
+            on_token(token)
+        if config.stop_token_id is not None and token == config.stop_token_id:
+            return True
+        return len(generated) >= config.max_new_tokens
+
+    for i in range(len(proposals)):
+        proposal = int(proposals[i])
+        if greedy:
+            choice = select_next_token(chunk_logits[i], generated, config,
+                                       processors, rng)
+            accept = choice == proposal
+        else:
+            probs = sampling_distribution(chunk_logits[i], generated, config,
+                                          processors)
+            q = draft_dists[i]
+            q_prob = float(q[proposal])
+            accept = (q_prob > 0.0
+                      and rng.random() * q_prob < float(probs[proposal]))
+            if accept:
+                choice = proposal
+            else:
+                residual = np.maximum(probs - q, 0.0)
+                total = residual.sum()
+                if total > 0.0:
+                    choice = int(rng.choice(residual.shape[0],
+                                            p=residual / total))
+                else:
+                    # p <= q everywhere (p == q up to rounding): any
+                    # draw from p is valid.
+                    choice = int(rng.choice(probs.shape[0], p=probs))
+        if accept:
+            accepted += 1
+        if emit(choice):
+            return SpecWalkOutcome(accepted, emitted, True)
+        if not accept:
+            return SpecWalkOutcome(accepted, emitted, False)
+    # Every proposal accepted: the last row is a free extra token.
+    choice = select_next_token(chunk_logits[-1], generated, config,
+                               processors, rng)
+    done = emit(choice)
+    return SpecWalkOutcome(accepted, emitted, done)
+
+
+def draft_context(draft: DraftModel, prompt_ids: Sequence[int],
+                  generated: List[int]) -> List[int]:
+    """The history suffix ``draft`` wants, without copying the rest."""
+    window = draft.context_window
+    if window is not None and len(generated) >= window:
+        return generated[-window:]
+    history = list(prompt_ids) + generated
+    return history if window is None else history[-window:]
 
 
 def generate(model: LanguageModel, prompt_ids: Sequence[int],
              config: Optional[GenerationConfig] = None,
              processors: Sequence[LogitsProcessor] = (),
              registry: Optional[MetricsRegistry] = None,
-             tracer: Optional[Tracer] = None) -> List[int]:
+             tracer: Optional[Tracer] = None,
+             draft: Optional[DraftModel] = None) -> List[int]:
     """Generate a continuation of ``prompt_ids``; returns new ids only.
 
     Records request/token metrics into ``registry`` and a
@@ -274,6 +519,17 @@ def generate(model: LanguageModel, prompt_ids: Sequence[int],
     (both default to the process-wide instances; pass
     :class:`~repro.obs.NullRegistry` / :class:`~repro.obs.NullTracer`
     to disable recording).
+
+    When ``config.speculative_k > 0`` and a draft model is available
+    (the ``draft`` argument, or a
+    :class:`~repro.models.speculative.DraftModel` in ``config.draft``),
+    greedy and sampled decode take the speculative fast path: the
+    draft proposes ``speculative_k`` tokens per step and the model
+    verifies them in one batched forward.  Greedy output is
+    bit-identical to the sequential loop; sampled output follows the
+    same distribution but a different rng stream.  A ``config.draft``
+    spec *string* is not resolved here (only the serving layer has a
+    corpus to fit it on) and falls back to sequential decode.
     """
     config = config or GenerationConfig()
     config.validate()
@@ -287,8 +543,15 @@ def generate(model: LanguageModel, prompt_ids: Sequence[int],
             generated = _beam_search(model, prompt_ids, config, metrics,
                                      tracer)
         else:
-            generated = _sample_loop(model, prompt_ids, config, processors,
-                                     metrics, tracer)
+            draft_model = draft if draft is not None else config.draft
+            if (config.speculative_k > 0
+                    and isinstance(draft_model, DraftModel)):
+                generated = _speculative_loop(model, prompt_ids, config,
+                                              processors, metrics, tracer,
+                                              draft_model, registry)
+            else:
+                generated = _sample_loop(model, prompt_ids, config,
+                                         processors, metrics, tracer)
     metrics.finish(len(generated), metrics.clock.now() - start)
     return generated
 
@@ -329,6 +592,92 @@ def _sample_loop(model: LanguageModel, prompt_ids: Sequence[int],
         decode_node.children.extend(
             Span(name="token", start=s, end=e) for s, e in token_bounds)
     metrics.token_seconds.observe_many([e - s for s, e in token_bounds])
+    return generated
+
+
+def _speculative_loop(model: LanguageModel, prompt_ids: Sequence[int],
+                      config: GenerationConfig,
+                      processors: Sequence[LogitsProcessor],
+                      metrics: _GenerationMetrics, tracer: Tracer,
+                      draft: DraftModel,
+                      registry: MetricsRegistry) -> List[int]:
+    """Draft-and-verify decode loop (standalone, batch of one).
+
+    Invariant between iterations: ``generated[-1]`` has been emitted
+    but not yet fed to the model — ``state`` covers the prompt plus
+    ``generated[:-1]``.  Each iteration verifies the chunk
+    ``[generated[-1]] + proposals`` in one
+    :meth:`~repro.models.base.LanguageModel.verify_chunk` call, walks
+    the acceptances, and resumes from the state at the last accepted
+    position.  If the chunk cannot fit (context window exhausted) the
+    loop permanently falls back to plain per-token stepping, which is
+    the sequential loop verbatim.
+    """
+    rng = np.random.default_rng(config.seed)
+    sampled = config.strategy == "sample"
+    spec_metrics = SpeculativeMetrics(registry, "generate")
+    with tracer.span("prefill", tokens=len(prompt_ids)):
+        batch_logits, state = prefill_prompt(model, prompt_ids)
+        logits = batch_logits[0]
+    generated: List[int] = []
+    all_processors = build_processors(config, processors)
+    prompt_list = list(prompt_ids)
+    now = metrics.clock.now
+    token_seconds: List[float] = []
+
+    with tracer.span("decode"):
+        # First token comes from the prompt logits, exactly as in the
+        # sequential loop.
+        step_start = now()
+        token = select_next_token(logits, generated, config, all_processors,
+                                  rng)
+        generated.append(token)
+        token_seconds.append(now() - step_start)
+        done = ((config.stop_token_id is not None
+                 and token == config.stop_token_id)
+                or len(generated) >= config.max_new_tokens)
+        spec_enabled = True
+        while not done:
+            step_start = now()
+            remaining = config.max_new_tokens - len(generated)
+            k = min(config.speculative_k, remaining - 1) if remaining > 1 else 0
+            dists = None
+            if spec_enabled and k > 0:
+                context = draft_context(draft, prompt_list, generated)
+                if sampled:
+                    proposals, dists = draft.propose_sampled(context, k, rng)
+                else:
+                    proposals = draft.propose(context, k)
+            else:
+                proposals = []
+            chunk = np.asarray([[generated[-1]] + list(proposals)])
+            try:
+                chunk_logits, states = model.verify_chunk(chunk, state)
+            except ValueError:
+                # Chunk no longer fits the model's context window; the
+                # sequential path handles that (sliding window), so
+                # finish the request exactly as sequential decode would.
+                spec_enabled = False
+                batch_logits, state = model.next_logits(
+                    np.array([generated[-1]]), state)
+                token = select_next_token(batch_logits[0], generated, config,
+                                          all_processors, rng)
+                generated.append(token)
+                token_seconds.append(now() - step_start)
+                done = ((config.stop_token_id is not None
+                         and token == config.stop_token_id)
+                        or len(generated) >= config.max_new_tokens)
+                continue
+            outcome = speculative_walk(chunk_logits[0], proposals, dists,
+                                       generated, config, all_processors, rng)
+            spec_metrics.observe_verify(len(proposals), outcome.accepted,
+                                        outcome.emitted)
+            elapsed = now() - step_start
+            token_seconds.extend([elapsed / outcome.emitted] * outcome.emitted)
+            done = outcome.done
+            if not done:
+                state = states[outcome.accepted]
+    metrics.token_seconds.observe_many(token_seconds)
     return generated
 
 

@@ -188,6 +188,58 @@ class GPT2Model(LanguageModel):
                 GPT2State(caches=caches,
                           position=state.position + ids.shape[1]))
 
+    def verify_chunk(self, ids: np.ndarray, state: GPT2State
+                     ) -> Tuple[np.ndarray, List[GPT2State]]:
+        """Exact batched decode of ``(batch, steps)`` known tokens.
+
+        The speculative-decoding verify pass.  Unlike :meth:`prefill`
+        (whose chunked trunk rounds differently from per-token decode
+        — that is why ``PREFILL_CHUNK`` boundaries exist), this pass is
+        **bit-identical** to ``steps`` sequential :meth:`next_logits`
+        calls: every matmul keeps the decode path's per-slice ``(1, D)``
+        GEMM shape, batched only along leading dimensions numpy C-loops
+        over, and each step's attention row sees exactly the sequential
+        step's keys (see ``TransformerBlock.forward_verify``).  The
+        returned states are cheap handles onto one shared appended
+        cache, truncated per step; resuming from ``states[a]`` simply
+        overwrites the buffer past ``a + 1`` on the next append.
+
+        Raises ``ValueError`` when the chunk would overflow the context
+        window — callers fall back to plain per-token decode, which
+        slides (and therefore so does the sequential reference).
+        """
+        ids = np.asarray(ids)
+        if ids.ndim != 2 or ids.shape[1] == 0:
+            raise ValueError("verify_chunk expects (batch, steps) ids")
+        batch, steps = ids.shape
+        if state.position + steps > self.config.context_length:
+            raise ValueError(
+                f"chunk ending at {state.position + steps} exceeds context "
+                f"length {self.config.context_length}")
+        positions = np.arange(state.position, state.position + steps)
+        x = self.wte(ids) + self.wpe(np.broadcast_to(positions, (batch, steps)))
+        x = self.drop(x)
+        # Flatten the step axis into the batch axis: every downstream
+        # projection then runs at the decode path's (flat, 1, D) shape.
+        x = Tensor(np.ascontiguousarray(x.data).reshape(
+            batch * steps, 1, self.config.d_model))
+        new_caches: List[KVCache] = []
+        for index, block in enumerate(self.blocks):
+            x, new_cache = block.forward_verify(x, state.caches[index],
+                                                batch, steps)
+            new_caches.append(new_cache)
+        x = self.ln_f(x)
+        logits = self._project(x)  # (batch*steps, 1, V)
+        logits_data = logits.data.reshape(batch, steps, self.vocab_size)
+        states = [
+            GPT2State(
+                caches=[KVCache(k=c.k, v=c.v, length=c.length - steps + t + 1)
+                        for c in new_caches],
+                position=state.position + t + 1)
+            for t in range(steps)
+        ]
+        return logits_data, states
+
     def stacking_key(self, state: GPT2State) -> Optional[Hashable]:
         # Equal position implies equal cache length, so stacked rows see
         # identical per-slice matmul shapes — the bit-exactness condition.

@@ -83,6 +83,20 @@ class NGramLanguageModel(LanguageModel):
                 return (1 - _BACKOFF * 0.1) * dist + _BACKOFF * 0.1 * backoff
         return self._unigram / self._unigram.sum()
 
+    def next_distribution(self, context: Sequence[int]) -> np.ndarray:
+        """Next-token probabilities for ``context`` (``(vocab,)`` float64).
+
+        Public entry point for callers that want the distribution
+        itself rather than log-probability logits — the speculative-
+        decoding draft (:class:`repro.models.speculative.NGramDraft`)
+        both samples from it and feeds it to rejection sampling.
+        """
+        if self.order > 1:
+            context = list(context)[-(self.order - 1):]
+        else:
+            context = []
+        return self._distribution(context)
+
     def forward(self, ids: np.ndarray) -> Tensor:
         """Teacher-forced log-probability "logits" (no gradients)."""
         ids = np.asarray(ids)

@@ -174,6 +174,55 @@ class CausalSelfAttention(Module):
         out = self.resid_dropout(self.proj(merged))
         return out, new_cache
 
+    def forward_verify(self, x: Tensor, cache: KVCache, rows: int,
+                       steps: int) -> Tuple[Tensor, KVCache]:
+        """Exact multi-token decode: ``steps`` tokens per sequence.
+
+        ``x`` is ``(rows * steps, 1, D)``, sequence-major (flat row
+        ``b * steps + t`` is sequence ``b``'s ``t``-th chunk token).
+        The result is **bit-identical** to calling :meth:`forward`
+        ``steps`` times with ``seq == 1``: the qkv/proj projections run
+        at the same ``(1, D)`` per-slice GEMM shapes (batched only
+        along leading dimensions numpy's matmul C-loops over — BLAS
+        never sees a different ``M``), and each step's attention row
+        softmaxes over exactly the keys the sequential step would see.
+        That is what lets speculative decoding verify a whole proposal
+        in one call without perturbing a single output bit (see
+        ``docs/SERVING.md``).  Generation-only: gradients do not flow.
+        """
+        flat = rows * steps
+        qkv = self.qkv(x)  # (rows*steps, 1, 3D)
+        q = self._split_heads(qkv[:, :, :self.d_model], flat, 1)
+        k = self._split_heads(qkv[:, :, self.d_model:2 * self.d_model], flat, 1)
+        v = self._split_heads(qkv[:, :, 2 * self.d_model:], flat, 1)
+
+        # (rows*steps, H, 1, Hd) -> (rows, H, steps, Hd): pure data
+        # movement, so the appended K/V values are exactly what the
+        # sequential per-token appends would have written.
+        def regroup(heads: Tensor) -> np.ndarray:
+            return (heads.data.reshape(rows, steps, self.num_heads,
+                                       self.head_dim).transpose(0, 2, 1, 3))
+
+        past_len = cache.seq_len
+        new_cache = cache.append(regroup(k), regroup(v))
+        q_steps = q.data.reshape(rows, steps, self.num_heads, 1, self.head_dim)
+        contexts = []
+        for t in range(steps):
+            # Step t attends over the live region the sequential step
+            # would see: past keys plus chunk tokens 0..t (no mask —
+            # the seq == 1 decode path never applies one).
+            keys = Tensor(new_cache.k[:, :, :past_len + t + 1])
+            values = Tensor(new_cache.v[:, :, :past_len + t + 1])
+            q_t = Tensor(q_steps[:, t])  # (rows, H, 1, Hd)
+            scores = (q_t @ keys.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+            weights = self.attn_dropout(F.softmax(scores, axis=-1))
+            context = weights @ values  # (rows, H, 1, Hd)
+            contexts.append(
+                context.data.transpose(0, 2, 1, 3).reshape(rows, 1, self.d_model))
+        merged = np.stack(contexts, axis=1).reshape(flat, 1, self.d_model)
+        out = self.resid_dropout(self.proj(Tensor(merged)))
+        return out, new_cache
+
 
 class MLP(Module):
     """Position-wise feed-forward network with GELU (GPT-2 style)."""
@@ -207,6 +256,18 @@ class TransformerBlock(Module):
                 cache: Optional[KVCache] = None
                 ) -> Tuple[Tensor, Optional[KVCache]]:
         attn_out, new_cache = self.attn(self.ln1(x), cache=cache)
+        x = x + attn_out
+        x = x + self.mlp(self.ln2(x))
+        return x, new_cache
+
+    def forward_verify(self, x: Tensor, cache: KVCache, rows: int,
+                       steps: int) -> Tuple[Tensor, KVCache]:
+        """Block pass for the exact multi-token decode (see
+        :meth:`CausalSelfAttention.forward_verify`).  LayerNorm and the
+        MLP are per-position ops, so running them over the flattened
+        ``(rows * steps, 1, D)`` layout changes nothing bitwise."""
+        attn_out, new_cache = self.attn.forward_verify(self.ln1(x), cache,
+                                                       rows, steps)
         x = x + attn_out
         x = x + self.mlp(self.ln2(x))
         return x, new_cache

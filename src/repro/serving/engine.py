@@ -39,9 +39,11 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..models import (GenerationConfig, LanguageModel, LogitsProcessor,
-                      PREFILL_CHUNK, build_processors, generate as
-                      sequential_generate, select_next_token)
+from ..models import (DraftModel, GenerationConfig, LanguageModel,
+                      LogitsProcessor, PREFILL_CHUNK, SpeculativeMetrics,
+                      build_processors, draft_context, generate as
+                      sequential_generate, select_next_token,
+                      speculative_walk)
 from ..nn import no_grad
 from ..obs import (MetricsRegistry, Tracer, get_registry, get_tracer)
 from ..resilience.faults import fault_check
@@ -248,20 +250,46 @@ class _Sequence:
     generated: List[int] = field(default_factory=list)
     admitted_at: float = 0.0
     first_token_at: Optional[float] = None
+    #: Draft tokens per verify step for this request (0 = plain decode).
+    #: Dropped to 0 permanently if a verify chunk stops fitting the
+    #: model's context window (the sequential path slides instead).
+    spec_k: int = 0
+    #: The draft model proposing for this request (engine default or a
+    #: per-request instance from ``config.draft``).
+    draft: Optional[DraftModel] = None
+    #: Verify results awaiting their acceptance walk at the next step:
+    #: ``(proposals, draft_dists, chunk_logits, states)`` where
+    #: ``chunk_logits`` is ``(len(proposals) + 1, vocab)`` and
+    #: ``states[t]`` resumes after accepting ``t`` proposals.
+    spec_chunk: Optional[tuple] = None
 
 
-def _state_nbytes(obj: Any, _depth: int = 0) -> int:
-    """Recursive byte count of the numpy arrays reachable from ``obj``."""
-    if _depth > 8 or obj is None:
+def _state_nbytes(obj: Any, _seen: Optional[set] = None) -> int:
+    """Recursive byte count of the numpy arrays reachable from ``obj``.
+
+    Each distinct array object is counted once: decode states routinely
+    alias one buffer from several handles (a stacked batch split into
+    row views, speculative verify states at successive truncation
+    depths of one KV buffer), and double-counting them would blow
+    admission-control and prefix-cache byte budgets.  The ``id()``
+    dedup also makes cyclic state graphs terminate, replacing the old
+    fixed depth cap that silently under-counted deep nests.  Distinct
+    array objects viewing one base buffer still count separately —
+    this is object-level, not page-level, accounting.
+    """
+    if _seen is None:
+        _seen = set()
+    if obj is None or id(obj) in _seen:
         return 0
+    _seen.add(id(obj))
     if isinstance(obj, np.ndarray):
         return obj.nbytes
     if isinstance(obj, (list, tuple)):
-        return sum(_state_nbytes(item, _depth + 1) for item in obj)
+        return sum(_state_nbytes(item, _seen) for item in obj)
     if isinstance(obj, dict):
-        return sum(_state_nbytes(item, _depth + 1) for item in obj.values())
+        return sum(_state_nbytes(item, _seen) for item in obj.values())
     if hasattr(obj, "__dict__"):
-        return _state_nbytes(vars(obj), _depth + 1)
+        return _state_nbytes(vars(obj), _seen)
     return 0
 
 
@@ -312,6 +340,15 @@ class _EngineMetrics:
         self.cache_hit_rate = registry.gauge(
             "engine_prefix_cache_hit_rate",
             help="Lifetime prefix-cache hit rate").labels()
+        self.decode_forwards = registry.counter(
+            "engine_decode_forwards_total",
+            help="Model decode calls (batched next_logits or verify "
+                 "chunks) — the denominator of tokens-per-forward").labels()
+        self.tokens_per_forward = registry.gauge(
+            "engine_tokens_per_forward",
+            help="Lifetime decode tokens emitted per model decode call "
+                 "(1.0 without speculation; higher means the draft is "
+                 "amortizing target forwards)").labels()
 
 
 class InferenceEngine:
@@ -325,13 +362,22 @@ class InferenceEngine:
     def __init__(self, model: LanguageModel,
                  config: Optional[EngineConfig] = None,
                  registry: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 draft: Optional[DraftModel] = None) -> None:
         self.config = config or EngineConfig()
         self.config.validate()
         self.model = model
+        #: Default draft model for requests with ``speculative_k > 0``;
+        #: a request may override it with a DraftModel in
+        #: ``config.draft``.  ``None`` disables speculation for
+        #: requests that do not carry their own draft.
+        self.draft = draft
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
         self.metrics = _EngineMetrics(self.registry)
+        self.spec_metrics = SpeculativeMetrics(self.registry, "engine")
+        self._emitted_tokens = 0
+        self._decode_forwards = 0
         self.prefix_cache = PrefixCache(self.config.prefix_cache_bytes,
                                         chunk_size=self.config.prefill_chunk)
         self._queue: "queue.Queue[EngineRequest]" = queue.Queue(
@@ -563,12 +609,21 @@ class InferenceEngine:
                 self._admitting.pop()
                 continue
             self.metrics.queue_wait_seconds.observe(now - request.submitted_at)
+            # Per-request draft instance wins; a draft *spec string* is
+            # resolved by the serving layer, not here (the engine has
+            # no corpus to fit one on) and falls back to the default.
+            draft = (request.config.draft
+                     if isinstance(request.config.draft, DraftModel)
+                     else self.draft)
             admitted.append(_Sequence(
                 request=request, config=request.config,
                 processors=build_processors(request.config,
                                             request.processors),
                 rng=np.random.default_rng(request.config.seed),
-                admitted_at=now))
+                admitted_at=now,
+                spec_k=(request.config.speculative_k
+                        if draft is not None else 0),
+                draft=draft))
         if admitted:
             self._prefill_admitted(admitted)
         self._admitting = []
@@ -727,14 +782,15 @@ class InferenceEngine:
                     seq.request.request_id, seq.request.deadline_ms,
                     seq.generated), outcome="deadline")
                 continue
+            if seq.spec_chunk is not None:
+                if self._walk_spec(seq):
+                    continue  # finished (stop token or budget) mid-walk
+                survivors.append(seq)
+                continue
             token = select_next_token(seq.logits, seq.generated, seq.config,
                                       seq.processors, seq.rng)
             seq.generated.append(token)
-            seq.request._deliver(token)
-            if seq.first_token_at is None:
-                seq.first_token_at = self.metrics.clock.now()
-                self.metrics.ttft_seconds.observe(
-                    seq.first_token_at - seq.request.submitted_at)
+            self._deliver(seq, token)
             stopped = (seq.config.stop_token_id is not None
                        and token == seq.config.stop_token_id)
             if stopped or len(seq.generated) >= seq.config.max_new_tokens:
@@ -745,15 +801,63 @@ class InferenceEngine:
         self._active = survivors
         self.metrics.active_sequences.set(len(self._active))
 
+    def _deliver(self, seq: _Sequence, token: int) -> None:
+        self._emitted_tokens += 1
+        seq.request._deliver(token)
+        if seq.first_token_at is None:
+            seq.first_token_at = self.metrics.clock.now()
+            self.metrics.ttft_seconds.observe(
+                seq.first_token_at - seq.request.submitted_at)
+
+    def _walk_spec(self, seq: _Sequence) -> bool:
+        """Walk one sequence's pending verify result; True if finished.
+
+        Runs the same :func:`repro.models.speculative_walk` the
+        standalone speculative loop uses, against the same processor
+        chain, history and rng — so a speculative engine request's
+        token stream stays bit-identical to
+        ``models.generate(..., draft=...)`` (and, for greedy decode,
+        to plain sequential ``generate``) no matter what shares the
+        batch.
+        """
+        proposals, dists, chunk_logits, states = seq.spec_chunk
+        seq.spec_chunk = None
+        outcome = speculative_walk(
+            chunk_logits, proposals, dists, seq.generated, seq.config,
+            seq.processors, seq.rng,
+            on_token=lambda token: self._deliver(seq, token))
+        self.spec_metrics.observe_verify(len(proposals), outcome.accepted,
+                                         outcome.emitted)
+        if outcome.done:
+            self._finish(seq)
+            return True
+        seq.state = states[outcome.accepted]
+        seq.logits = None  # refreshed by the next forward/verify
+        return False
+
     def _forward(self, survivors: List[_Sequence]) -> None:
-        """Advance survivors one token, batching same-key states."""
+        """Advance survivors, batching same-key states.
+
+        Non-speculative sequences advance one token via batched
+        ``next_logits``; speculative sequences draft and run batched
+        ``verify_chunk`` calls instead (:meth:`_forward_spec`).  Both
+        kinds coexist in one batch — they simply land in different
+        model calls, each bit-identical to its single-sequence
+        equivalent.
+        """
         if survivors:
             # Chaos hook: fails this step's batch (named error) while
-            # the engine itself keeps serving.
+            # the engine itself keeps serving.  Sits before both the
+            # plain decode and the speculative verify calls, so a
+            # fault injected here hits a verify step too.
             fault_check("model.forward")
+        forwards_before = self._decode_forwards
+        spec_seqs = [seq for seq in survivors if seq.spec_k > 0]
         groups: Dict[Any, List[_Sequence]] = {}
         singles: List[_Sequence] = []
         for seq in survivors:
+            if seq.spec_k > 0:
+                continue
             key = self.model.stacking_key(seq.state)
             if key is None:
                 singles.append(seq)
@@ -775,6 +879,7 @@ class InferenceEngine:
                     [s.state for s in members])
             logits, new_state = self.model.next_logits(
                 np.asarray([s.generated[-1] for s in members]), stacked)
+            self._decode_forwards += 1
             new_stacked[member_ids] = new_state
             states = self.model.split_states(new_state, len(members))
             for row, seq in enumerate(members):
@@ -784,8 +889,95 @@ class InferenceEngine:
         for seq in singles:
             logits, state = self.model.next_logits(
                 np.asarray([seq.generated[-1]]), seq.state)
+            self._decode_forwards += 1
             seq.logits = logits[0]
             seq.state = state
+        if spec_seqs:
+            self._forward_spec(spec_seqs)
+        if self._decode_forwards > forwards_before:
+            self.metrics.decode_forwards.inc(
+                self._decode_forwards - forwards_before)
+            self.metrics.tokens_per_forward.set(
+                self._emitted_tokens / self._decode_forwards)
+
+    def _forward_spec(self, spec_seqs: List[_Sequence]) -> None:
+        """Draft proposals and verify them in batched chunk forwards.
+
+        Each sequence's chunk is ``[generated[-1]] + proposals`` —
+        ``generated[-1]`` is the emitted-but-unverified token, exactly
+        the token the plain path would feed ``next_logits``.  Chunks
+        whose states share a stacking key *and* length run as one
+        batched ``verify_chunk``; the per-position states come back as
+        row views of one buffer, and each row only ever appends into
+        its own slice, so divergent acceptance depths stay independent.
+        A chunk that no longer fits the context window turns its
+        sequences non-speculative for good (``spec_k = 0``) and
+        advances them on the plain sliding-window path — the exact
+        fallback the standalone loop takes.
+        """
+        plans: Dict[int, Tuple[List[int], Optional[np.ndarray]]] = {}
+        groups: Dict[Any, List[_Sequence]] = {}
+        for seq in spec_seqs:
+            remaining = seq.config.max_new_tokens - len(seq.generated)
+            k = min(seq.spec_k, remaining - 1) if remaining > 1 else 0
+            dists = None
+            if k > 0:
+                context = draft_context(seq.draft, seq.request.prompt_ids,
+                                        seq.generated)
+                if seq.config.strategy == "sample":
+                    proposals, dists = seq.draft.propose_sampled(
+                        context, k, seq.rng)
+                else:
+                    proposals = seq.draft.propose(context, k)
+            else:
+                proposals = []
+            plans[id(seq)] = (list(proposals), dists)
+            key = self.model.stacking_key(seq.state)
+            group_key = (None if key is None
+                         else (key, len(proposals)))
+            if group_key is None:
+                groups.setdefault(("single", id(seq)), []).append(seq)
+            else:
+                groups.setdefault(group_key, []).append(seq)
+        for members in groups.values():
+            proposals_rows = [plans[id(seq)][0] for seq in members]
+            chunk = np.asarray(
+                [[seq.generated[-1]] + proposals_rows[row]
+                 for row, seq in enumerate(members)])
+            try:
+                if len(members) == 1:
+                    seq = members[0]
+                    chunk_logits, states = self.model.verify_chunk(
+                        chunk, seq.state)
+                    self._decode_forwards += 1
+                    seq.spec_chunk = (proposals_rows[0], plans[id(seq)][1],
+                                      chunk_logits[0], states)
+                else:
+                    stacked = self.model.stack_states(
+                        [seq.state for seq in members])
+                    chunk_logits, states = self.model.verify_chunk(
+                        chunk, stacked)
+                    self._decode_forwards += 1
+                    position_rows = [
+                        self.model.split_states(st, len(members))
+                        for st in states]
+                    for row, seq in enumerate(members):
+                        seq.spec_chunk = (
+                            proposals_rows[row], plans[id(seq)][1],
+                            chunk_logits[row],
+                            [rows[row] for rows in position_rows])
+            except ValueError:
+                # Context window exhausted: speculation is over for
+                # these sequences; take the plain (sliding) step the
+                # sequential reference takes.
+                for seq in members:
+                    seq.spec_k = 0
+                    seq.spec_chunk = None
+                    logits, state = self.model.next_logits(
+                        np.asarray([seq.generated[-1]]), seq.state)
+                    self._decode_forwards += 1
+                    seq.logits = logits[0]
+                    seq.state = state
 
     def _resolve(self, request: EngineRequest,
                  error: Optional[BaseException] = None,

@@ -49,6 +49,11 @@ MAX_INGREDIENTS = 20
 #: ``max_new_tokens`` beyond this is a 400, not a silent clamp.
 MAX_NEW_TOKENS_CAP = 512
 
+#: Server-side ceiling on per-request ``speculative_k`` (draft tokens
+#: per verify step).  Beyond ~16 the acceptance tail is empty and the
+#: verify chunk just wastes work, so larger asks are a 400.
+MAX_SPECULATIVE_K = 16
+
 _CONFIG_FIELDS = (
     ("max_new_tokens", int, 220),
     ("strategy", str, "sample"),
@@ -59,17 +64,22 @@ _CONFIG_FIELDS = (
     ("length_penalty", float, 0.7),
     ("repetition_penalty", float, 1.0),
     ("seed", int, 0),
+    ("speculative_k", int, 0),
 )
 
 
 def _parse_generation_request(payload: dict,
-                              max_new_tokens_cap: int = MAX_NEW_TOKENS_CAP
-                              ) -> tuple:
+                              max_new_tokens_cap: int = MAX_NEW_TOKENS_CAP,
+                              default_speculative_k: int = 0) -> tuple:
     """Validate a generation payload; returns (names, config, checklist).
 
     Raises :class:`ValueError` (→ HTTP 400) on anything malformed: a
     non-coercible knob, a value :meth:`GenerationConfig.validate`
     rejects, or a ``max_new_tokens`` beyond the server's cap.
+
+    ``default_speculative_k`` is the server's speculative-decoding
+    default (``repro serve --speculative``); a payload ``speculative_k``
+    overrides it per request (``0`` opts out explicitly).
     """
     selected = payload.get("ingredients")
     if not isinstance(selected, list) or not selected:
@@ -79,6 +89,8 @@ def _parse_generation_request(payload: dict,
     names = [str(name) for name in selected]
     values = {}
     for name, cast, default in _CONFIG_FIELDS:
+        if name == "speculative_k":
+            default = default_speculative_k
         raw = payload.get(name, default)
         try:
             values[name] = cast(raw)
@@ -91,6 +103,10 @@ def _parse_generation_request(payload: dict,
         raise ValueError(
             f"max_new_tokens is capped at {max_new_tokens_cap} "
             f"(got {config.max_new_tokens})")
+    if config.speculative_k > MAX_SPECULATIVE_K:
+        raise ValueError(
+            f"speculative_k is capped at {MAX_SPECULATIVE_K} "
+            f"(got {config.speculative_k})")
     return names, config, bool(payload.get("checklist", False))
 
 
@@ -132,7 +148,9 @@ def create_backend(pipeline: Ratatouille,
                    use_engine: bool = True,
                    engine: Optional[InferenceEngine] = None,
                    max_new_tokens_cap: int = MAX_NEW_TOKENS_CAP,
-                   resilience: Optional[ResilienceConfig] = None) -> App:
+                   resilience: Optional[ResilienceConfig] = None,
+                   draft=None,
+                   speculative_k: int = 0) -> App:
     """Build the backend :class:`~repro.webapp.framework.App`.
 
     ``registry``/``tracer`` are what ``GET /api/metrics`` exposes and
@@ -153,16 +171,40 @@ def create_backend(pipeline: Ratatouille,
     ``Retry-After`` past the watermark) and engine supervision
     (watchdog restarts; degraded sequential fallback marked
     ``"degraded": true``).  ``None`` — the default — changes nothing.
+
+    ``draft``/``speculative_k`` enable speculative decoding (see
+    ``docs/SERVING.md``): ``draft`` is a
+    :class:`~repro.models.DraftModel` or a spec string like
+    ``"ngram:3"`` (fitted on the pipeline's training corpus via
+    :meth:`Ratatouille.build_draft`); ``speculative_k`` is the server
+    default draft length per verify step (payload ``speculative_k``
+    overrides per request, ``0`` opts out).  Greedy requests stay
+    bit-identical to the sequential decoder; sampled requests keep the
+    model's distribution via rejection sampling.
     """
     catalog = catalog or default_catalog()
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
     jobs = job_queue or JobQueue(workers=1, max_pending=16, registry=registry)
+    if isinstance(draft, str):
+        spec = draft
+        order = 3
+        if ":" in spec:
+            kind, _, suffix = spec.partition(":")
+            order = int(suffix)
+        else:
+            kind = spec
+        if kind != "ngram":
+            raise ValueError(f"unknown draft spec {draft!r}")
+        draft = pipeline.build_draft(order=order)
+    if speculative_k < 0 or speculative_k > MAX_SPECULATIVE_K:
+        raise ValueError(
+            f"speculative_k must be in [0, {MAX_SPECULATIVE_K}]")
     if engine is None and use_engine:
         if resilience is not None and resilience.supervise:
             def _factory() -> InferenceEngine:
                 return InferenceEngine(pipeline.model, registry=registry,
-                                       tracer=tracer)
+                                       tracer=tracer, draft=draft)
             fallback = (sequential_fallback(pipeline.model)
                         if resilience.degraded_fallback else None)
             engine = EngineSupervisor(
@@ -173,10 +215,13 @@ def create_backend(pipeline: Ratatouille,
                 registry=registry)
         else:
             engine = InferenceEngine(pipeline.model, registry=registry,
-                                     tracer=tracer)
+                                     tracer=tracer, draft=draft)
     supervisor = engine if isinstance(engine, EngineSupervisor) else None
     default_deadline_ms = (resilience.default_deadline_ms
                            if resilience is not None else None)
+    # With no draft fitted, a server-level speculative_k would silently
+    # decode sequentially; zero it so /api/health tells the truth.
+    default_speculative_k = speculative_k if draft is not None else 0
     admission: Optional[AdmissionController] = None
     if resilience is not None and resilience.shed_watermark_tokens:
         admission = AdmissionController(
@@ -212,6 +257,8 @@ def create_backend(pipeline: Ratatouille,
         and tokens exist) or re-raises for the 504 path.
         """
         if engine is None:
+            if config.speculative_k > 0 and config.draft is None:
+                config.draft = draft
             recipe = pipeline.generate(names, generation=config,
                                        checklist=checklist)
             return _recipe_payload(recipe)
@@ -250,6 +297,10 @@ def create_backend(pipeline: Ratatouille,
             "model": type(pipeline.model).__name__,
             "parameters": pipeline.model.num_parameters(),
             "vocab_size": pipeline.tokenizer.vocab_size,
+            "speculative": {
+                "draft": type(draft).__name__ if draft is not None else None,
+                "default_k": default_speculative_k,
+            },
         })
 
     @app.route("/api/ingredients")
@@ -272,7 +323,7 @@ def create_backend(pipeline: Ratatouille,
     def generate_recipe(request: Request) -> Response:
         payload = request.json()
         names, config, checklist = _parse_generation_request(
-            payload, max_new_tokens_cap)
+            payload, max_new_tokens_cap, default_speculative_k)
         deadline_ms = _parse_deadline(payload, default_deadline_ms)
         allow_partial = bool(payload.get("partial", False))
         cost = config.max_new_tokens
@@ -297,7 +348,7 @@ def create_backend(pipeline: Ratatouille,
     def generate_async(request: Request) -> Response:
         payload = request.json()
         names, config, checklist = _parse_generation_request(
-            payload, max_new_tokens_cap)
+            payload, max_new_tokens_cap, default_speculative_k)
         deadline_ms = _parse_deadline(payload, default_deadline_ms)
         allow_partial = bool(payload.get("partial", False))
         cost = config.max_new_tokens
@@ -332,7 +383,7 @@ def create_backend(pipeline: Ratatouille,
                 "(backend started with use_engine=False)", status=503)
         payload = request.json()
         names, config, checklist = _parse_generation_request(
-            payload, max_new_tokens_cap)
+            payload, max_new_tokens_cap, default_speculative_k)
         deadline_ms = _parse_deadline(payload, default_deadline_ms)
         if config.strategy == "beam":
             return Response.error(

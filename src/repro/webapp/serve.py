@@ -58,6 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
                          action=argparse.BooleanOptionalAction, default=False,
                          help="serve sequential (slow, marked degraded) "
                               "responses while the engine is down")
+    backend.add_argument("--speculative",
+                         action=argparse.BooleanOptionalAction, default=False,
+                         help="enable speculative decoding: an n-gram draft "
+                              "fitted on the training corpus proposes tokens "
+                              "the model verifies in one batched forward")
+    backend.add_argument("--speculative-k", type=int, default=4,
+                         help="draft tokens per verify step (with "
+                              "--speculative; payload speculative_k "
+                              "overrides per request)")
+    backend.add_argument("--draft-order", type=int, default=3,
+                         help="n-gram order of the speculative draft model")
 
     frontend = sub.add_parser("frontend", help="the static picker UI")
     frontend.add_argument("--port", type=int, default=8080)
@@ -103,8 +114,16 @@ def build_server(argv: List[str]) -> Server:
                 supervise=bool(supervise and args.engine),
                 max_restarts=args.max_restarts,
                 degraded_fallback=args.degraded_fallback)
+        draft = None
+        speculative_k = 0
+        if args.speculative:
+            print(f"fitting ngram:{args.draft_order} speculative draft on "
+                  f"the training corpus", file=sys.stderr)
+            draft = pipeline.build_draft(order=args.draft_order)
+            speculative_k = args.speculative_k
         app = create_backend(pipeline, use_engine=args.engine,
-                             resilience=resilience)
+                             resilience=resilience, draft=draft,
+                             speculative_k=speculative_k)
     else:
         app = create_frontend(args.backend_url)
     return Server(app, host=args.host, port=args.port)

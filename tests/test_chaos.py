@@ -132,6 +132,71 @@ class TestEveryNamedPoint:
                                      "jobs.worker", "framework.write"}
 
 
+class TestSpeculativeUnderFaults:
+    def test_forward_fault_during_verify_fails_cleanly(self):
+        # A model.forward fault on a speculative verify step must fail
+        # the in-flight request with a named error — no hang — and
+        # leave the engine serving speculative requests whose output
+        # is still bit-identical to sequential decoding.
+        from repro.models import NGramDraft, generate
+        from repro.obs import NullRegistry, NullTracer
+
+        model = _model()
+        draft = NGramDraft.fit([[1, 2, 3, 4, 5] * 4], 16, order=3)
+        config = GenerationConfig(max_new_tokens=6, strategy="greedy",
+                                  seed=0, speculative_k=4)
+        engine = InferenceEngine(model, draft=draft)
+        try:
+            # Call 0 is the prefill; call 1 is the first decode
+            # forward, which for a speculative sequence is the
+            # batched verify_chunk step.
+            injector = FaultInjector(
+                {"model.forward": FaultSpec(schedule={1})})
+            with inject_faults(injector):
+                handle = engine.submit([1, 2, 3], config)
+                with pytest.raises((InjectedFault, EngineCrashedError)):
+                    handle.result(timeout=10)
+            assert engine.crashed is None
+            survivor = engine.generate([1, 2, 3], config)
+            sequential = GenerationConfig(max_new_tokens=6,
+                                          strategy="greedy", seed=0)
+            assert survivor == generate(model, [1, 2, 3], sequential,
+                                        registry=NullRegistry(),
+                                        tracer=NullTracer())
+        finally:
+            engine.stop()
+
+    def test_mixed_batch_fault_spares_no_one_silently(self):
+        # Speculative and plain sequences sharing the faulted step all
+        # terminate with named errors; the engine survives and both
+        # kinds of request complete afterwards.
+        from repro.models import NGramDraft
+
+        model = _model()
+        draft = NGramDraft.fit([[1, 2, 3, 4, 5] * 4], 16, order=3)
+        spec_config = GenerationConfig(max_new_tokens=5, strategy="greedy",
+                                       seed=0, speculative_k=3)
+        engine = InferenceEngine(model, draft=draft)
+        try:
+            injector = FaultInjector(
+                {"model.forward": FaultSpec(rate=0.3, max_faults=3)},
+                seed=11)
+            with inject_faults(injector):
+                handles = [engine.submit([1 + i, 2, 3],
+                                         spec_config if i % 2 else CONFIG)
+                           for i in range(4)]
+                for handle in handles:
+                    try:
+                        handle.result(timeout=10)
+                    except TERMINAL_ERRORS:
+                        pass
+            assert engine.crashed is None
+            assert len(engine.generate([1, 2, 3], spec_config)) == 5
+            assert len(engine.generate([1, 2, 3], CONFIG)) == 4
+        finally:
+            engine.stop()
+
+
 _PIPELINE = None
 
 

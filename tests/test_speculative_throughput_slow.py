@@ -1,0 +1,23 @@
+"""Throughput gate for speculative decoding (slow tier).
+
+Runs ``benchmarks/run_speculative_decoding.py`` — the engine with an
+n-gram draft must beat the plain engine by the configured factor on a
+greedy workload while producing bit-identical output.  Excluded from
+the tier-1 default run; invoke with ``pytest -m slow``.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+
+import run_speculative_decoding  # noqa: E402
+
+
+def test_speculative_clears_throughput_gate():
+    assert run_speculative_decoding.main(["--rounds", "3"]) == 0
