@@ -1,0 +1,264 @@
+"""Gate benchmark: the replica fleet loses nothing and wastes no cache.
+
+Two phases, both gated on *deterministic counts* rather than wall
+clock, so the gates are noise-robust by construction (timings are
+reported for context but never gated):
+
+* **affinity** — a prefix-heavy workload (families of requests sharing
+  a chunk-aligned 32-token head) runs through a single engine and
+  through a 2-replica router.  The router's aggregate prefix-cache
+  hit-token rate must be within 10% of the single engine's: affinity
+  placement keeps each family's prefix warm on exactly one replica
+  instead of duplicating (or missing) it across the fleet.
+
+* **failover** — the same-prefix workload is pinned to its home
+  replica and a seeded :class:`FaultInjector` kills that replica's
+  engine thread mid-batch at concurrency 8.  The gate: **zero** failed
+  requests, and every result bit-identical to the sequential decoder —
+  the router's failover re-dispatches to the survivor and determinism
+  makes the replay invisible.
+
+Writes ``benchmarks/results/BENCH_cluster.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_cluster_failover.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.cluster import ClusterConfig, Router
+from repro.models import GenerationConfig, distilgpt2, generate
+from repro.obs import MetricsRegistry, NullRegistry, NullTracer
+from repro.resilience import FaultInjector, FaultSpec, inject_faults
+from repro.serving import EngineConfig, InferenceEngine
+
+VOCAB = 64
+AFFINITY_TOKENS = 32       # = the engine's prefill chunk: cacheable head
+FAMILIES = 8               # distinct shared prefixes in the affinity phase
+REQUESTS_PER_FAMILY = 3
+PROMPT_TOKENS = 40         # 32 shared + 8 unique per request
+MAX_NEW_TOKENS = 32
+CONCURRENCY = 8
+FAILOVER_REQUESTS = 12     # one family, > CONCURRENCY so a kill is mid-batch
+RESULTS_PATH = (pathlib.Path(__file__).parent / "results"
+                / "BENCH_cluster.json")
+
+
+def _config() -> GenerationConfig:
+    return GenerationConfig(max_new_tokens=MAX_NEW_TOKENS,
+                            strategy="greedy", seed=0)
+
+
+def _family_prompts():
+    """FAMILIES groups of prompts sharing a 32-token chunk-aligned head."""
+    prompts = []
+    for family in range(FAMILIES):
+        rng = np.random.default_rng(1000 + family)
+        head = [int(t) for t in rng.integers(0, VOCAB,
+                                             size=AFFINITY_TOKENS)]
+        for request in range(REQUESTS_PER_FAMILY):
+            tail_rng = np.random.default_rng(2000 + family * 100 + request)
+            tail = [int(t) for t in tail_rng.integers(
+                0, VOCAB, size=PROMPT_TOKENS - AFFINITY_TOKENS)]
+            prompts.append(head + tail)
+    return prompts
+
+
+def _run_all(target, prompts):
+    config = _config()
+    handles = [target.submit(prompt, config) for prompt in prompts]
+    return [handle.result(timeout=300) for handle in handles]
+
+
+def _hit_tokens(stats_snapshot) -> int:
+    return int(stats_snapshot["hit_tokens"])
+
+
+def _affinity_phase(model, threshold):
+    """Returns (ok, payload): cluster hit-token rate vs single engine."""
+    prompts = _family_prompts()
+    prompt_tokens = sum(len(p) for p in prompts)
+
+    # --- single engine: the baseline every prefix can hit ------------
+    single = InferenceEngine(model, EngineConfig(max_batch_size=CONCURRENCY),
+                             registry=NullRegistry(), tracer=NullTracer())
+    try:
+        _run_all(single, prompts)  # warm: populate the cache
+        before = _hit_tokens(single.prefix_cache.stats_snapshot())
+        start = time.perf_counter()
+        _run_all(single, prompts)
+        single_seconds = time.perf_counter() - start
+        single_hits = _hit_tokens(
+            single.prefix_cache.stats_snapshot()) - before
+    finally:
+        single.stop()
+    single_rate = single_hits / prompt_tokens
+
+    # --- 2-replica router: each family warm on exactly one home ------
+    registry = MetricsRegistry()
+
+    def factory(name):
+        return InferenceEngine(model,
+                               EngineConfig(max_batch_size=CONCURRENCY),
+                               registry=registry, tracer=NullTracer(),
+                               name=name)
+
+    cluster_config = ClusterConfig(replicas=2,
+                                   affinity_tokens=AFFINITY_TOKENS,
+                                   saturation_tokens=10**6,
+                                   restart_backoff_seconds=0.01,
+                                   heartbeat_seconds=0.01)
+    with Router(factory, cluster_config, registry=registry,
+                tracer=NullTracer()) as router:
+        _run_all(router, prompts)  # warm
+        def fleet_hits():
+            return sum(_hit_tokens(replica["prefix_cache"])
+                       for replica in router.stats()["replicas"].values())
+        before = fleet_hits()
+        start = time.perf_counter()
+        _run_all(router, prompts)
+        cluster_seconds = time.perf_counter() - start
+        cluster_hits = fleet_hits() - before
+        affinity_hit_rate = router.stats()["affinity"]["hit_rate"]
+        per_replica_dispatches = {
+            name: replica["dispatches"]
+            for name, replica in router.stats()["replicas"].items()}
+    cluster_rate = cluster_hits / prompt_tokens
+
+    ok = cluster_rate >= threshold * single_rate
+    payload = {
+        "requests": len(prompts),
+        "families": FAMILIES,
+        "prompt_tokens": prompt_tokens,
+        "single_engine_hit_token_rate": single_rate,
+        "cluster_hit_token_rate": cluster_rate,
+        "threshold_fraction_of_single": threshold,
+        "router_affinity_hit_rate": affinity_hit_rate,
+        "per_replica_dispatches": per_replica_dispatches,
+        "single_seconds": single_seconds,
+        "cluster_seconds": cluster_seconds,
+    }
+    return ok, payload
+
+
+def _failover_phase(model):
+    """Returns (ok, payload): kill one of two replicas mid-batch."""
+    rng = np.random.default_rng(42)
+    head = [int(t) for t in rng.integers(0, VOCAB, size=AFFINITY_TOKENS)]
+    prompts = [head + [int(t) for t in
+                       np.random.default_rng(5000 + i).integers(0, VOCAB,
+                                                                size=4)]
+               for i in range(FAILOVER_REQUESTS)]
+    config = _config()
+    expected = [generate(model, prompt, config, registry=NullRegistry(),
+                         tracer=NullTracer()) for prompt in prompts]
+
+    registry = MetricsRegistry()
+
+    def factory(name):
+        return InferenceEngine(model,
+                               EngineConfig(max_batch_size=CONCURRENCY),
+                               registry=registry, tracer=NullTracer(),
+                               name=name)
+
+    cluster_config = ClusterConfig(replicas=2,
+                                   affinity_tokens=AFFINITY_TOKENS,
+                                   saturation_tokens=10**6,
+                                   restart_backoff_seconds=0.01,
+                                   heartbeat_seconds=0.01)
+    # All requests share one head → one home replica serves every
+    # admission.  The CONCURRENCY-th admission's prefix_cache.get (call
+    # index 8 on the injector's deterministic stream) kills the home
+    # engine thread while a full batch is mid-decode.
+    injector = FaultInjector(
+        {"prefix_cache.get": FaultSpec(schedule={CONCURRENCY})})
+    failed = 0
+    results = []
+    with Router(factory, cluster_config, registry=registry,
+                tracer=NullTracer()) as router:
+        home = router.affinity_replica(prompts[0])
+        start = time.perf_counter()
+        with inject_faults(injector):
+            handles = [router.submit(prompt, config) for prompt in prompts]
+            for handle in handles:
+                try:
+                    results.append(handle.result(timeout=300))
+                except Exception as error:  # noqa: BLE001 - counted, reported
+                    failed += 1
+                    results.append(type(error).__name__)
+        elapsed = time.perf_counter() - start
+        failovers = sum(handle.failovers for handle in handles)
+        stats = router.stats()
+        home_failovers = stats["replicas"][home]["failovers"]
+
+    bit_identical = results == expected
+    ok = failed == 0 and bit_identical and failovers >= 1
+    payload = {
+        "requests": FAILOVER_REQUESTS,
+        "concurrency": CONCURRENCY,
+        "killed_replica": home,
+        "failed_requests": failed,
+        "failovers": failovers,
+        "home_failovers": home_failovers,
+        "bit_identical": bit_identical,
+        "seconds": elapsed,
+    }
+    return ok, payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--affinity-threshold", type=float, default=0.9,
+                        help="cluster hit-token rate must be at least this "
+                             "fraction of the single engine's")
+    args = parser.parse_args(argv)
+
+    model = distilgpt2(vocab_size=VOCAB, context_length=256)
+    model.eval()
+
+    affinity_ok, affinity = _affinity_phase(model, args.affinity_threshold)
+    failover_ok, failover = _failover_phase(model)
+
+    result = {
+        "affinity": affinity,
+        "failover": failover,
+        "pass": affinity_ok and failover_ok,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(result, indent=2) + "\n",
+                            encoding="utf-8")
+
+    print(f"affinity: cluster hit-token rate "
+          f"{affinity['cluster_hit_token_rate']:.3f} vs single "
+          f"{affinity['single_engine_hit_token_rate']:.3f} "
+          f"(gate >= {args.affinity_threshold:.0%} of single); "
+          f"router affinity hit rate "
+          f"{affinity['router_affinity_hit_rate']:.0%}")
+    print(f"failover: killed {failover['killed_replica']} mid-batch at "
+          f"concurrency {CONCURRENCY}; {failover['failed_requests']} failed "
+          f"of {FAILOVER_REQUESTS}, {failover['failovers']} failover(s), "
+          f"bit_identical={failover['bit_identical']}")
+    print(f"[written to {RESULTS_PATH}]")
+    if not affinity_ok:
+        print("FAIL: cluster prefix-cache hit-token rate below the "
+              "affinity gate", file=sys.stderr)
+    if not failover_ok:
+        print("FAIL: replica kill lost requests or diverged from "
+              "sequential decoding", file=sys.stderr)
+    if not (affinity_ok and failover_ok):
+        return 1
+    print("OK: fleet clears both cluster gates")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "--speculative)")
     serve.add_argument("--draft-order", type=int, default=3,
                        help="n-gram order of the speculative draft")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="replicated engine fleet behind the prefix-"
+                            "affinity router (1 = single engine)")
+    serve.add_argument("--affinity-tokens", type=int, default=32,
+                       help="leading prompt tokens hashed for replica "
+                            "placement (with --replicas > 1)")
 
     metrics = sub.add_parser(
         "metrics", help="inspect observability metrics")
@@ -243,10 +249,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         argv += ["--speculative",
                  "--speculative-k", str(args.speculative_k),
                  "--draft-order", str(args.draft_order)]
+    if args.replicas != 1:
+        argv += ["--replicas", str(args.replicas),
+                 "--affinity-tokens", str(args.affinity_tokens)]
     from .webapp.serve import build_server
     server = build_server(argv)
     server.start()
-    mode = "engine" if args.engine else "in-process"
+    mode = "in-process"
+    if args.engine:
+        mode = (f"{args.replicas}-replica fleet" if args.replicas > 1
+                else "engine")
     print(f"serving on {server.url} ({mode} decoding) — Ctrl+C to stop",
           file=sys.stderr)
     try:

@@ -1,0 +1,21 @@
+"""``repro.cluster`` — a replicated serving fleet behind one router.
+
+N :class:`~repro.serving.InferenceEngine` replicas, each supervised
+and each with an isolated prefix cache, behind a :class:`Router` that
+does prefix-affinity placement (consistent hashing over the prompt's
+leading chunk), balance-of-two spill under saturation, fleet-level
+admission control, transparent bit-identical failover, and rolling
+drain → swap → readmit operations.  See ``docs/CLUSTER.md``.
+"""
+
+from .admission import ClusterAdmissionController
+from .router import (ClusterConfig, ClusterRequest, NoReplicaAvailableError,
+                     Router)
+
+__all__ = [
+    "ClusterAdmissionController",
+    "ClusterConfig",
+    "ClusterRequest",
+    "NoReplicaAvailableError",
+    "Router",
+]

@@ -196,7 +196,12 @@ class ChecklistBonus(LogitsProcessor):
 
     def __call__(self, logits: np.ndarray, generated: List[int]) -> np.ndarray:
         if len(generated) < self._consumed:
-            self._consumed = 0  # history shrank: re-consume from scratch
+            # History shrank: a new request (or a failed-over replay of
+            # this one) is reusing the instance.  Check-offs from the
+            # longer history must not leak into it.
+            self._consumed = 0
+            self._done = [False] * len(self.ingredient_token_ids)
+            self._bonus_idx = None
         for token in generated[self._consumed:]:
             for index in self._by_token.get(token, ()):
                 if not self._done[index]:

@@ -294,61 +294,86 @@ def _state_nbytes(obj: Any, _seen: Optional[set] = None) -> int:
 
 
 class _EngineMetrics:
-    """Engine metric handles, resolved once at construction."""
+    """Engine metric handles, resolved once at construction.
 
-    def __init__(self, registry: MetricsRegistry) -> None:
+    With ``name`` (a cluster replica), every engine series carries an
+    ``engine=<name>`` label and the prefix-cache series a
+    ``cache=<name>`` label, so fleet dashboards can tell the replicas'
+    isolated caches apart instead of aggregating mixed counters.  A
+    standalone engine (``name=None``) keeps the unlabeled series.
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 name: Optional[str] = None) -> None:
         self.clock = registry.clock
+        engine_labels = {} if name is None else {"engine": name}
+        cache_labels = {} if name is None else {"cache": name}
+        self._outcome_labels = engine_labels
         self.requests = registry.counter(
             "engine_requests_total",
             help="Engine requests by final outcome")
         self.tokens = registry.counter(
             "engine_tokens_total",
-            help="Tokens emitted by the serving engine").labels()
+            help="Tokens emitted by the serving engine").labels(
+                **engine_labels)
         self.steps = registry.counter(
             "engine_steps_total",
-            help="Batched decode steps executed").labels()
+            help="Batched decode steps executed").labels(**engine_labels)
         self.batch_occupancy = registry.histogram(
             "engine_batch_occupancy",
-            help="Active sequences per decode step").labels()
+            help="Active sequences per decode step").labels(**engine_labels)
         self.active_sequences = registry.gauge(
             "engine_active_sequences",
-            help="Sequences currently in the decode batch").labels()
+            help="Sequences currently in the decode batch").labels(
+                **engine_labels)
         self.queue_depth = registry.gauge(
             "engine_queue_depth",
-            help="Requests waiting for admission").labels()
+            help="Requests waiting for admission").labels(**engine_labels)
         self.queue_wait_seconds = registry.histogram(
             "engine_queue_wait_seconds",
-            help="Submit-to-admission wait per request").labels()
+            help="Submit-to-admission wait per request").labels(
+                **engine_labels)
         self.ttft_seconds = registry.histogram(
             "engine_ttft_seconds",
-            help="Submit-to-first-token latency per request").labels()
+            help="Submit-to-first-token latency per request").labels(
+                **engine_labels)
         self.cache_hits = registry.counter(
             "engine_prefix_cache_hits_total",
-            help="Prefix-cache lookups that reused a snapshot").labels()
+            help="Prefix-cache lookups that reused a snapshot").labels(
+                **cache_labels)
         self.cache_misses = registry.counter(
             "engine_prefix_cache_misses_total",
-            help="Prefix-cache lookups that found nothing").labels()
+            help="Prefix-cache lookups that found nothing").labels(
+                **cache_labels)
         self.cache_evictions = registry.counter(
             "engine_prefix_cache_evictions_total",
-            help="Snapshots evicted to stay under the byte budget").labels()
+            help="Snapshots evicted to stay under the byte budget").labels(
+                **cache_labels)
         self.cache_hit_tokens = registry.counter(
             "engine_prefix_cache_hit_tokens_total",
-            help="Prompt tokens skipped thanks to prefix-cache hits").labels()
+            help="Prompt tokens skipped thanks to prefix-cache hits").labels(
+                **cache_labels)
         self.cache_bytes = registry.gauge(
             "engine_prefix_cache_bytes",
-            help="Bytes currently held by the prefix cache").labels()
+            help="Bytes currently held by the prefix cache").labels(
+                **cache_labels)
         self.cache_hit_rate = registry.gauge(
             "engine_prefix_cache_hit_rate",
-            help="Lifetime prefix-cache hit rate").labels()
+            help="Lifetime prefix-cache hit rate").labels(**cache_labels)
         self.decode_forwards = registry.counter(
             "engine_decode_forwards_total",
             help="Model decode calls (batched next_logits or verify "
-                 "chunks) — the denominator of tokens-per-forward").labels()
+                 "chunks) — the denominator of tokens-per-forward").labels(
+                **engine_labels)
         self.tokens_per_forward = registry.gauge(
             "engine_tokens_per_forward",
             help="Lifetime decode tokens emitted per model decode call "
                  "(1.0 without speculation; higher means the draft is "
-                 "amortizing target forwards)").labels()
+                 "amortizing target forwards)").labels(**engine_labels)
+
+    def outcome(self, outcome: str):
+        """The ``engine_requests_total`` child for one final outcome."""
+        return self.requests.labels(outcome=outcome, **self._outcome_labels)
 
 
 class InferenceEngine:
@@ -363,10 +388,16 @@ class InferenceEngine:
                  config: Optional[EngineConfig] = None,
                  registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
-                 draft: Optional[DraftModel] = None) -> None:
+                 draft: Optional[DraftModel] = None,
+                 name: Optional[str] = None) -> None:
         self.config = config or EngineConfig()
         self.config.validate()
         self.model = model
+        #: Replica name when this engine is one of a cluster fleet;
+        #: labels every metric series (``engine=``/``cache=``) so
+        #: per-replica counters stay separable.  ``None`` for a
+        #: standalone engine keeps the unlabeled series.
+        self.name = name
         #: Default draft model for requests with ``speculative_k > 0``;
         #: a request may override it with a DraftModel in
         #: ``config.draft``.  ``None`` disables speculation for
@@ -374,7 +405,7 @@ class InferenceEngine:
         self.draft = draft
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
-        self.metrics = _EngineMetrics(self.registry)
+        self.metrics = _EngineMetrics(self.registry, name=name)
         self.spec_metrics = SpeculativeMetrics(self.registry, "engine")
         self._emitted_tokens = 0
         self._decode_forwards = 0
@@ -394,8 +425,10 @@ class InferenceEngine:
         self._crashed: Optional[BaseException] = None
         self._next_id = 0
         self._id_lock = threading.Lock()
+        thread_name = ("repro-engine" if name is None
+                       else f"repro-engine-{name}")
         self._thread = threading.Thread(target=self._run,
-                                        name="repro-engine", daemon=True)
+                                        name=thread_name, daemon=True)
         self._thread.start()
 
     # ------------------------------------------------------------------
@@ -544,7 +577,7 @@ class InferenceEngine:
             "active_sequences": len(self._active),
             "queue_depth": self._queue.qsize(),
             "max_batch_size": self.config.max_batch_size,
-            "prefix_cache": self.prefix_cache.stats.snapshot(),
+            "prefix_cache": self.prefix_cache.stats_snapshot(),
         }
 
     # ------------------------------------------------------------------
@@ -672,11 +705,11 @@ class InferenceEngine:
                         self._finish(seq, error=error)
                         continue
                     self._active.append(seq)
-        cache_stats = self.prefix_cache.stats
+        cache_stats = self.prefix_cache.stats_snapshot()
         self.metrics.cache_evictions.inc(
-            cache_stats.evictions - self.metrics.cache_evictions.value)
-        self.metrics.cache_bytes.set(cache_stats.bytes)
-        self.metrics.cache_hit_rate.set(cache_stats.snapshot()["hit_rate"])
+            cache_stats["evictions"] - self.metrics.cache_evictions.value)
+        self.metrics.cache_bytes.set(cache_stats["bytes"])
+        self.metrics.cache_hit_rate.set(cache_stats["hit_rate"])
 
     def _prefill_stacked(self, members: List[Tuple[_Sequence, Any, Any]],
                          prompt_len: int, hit_len: int) -> bool:
@@ -987,7 +1020,7 @@ class InferenceEngine:
             return False
         if outcome is None:
             outcome = "failed" if error is not None else "completed"
-        self.metrics.requests.labels(outcome=outcome).inc()
+        self.metrics.outcome(outcome).inc()
         if error is None:
             self.metrics.tokens.inc(tokens)
         return True

@@ -57,7 +57,7 @@ class PrefixCacheStats:
     bytes: int = 0
     entries: int = 0
 
-    def snapshot(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, float]:
         lookups = self.hits + self.misses
         return {
             "hits": self.hits, "misses": self.misses,
@@ -66,6 +66,10 @@ class PrefixCacheStats:
             "entries": self.entries,
             "hit_rate": (self.hits / lookups) if lookups else 0.0,
         }
+
+    # Kept for callers that predate ``as_dict``; same unsynchronised
+    # read — use :meth:`PrefixCache.stats_snapshot` for an atomic copy.
+    snapshot = as_dict
 
 
 class PrefixCache:
@@ -173,6 +177,18 @@ class PrefixCache:
             del parent.children[node.token]
             node.parent = None
             node = parent
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        """Atomic copy of the counters, taken under the cache lock.
+
+        The metrics path must use this rather than reading
+        ``self.stats`` fields directly: a concurrent insert/evict can
+        otherwise interleave between field reads and a dashboard
+        aggregating per-replica caches would mix counters from two
+        different points in time.
+        """
+        with self._lock:
+            return self.stats.as_dict()
 
     def clear(self) -> None:
         with self._lock:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..cluster import ClusterConfig, NoReplicaAvailableError, Router
 from ..core.pipeline import Ratatouille
 from ..models import GenerationConfig
 from ..obs import (MetricsRegistry, Tracer, get_registry, get_tracer,
@@ -150,7 +151,9 @@ def create_backend(pipeline: Ratatouille,
                    max_new_tokens_cap: int = MAX_NEW_TOKENS_CAP,
                    resilience: Optional[ResilienceConfig] = None,
                    draft=None,
-                   speculative_k: int = 0) -> App:
+                   speculative_k: int = 0,
+                   replicas: int = 1,
+                   affinity_tokens: int = 32) -> App:
     """Build the backend :class:`~repro.webapp.framework.App`.
 
     ``registry``/``tracer`` are what ``GET /api/metrics`` exposes and
@@ -181,7 +184,20 @@ def create_backend(pipeline: Ratatouille,
     overrides per request, ``0`` opts out).  Greedy requests stay
     bit-identical to the sequential decoder; sampled requests keep the
     model's distribution via rejection sampling.
+
+    ``replicas > 1`` serves through a :class:`~repro.cluster.Router`
+    fleet instead of a single engine (see ``docs/CLUSTER.md``): N
+    supervised engine replicas with isolated prefix caches,
+    prefix-affinity placement over the first ``affinity_tokens``
+    prompt ids, transparent bit-identical failover, and rolling
+    drain/swap/readmit via ``app.router``.  The resilience knobs that
+    applied to the single supervised engine (restart budget, shed
+    watermark) apply per replica; fleet admission sheds only when
+    every replica is past watermark.  A pre-built router can also be
+    passed as ``engine=``.
     """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
     catalog = catalog or default_catalog()
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
@@ -201,7 +217,29 @@ def create_backend(pipeline: Ratatouille,
         raise ValueError(
             f"speculative_k must be in [0, {MAX_SPECULATIVE_K}]")
     if engine is None and use_engine:
-        if resilience is not None and resilience.supervise:
+        if replicas > 1:
+            def _engine_factory(name: str) -> InferenceEngine:
+                return InferenceEngine(pipeline.model, registry=registry,
+                                       tracer=tracer, draft=draft, name=name)
+            cluster_config = ClusterConfig(
+                replicas=replicas,
+                affinity_tokens=affinity_tokens,
+                watermark_tokens=(resilience.shed_watermark_tokens or None
+                                  if resilience is not None else None),
+                tokens_per_second_hint=(
+                    resilience.tokens_per_second_hint
+                    if resilience is not None
+                    else ClusterConfig.tokens_per_second_hint),
+                max_restarts=(resilience.max_restarts
+                              if resilience is not None
+                              else ClusterConfig.max_restarts),
+                restart_backoff_seconds=(
+                    resilience.restart_backoff_seconds
+                    if resilience is not None
+                    else ClusterConfig.restart_backoff_seconds))
+            engine = Router(_engine_factory, cluster_config,
+                            registry=registry, tracer=tracer)
+        elif resilience is not None and resilience.supervise:
             def _factory() -> InferenceEngine:
                 return InferenceEngine(pipeline.model, registry=registry,
                                        tracer=tracer, draft=draft)
@@ -217,23 +255,43 @@ def create_backend(pipeline: Ratatouille,
             engine = InferenceEngine(pipeline.model, registry=registry,
                                      tracer=tracer, draft=draft)
     supervisor = engine if isinstance(engine, EngineSupervisor) else None
+    router = engine if isinstance(engine, Router) else None
     default_deadline_ms = (resilience.default_deadline_ms
                            if resilience is not None else None)
     # With no draft fitted, a server-level speculative_k would silently
     # decode sequentially; zero it so /api/health tells the truth.
     default_speculative_k = speculative_k if draft is not None else 0
+    # The router does its own fleet-level admission (shed only when
+    # every replica is past watermark) — a single-queue gate in front
+    # of it would shed spillable load.
     admission: Optional[AdmissionController] = None
-    if resilience is not None and resilience.shed_watermark_tokens:
+    if (router is None and resilience is not None
+            and resilience.shed_watermark_tokens):
         admission = AdmissionController(
             resilience.shed_watermark_tokens,
             tokens_per_second_hint=resilience.tokens_per_second_hint,
             registry=registry)
     app = App(name="ratatouille-backend")
     app.engine = engine
+    app.router = router
     app.admission = admission
 
     def _admit(cost: int) -> Optional[Response]:
-        """Acquire admission; a Response means "shed, answer with this"."""
+        """Acquire admission; a Response means "shed, answer with this".
+
+        With a router the fleet-level gate runs inside dispatch; here
+        we only *probe* it, so an async job that would queue behind a
+        saturated fleet sheds at submit time (503 + Retry-After)
+        instead of failing later inside the job worker.
+        """
+        if router is not None:
+            try:
+                router.check_admission(cost)
+            except OverloadShedError as exc:
+                return Response.error(
+                    str(exc), status=503,
+                    headers={"Retry-After": str(exc.retry_after)})
+            return None
         if admission is None:
             return None
         try:
@@ -290,10 +348,33 @@ def create_backend(pipeline: Ratatouille,
             payload["degraded"] = True
         return payload
 
+    def _fleet_health() -> dict:
+        """Aggregate fleet state; a single engine is a fleet of one."""
+        if router is not None:
+            return router.fleet_health()
+        if engine is None:
+            # In-process decoding has no serving thread to die.
+            return {"replicas": 1, "healthy": 1, "draining": 0,
+                    "status": "ok"}
+        if supervisor is not None:
+            state = supervisor.state
+            status = {"serving": "ok", "restarting": "degraded"}.get(
+                state, "dead")
+            return {"replicas": 1,
+                    "healthy": int(state == "serving"),
+                    "draining": 0, "status": status}
+        alive = engine.running and engine.crashed is None
+        return {"replicas": 1, "healthy": int(alive), "draining": 0,
+                "status": "ok" if alive else "dead"}
+
     @app.route("/api/health")
     def health(request: Request) -> Response:
+        fleet = _fleet_health()
         return Response.json({
-            "status": "ok",
+            "status": fleet["status"],
+            "replicas": fleet["replicas"],
+            "healthy": fleet["healthy"],
+            "draining": fleet["draining"],
             "model": type(pipeline.model).__name__,
             "parameters": pipeline.model.num_parameters(),
             "vocab_size": pipeline.tokenizer.vocab_size,
@@ -337,8 +418,18 @@ def create_backend(pipeline: Ratatouille,
             return Response.error(str(exc), status=504)
         except EngineQueueFullError as exc:
             return Response.error(str(exc), status=429)
-        except (EngineCrashedError, EngineStoppedError,
-                EngineUnavailableError) as exc:
+        except OverloadShedError as exc:
+            return Response.error(
+                str(exc), status=503,
+                headers={"Retry-After": str(exc.retry_after)})
+        except EngineCrashedError as exc:
+            # The serving replica died mid-request.  502, not 503: the
+            # response is deterministic, so an idempotent resend (the
+            # client RetryPolicy does this) returns the identical
+            # recipe — usually from a healthy replica.
+            return Response.error(str(exc), status=502)
+        except (EngineStoppedError, EngineUnavailableError,
+                NoReplicaAvailableError) as exc:
             return Response.error(str(exc), status=503)
         finally:
             _release(cost)
@@ -402,8 +493,16 @@ def create_backend(pipeline: Ratatouille,
         except EngineQueueFullError as exc:
             _release(cost)
             return Response.error(str(exc), status=429)
-        except (EngineCrashedError, EngineStoppedError,
-                EngineUnavailableError) as exc:
+        except OverloadShedError as exc:
+            _release(cost)
+            return Response.error(
+                str(exc), status=503,
+                headers={"Retry-After": str(exc.retry_after)})
+        except EngineCrashedError as exc:
+            _release(cost)
+            return Response.error(str(exc), status=502)
+        except (EngineStoppedError, EngineUnavailableError,
+                NoReplicaAvailableError) as exc:
             _release(cost)
             return Response.error(str(exc), status=503)
 
@@ -445,6 +544,12 @@ def create_backend(pipeline: Ratatouille,
         if engine is None:
             return Response.json({"enabled": False})
         return Response.json({"enabled": True, **engine.stats()})
+
+    @app.route("/api/cluster")
+    def cluster_stats(request: Request) -> Response:
+        if router is None:
+            return Response.json({"enabled": False})
+        return Response.json({"enabled": True, **router.stats()})
 
     @app.route("/api/resilience")
     def resilience_stats(request: Request) -> Response:

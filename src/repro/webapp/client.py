@@ -182,6 +182,12 @@ class RatatouilleClient:
         if isinstance(error, ApiError):
             if error.status == 503:
                 return True  # shed/unavailable: explicitly safe to resend
+            if error.status == 502:
+                # A serving replica died mid-request (EngineCrashedError
+                # at the backend).  Generation is deterministic, so a
+                # resend is idempotent — the retry returns the identical
+                # recipe, usually from a replica that stayed up.
+                return True
             return method == "GET" and error.status >= 500
         # Transport-level failure (connection refused, reset, timeout):
         # only a GET is known not to have caused side effects.

@@ -69,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "overrides per request)")
     backend.add_argument("--draft-order", type=int, default=3,
                          help="n-gram order of the speculative draft model")
+    backend.add_argument("--replicas", type=int, default=1,
+                         help="serve through a fleet of N supervised engine "
+                              "replicas behind the prefix-affinity router "
+                              "(1 = single engine; see docs/CLUSTER.md)")
+    backend.add_argument("--affinity-tokens", type=int, default=32,
+                         help="leading prompt tokens hashed for replica "
+                              "placement (with --replicas > 1)")
 
     frontend = sub.add_parser("frontend", help="the static picker UI")
     frontend.add_argument("--port", type=int, default=8080)
@@ -121,9 +128,14 @@ def build_server(argv: List[str]) -> Server:
                   f"the training corpus", file=sys.stderr)
             draft = pipeline.build_draft(order=args.draft_order)
             speculative_k = args.speculative_k
+        if args.replicas > 1 and not args.engine:
+            raise SystemExit("--replicas requires the serving engine "
+                             "(drop --no-engine)")
         app = create_backend(pipeline, use_engine=args.engine,
                              resilience=resilience, draft=draft,
-                             speculative_k=speculative_k)
+                             speculative_k=speculative_k,
+                             replicas=args.replicas,
+                             affinity_tokens=args.affinity_tokens)
     else:
         app = create_frontend(args.backend_url)
     return Server(app, host=args.host, port=args.port)

@@ -166,6 +166,42 @@ class TestSpeculativeUnderFaults:
         finally:
             engine.stop()
 
+    def test_stop_racing_inflight_verify_group_resolves_everything(self):
+        # stop() landing while a speculative verify group is in flight
+        # (a forward delay holds it there) must resolve every handle —
+        # no hang — and retire each request exactly once: the
+        # engine_requests_total series sum equals the submit count, so
+        # a double-retire (completed *and* failed-by-stop) shows up as
+        # an off-by-one.
+        from repro.models import NGramDraft
+
+        model = _model()
+        draft = NGramDraft.fit([[1, 2, 3, 4, 5] * 4], 16, order=3)
+        registry = MetricsRegistry()
+        config = GenerationConfig(max_new_tokens=8, strategy="greedy",
+                                  seed=0, speculative_k=4)
+        engine = InferenceEngine(model, draft=draft, registry=registry)
+        submitted = 3
+        injector = FaultInjector(
+            {"model.forward": FaultSpec(delay_seconds=0.02)})
+        try:
+            with inject_faults(injector):
+                handles = [engine.submit([1, 2, 3], config)
+                           for _ in range(submitted)]
+                time.sleep(0.03)  # let a delayed verify forward start
+                engine.stop(timeout=10)
+                for handle in handles:
+                    try:
+                        handle.result(timeout=10)
+                    except TERMINAL_ERRORS:
+                        pass
+            assert all(handle.done for handle in handles)
+            retired = sum(child.value for _, child in
+                          registry.counter("engine_requests_total").series())
+            assert retired == submitted
+        finally:
+            engine.stop()
+
     def test_mixed_batch_fault_spares_no_one_silently(self):
         # Speculative and plain sequences sharing the faulted step all
         # terminate with named errors; the engine survives and both

@@ -93,6 +93,24 @@ class TestRetries:
         assert transport.calls == 2
         assert slept == [pytest.approx(1.0)]  # the server's hint won
 
+    def test_post_retried_on_502_replica_death(self):
+        # 502 = a serving replica died mid-request (EngineCrashedError
+        # at the backend).  Generation is deterministic, so the resend
+        # is idempotent: exactly one logical response comes back across
+        # two transport calls.
+        client, transport, slept = _client(
+            [_http_error(502, "engine thread died"), b'{"title": "Soup"}'])
+        assert client.generate(["garlic"]) == {"title": "Soup"}
+        assert transport.calls == 2
+        assert len(slept) == 1
+
+    def test_502_budget_exhausts_with_the_status(self):
+        client, transport, _ = _client([_http_error(502)] * 5)
+        with pytest.raises(ApiError) as excinfo:
+            client.generate(["garlic"])
+        assert excinfo.value.status == 502
+        assert transport.calls == 3  # 1 attempt + max_retries=2
+
     def test_retry_budget_exhausts(self):
         client, transport, slept = _client([_http_error(503)] * 5)
         with pytest.raises(ApiError) as excinfo:

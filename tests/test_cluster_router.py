@@ -1,0 +1,260 @@
+"""Router unit tests: placement, admission, rolling operations.
+
+Failure-injection coverage (mid-decode replica kills, bit-identical
+failover) lives in ``tests/test_cluster_chaos.py`` under the chaos
+tier; this file covers the router's deterministic behaviour.
+"""
+
+import threading
+
+import pytest
+
+from repro.models import GenerationConfig, generate
+from repro.models.lstm import LSTMConfig, LSTMLanguageModel
+from repro.obs import MetricsRegistry, NullRegistry, NullTracer
+from repro.resilience import FaultInjector, FaultSpec, OverloadShedError, \
+    inject_faults
+from repro.cluster import ClusterAdmissionController, ClusterConfig, Router
+from repro.serving import EngineConfig, EngineStoppedError, InferenceEngine
+
+pytestmark = pytest.mark.cluster
+
+CONFIG = GenerationConfig(max_new_tokens=4, seed=0)
+
+
+def _model():
+    return LSTMLanguageModel(LSTMConfig(vocab_size=16, d_embed=4, d_hidden=8,
+                                        num_layers=1, dropout=0.0))
+
+
+def _router(model, registry, replicas=2, **overrides):
+    defaults = dict(replicas=replicas, restart_backoff_seconds=0.01,
+                    heartbeat_seconds=0.01)
+    defaults.update(overrides)
+
+    def factory(name):
+        return InferenceEngine(model, EngineConfig(max_batch_size=2),
+                               registry=registry, tracer=NullTracer(),
+                               name=name)
+
+    return Router(factory, ClusterConfig(**defaults), registry=registry)
+
+
+@pytest.fixture()
+def model():
+    return _model()
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestPlacement:
+    def test_same_prefix_same_replica(self, model, registry):
+        with _router(model, registry, replicas=3) as router:
+            # Only the first affinity_tokens (32) ids key placement:
+            # prompts agreeing on that head land together no matter how
+            # their tails differ.
+            head = list(range(1, 36))
+            homes = {router.affinity_replica(head + [i]) for i in range(8)}
+            assert len(homes) == 1
+
+    def test_distinct_prefixes_spread(self, model, registry):
+        with _router(model, registry, replicas=3) as router:
+            homes = {router.affinity_replica([seed, seed + 1, seed + 2])
+                     for seed in range(40)}
+            assert len(homes) >= 2  # consistent hashing actually spreads
+
+    def test_affinity_is_stable_across_routers(self, model, registry):
+        # blake2b, not the salted builtin hash: two router instances
+        # (e.g. across a restart) place the same prefix identically.
+        with _router(model, registry, replicas=3) as first:
+            expected = [first.affinity_replica([s, 2, 3]) for s in range(10)]
+        with _router(model, MetricsRegistry(), replicas=3) as second:
+            assert [second.affinity_replica([s, 2, 3])
+                    for s in range(10)] == expected
+
+    def test_output_matches_sequential(self, model, registry):
+        expected = generate(model, [1, 2, 3], CONFIG,
+                            registry=NullRegistry(), tracer=NullTracer())
+        with _router(model, registry) as router:
+            assert router.generate([1, 2, 3], CONFIG) == expected
+            assert router.submit([1, 2, 3], CONFIG).result(
+                timeout=10) == expected
+
+    def test_beam_routes_through_fleet(self, model, registry):
+        beam = GenerationConfig(max_new_tokens=4, strategy="beam",
+                                beam_size=2, seed=0)
+        expected = generate(model, [1, 2, 3], beam,
+                            registry=NullRegistry(), tracer=NullTracer())
+        with _router(model, registry) as router:
+            assert router.generate([1, 2, 3], beam) == expected
+            with pytest.raises(ValueError):
+                router.submit([1, 2, 3], beam)
+
+    def test_saturated_affinity_spills_to_least_queued(self, model, registry):
+        # saturation_tokens=0: any outstanding work on the home replica
+        # spills the next same-prefix request balance-of-two style.  A
+        # forward delay pins the first request in flight deterministically.
+        with _router(model, registry, saturation_tokens=0) as router:
+            prompt = [1, 2, 3]
+            home = router.affinity_replica(prompt)
+            injector = FaultInjector(
+                {"model.forward": FaultSpec(delay_seconds=0.02)})
+            with inject_faults(injector):
+                first = router.submit(prompt, CONFIG)
+                second = router.submit(prompt, CONFIG)
+                assert first.replica == home
+                assert second.replica != home
+                assert first.result(timeout=30) == second.result(timeout=30)
+            stats = router.stats()
+            assert stats["affinity"]["spills"] >= 1
+            assert 0.0 < stats["affinity"]["hit_rate"] < 1.0
+
+
+class TestAdmission:
+    def test_sheds_only_when_all_replicas_past_watermark(self, model,
+                                                         registry):
+        # Watermark of one request's cost: each replica can hold one.
+        with _router(model, registry, saturation_tokens=0,
+                     watermark_tokens=CONFIG.max_new_tokens) as router:
+            injector = FaultInjector(
+                {"model.forward": FaultSpec(delay_seconds=0.02)})
+            with inject_faults(injector):
+                first = router.submit([1, 2, 3], CONFIG)
+                second = router.submit([1, 2, 3], CONFIG)  # spills, admitted
+                assert {first.replica, second.replica} == {"r0", "r1"}
+                with pytest.raises(OverloadShedError) as excinfo:
+                    router.submit([1, 2, 3], CONFIG)
+                assert excinfo.value.retry_after >= 1
+                with pytest.raises(OverloadShedError):
+                    router.check_admission(CONFIG.max_new_tokens)
+                first.result(timeout=30)
+                second.result(timeout=30)
+            # Backlog drained: the fleet admits again.
+            assert len(router.generate([1, 2, 3], CONFIG)) == 4
+            assert router.stats()["admission"]["shed_total"] >= 1
+
+    def test_controller_idle_oversized_escape_hatch(self, registry):
+        gate = ClusterAdmissionController(watermark_tokens=10,
+                                          registry=registry)
+        # Oversized cost, but r1 is idle: admit there.
+        assert gate.eligible({"r0": 5, "r1": 0}, 100) == ["r1"]
+        with pytest.raises(OverloadShedError):
+            gate.eligible({"r0": 5, "r1": 7}, 100)
+
+    def test_controller_disabled_watermark_admits_everything(self, registry):
+        gate = ClusterAdmissionController(watermark_tokens=None,
+                                          registry=registry)
+        assert sorted(gate.eligible({"r0": 10**9, "r1": 10**9}, 100)) == \
+            ["r0", "r1"]
+
+
+class TestRollingOperations:
+    def test_drain_swap_readmit_drops_nothing(self, model, registry):
+        with _router(model, registry, saturation_tokens=10**6) as router:
+            prompt = [1, 2, 3]
+            home = router.affinity_replica(prompt)
+            other = next(n for n in router.replica_names() if n != home)
+            expected = generate(model, prompt, CONFIG,
+                                registry=NullRegistry(), tracer=NullTracer())
+            injector = FaultInjector(
+                {"model.forward": FaultSpec(delay_seconds=0.01)})
+            with inject_faults(injector):
+                inflight = router.submit(prompt, CONFIG)
+                assert inflight.replica == home
+                drained = {}
+
+                def drain():
+                    drained["seconds"] = router.drain(home, timeout=30)
+
+                thread = threading.Thread(target=drain)
+                thread.start()
+                # While draining, same-prefix traffic routes elsewhere
+                # and completes; the in-flight request finishes whole.
+                rerouted = router.submit(prompt, CONFIG)
+                assert rerouted.replica == other
+                assert rerouted.result(timeout=30) == expected
+                thread.join(timeout=30)
+                assert not thread.is_alive()
+            assert inflight.result(timeout=30) == expected  # zero dropped
+            assert drained["seconds"] >= 0.0
+            old_engine = router._replicas[home].supervisor.engine
+            router.swap(home)
+            assert router._replicas[home].supervisor.engine is not old_engine
+            # Still draining until readmitted.
+            assert router.stats()["replicas"][home]["state"] == "draining"
+            assert router.fleet_health()["status"] == "draining"
+            router.readmit(home)
+            assert router.fleet_health() == {
+                "replicas": 2, "healthy": 2, "draining": 0, "status": "ok"}
+            # The swapped replica serves its prefix again, identically.
+            landed = router.submit(prompt, CONFIG)
+            assert landed.replica == home
+            assert landed.result(timeout=30) == expected
+            # The drain was observed on the metrics histogram.
+            assert registry.histogram(
+                "cluster_drain_seconds").labels().count == 1
+
+    def test_swap_requires_drain(self, model, registry):
+        with _router(model, registry) as router:
+            with pytest.raises(RuntimeError, match="drain"):
+                router.swap("r0")
+
+    def test_swap_can_replace_the_factory(self, model, registry):
+        replacement = _model()
+        with _router(model, registry) as router:
+            router.drain("r0", timeout=10)
+
+            def new_factory(name):
+                return InferenceEngine(replacement, registry=registry,
+                                       name=name)
+
+            router.swap("r0", engine_factory=new_factory)
+            router.readmit("r0")
+            assert router._replicas["r0"].supervisor.engine.model \
+                is replacement
+
+    def test_unknown_replica_is_a_keyerror(self, model, registry):
+        with _router(model, registry) as router:
+            with pytest.raises(KeyError, match="r9"):
+                router.drain("r9")
+
+
+class TestLifecycle:
+    def test_stopped_router_refuses_submits(self, model, registry):
+        router = _router(model, registry)
+        router.stop()
+        assert not router.running
+        with pytest.raises(EngineStoppedError):
+            router.submit([1, 2, 3], CONFIG)
+
+    def test_stats_shape(self, model, registry):
+        with _router(model, registry) as router:
+            router.generate([1, 2, 3], CONFIG)
+            stats = router.stats()
+            assert set(stats["replicas"]) == {"r0", "r1"}
+            for replica in stats["replicas"].values():
+                assert replica["state"] == "healthy"
+                assert "hit_rate" in replica["prefix_cache"]
+                assert replica["supervisor"]["restarts"] == 0
+            assert stats["fleet"]["status"] == "ok"
+            assert stats["affinity"]["affinity_tokens"] == 32
+            assert sum(r["dispatches"]
+                       for r in stats["replicas"].values()) == 1
+
+    def test_per_replica_metric_labels(self, model, registry):
+        with _router(model, registry) as router:
+            router.generate([1, 2, 3], CONFIG)
+        # The serving replica's engine + cache series carry its name.
+        served = [name for name, replica
+                  in router.stats()["replicas"].items()
+                  if replica["dispatches"]]
+        assert len(served) == 1
+        tokens = registry.counter("engine_tokens_total")
+        assert tokens.labels(engine=served[0]).value == 4
+        hits = registry.counter("engine_prefix_cache_misses_total")
+        assert hits.labels(cache=served[0]).value >= 1
+        dispatches = registry.counter("cluster_dispatches_total")
+        assert dispatches.labels(replica=served[0]).value == 1

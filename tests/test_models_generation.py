@@ -212,6 +212,22 @@ class TestProcessors:
     def test_checklist_empty_coverage_one(self):
         assert ChecklistBonus([]).coverage == 1.0
 
+    def test_checklist_resets_when_history_shrinks(self):
+        # A shrinking history means a new request (or a failed-over
+        # replay of the same one, through the cluster router) is
+        # reusing the instance: earlier check-offs must not leak into
+        # the replay, or the replayed logits diverge from sequential.
+        proc = ChecklistBonus([[5], [7]], bonus=3.0)
+        proc(np.zeros(10), [5])          # 5 checked off
+        assert proc.coverage == 0.5
+        out = proc(np.zeros(10), [])     # history shrank: fresh run
+        assert out[5] == 3.0 and out[7] == 3.0
+        assert proc.coverage == 0.0
+        # The replay re-checks items exactly as the first pass did.
+        out = proc(np.zeros(10), [5])
+        assert out[5] == 0.0 and out[7] == 3.0
+        assert proc.coverage == 0.5
+
     def test_checklist_in_generation(self, model):
         out = generate(model, [1],
                        GenerationConfig(strategy="greedy", max_new_tokens=10),

@@ -88,6 +88,47 @@ class TestBudget:
         assert [7, 8] in cache
         assert [7] not in cache
 
+    def test_stats_as_dict_and_locked_snapshot(self):
+        cache = PrefixCache(max_bytes=100)
+        cache.insert([1, 2], "a", nbytes=10)
+        cache.lookup([1, 2])
+        cache.lookup([9])
+        expected = {"hits": 1, "misses": 1, "evictions": 0, "rejected": 0,
+                    "hit_tokens": 2, "bytes": 10, "entries": 1,
+                    "hit_rate": 0.5}
+        assert cache.stats.as_dict() == expected
+        # The locked variant reads under the cache lock — same content,
+        # atomic with respect to concurrent insert/lookup/evict.
+        assert cache.stats_snapshot() == expected
+        # Back-compat alias for callers that predate as_dict().
+        assert cache.stats.snapshot() == expected
+
+    def test_stats_snapshot_is_atomic_under_writers(self):
+        import threading
+
+        cache = PrefixCache(max_bytes=10_000)
+        stop = threading.Event()
+
+        def churn():
+            i = 0
+            while not stop.is_set():
+                cache.insert([i % 50, 1], "v", nbytes=7)
+                cache.lookup([i % 50, 1])
+                i += 1
+
+        writer = threading.Thread(target=churn)
+        writer.start()
+        try:
+            for _ in range(200):
+                snap = cache.stats_snapshot()
+                # Entries each cost 7 bytes: an atomic read can never
+                # observe a bytes total mid-update (torn between the
+                # decrement and increment of an entry replacement).
+                assert snap["bytes"] == snap["entries"] * 7
+        finally:
+            stop.set()
+            writer.join(timeout=10)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             PrefixCache(max_bytes=-1)

@@ -135,6 +135,18 @@ class TestEngineBackedGeneration:
         assert stats["max_batch_size"] >= 1
         assert "prefix_cache" in stats
 
+    def test_health_reports_fleet_of_one(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["replicas"] == 1
+        assert health["healthy"] == 1
+        assert health["draining"] == 0
+
+    def test_cluster_endpoint_disabled_for_single_engine(self, backend):
+        payload = json.loads(urlopen(backend.url + "/api/cluster",
+                                     timeout=10).read())
+        assert payload == {"enabled": False}
+
     def test_engine_metrics_exposed(self, backend, registry):
         with urlopen(backend.url + "/api/metrics?format=text",
                      timeout=10) as response:
@@ -194,6 +206,14 @@ class TestEngineDisabled:
     def test_engine_endpoint_reports_disabled(self, plain_backend):
         assert RatatouilleClient(plain_backend.url).engine_stats() == {
             "enabled": False}
+
+    def test_health_still_a_fleet_of_one(self, plain_backend):
+        # No serving thread exists to die, so the in-process decoder
+        # reports the same healthy fleet-of-one shape.
+        health = RatatouilleClient(plain_backend.url).health()
+        assert health["status"] == "ok"
+        assert (health["replicas"], health["healthy"],
+                health["draining"]) == (1, 1, 0)
 
     def test_stream_unavailable_without_engine(self, plain_backend):
         client = RatatouilleClient(plain_backend.url)
