@@ -118,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "--speculative)")
     serve.add_argument("--draft-order", type=int, default=3,
                        help="n-gram order of the speculative draft")
+    serve.add_argument("--kernels", choices=["off", "fp32", "int8"],
+                       default="off",
+                       help="inference kernel mode: allocation-free decode "
+                            "path over frozen shared weights (fp32 is "
+                            "bit-identical; int8 quantizes GEMM weights)")
     serve.add_argument("--replicas", type=int, default=1,
                        help="replicated engine fleet behind the prefix-"
                             "affinity router (1 = single engine)")
@@ -249,6 +254,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         argv += ["--speculative",
                  "--speculative-k", str(args.speculative_k),
                  "--draft-order", str(args.draft_order)]
+    if args.kernels != "off":
+        argv += ["--kernels", args.kernels]
     if args.replicas != 1:
         argv += ["--replicas", str(args.replicas),
                  "--affinity-tokens", str(args.affinity_tokens)]
@@ -259,6 +266,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.engine:
         mode = (f"{args.replicas}-replica fleet" if args.replicas > 1
                 else "engine")
+        if args.kernels != "off":
+            mode += f", {args.kernels} kernels"
     print(f"serving on {server.url} ({mode} decoding) — Ctrl+C to stop",
           file=sys.stderr)
     try:

@@ -692,6 +692,35 @@ class Router:
     def replica_names(self) -> List[str]:
         return list(self._replicas)
 
+    def weight_bytes(self) -> Dict[str, Any]:
+        """Fleet weight-memory accounting, deduplicated by array identity.
+
+        Replicas attached to one shared
+        :class:`~repro.nn.kernels.WeightStore` (or one shared model)
+        reference the same ndarrays, so ``unique_bytes`` stays ~1x the
+        model size regardless of replica count — the invariant the
+        shared-weight kernels exist to provide.  Isolated per-replica
+        models show up as ~N x.  Quantized (int8) copies are counted
+        once per store alongside the fp32 arrays they derive from.
+        """
+        unique: Dict[int, int] = {}
+        models: Dict[int, Any] = {}
+        for replica in self._replicas.values():
+            model = replica.supervisor.engine.model
+            models[id(model)] = model
+        for model in models.values():
+            for param in model.parameters():
+                unique[id(param.data)] = param.data.nbytes
+            kernels = getattr(model, "kernels", None)
+            if kernels is not None:
+                for arr in kernels.store.all_arrays():
+                    unique[id(arr)] = arr.nbytes
+        return {
+            "replicas": len(self._replicas),
+            "model_copies": len(models),
+            "unique_bytes": sum(unique.values()),
+        }
+
     def fleet_health(self) -> Dict[str, Any]:
         """Aggregate fleet state for ``/api/health``.
 
@@ -731,6 +760,7 @@ class Router:
         return {
             "replicas": replicas,
             "fleet": self.fleet_health(),
+            "weights": self.weight_bytes(),
             "affinity": {
                 "affinity_tokens": self.config.affinity_tokens,
                 "hits": hits,

@@ -32,6 +32,47 @@ class LanguageModel(Module):
         if vocab_size < 2:
             raise ValueError(f"vocab_size must be >= 2, got {vocab_size}")
         self.vocab_size = vocab_size
+        self._kernels = None
+
+    # ------------------------------------------------------------------
+    # Inference kernels (optional fast path)
+    # ------------------------------------------------------------------
+    @property
+    def kernels(self):
+        """The attached :class:`~repro.nn.kernels.InferenceKernels`,
+        or ``None`` when the model runs the Tensor-graph path."""
+        return self._kernels
+
+    def enable_kernels(self, mode: str = "fp32", store=None, freeze=False):
+        """Attach the inference-only kernel forward path.
+
+        Models with a kernel implementation (the transformer) override
+        this; the default refuses so callers fail loudly rather than
+        silently running the slow path.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no inference-kernel implementation")
+
+    def disable_kernels(self) -> None:
+        """Detach kernels and return to the Tensor-graph forward.
+
+        Releases any read-only freeze this model's own ``enable_kernels``
+        call put on the weights (a store the caller supplied is left
+        alone — other replicas may still rely on it).
+        """
+        kernels = self._kernels
+        self._kernels = None
+        if kernels is not None and getattr(kernels, "_owns_freeze", False):
+            kernels.store.release()
+
+    def _active_kernels(self):
+        """Kernels to dispatch to, or ``None``.
+
+        Kernels are inference-only: a model put back in training mode
+        transparently falls back to the autograd path.
+        """
+        kernels = self._kernels
+        return kernels if (kernels is not None and not self.training) else None
 
     # ------------------------------------------------------------------
     # Training path

@@ -20,7 +20,8 @@ from typing import Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..nn import (Dropout, Embedding, KVCache, LayerNorm, ModuleList, Tensor,
-                  TransformerBlock)
+                  TransformerBlock, is_grad_enabled)
+from ..nn.kernels import InferenceKernels, WeightStore
 from .base import LanguageModel
 
 
@@ -101,12 +102,41 @@ class GPT2Model(LanguageModel):
         return hidden @ self.wte.weight.swapaxes(0, 1)
 
     # ------------------------------------------------------------------
+    # Inference kernels
+    # ------------------------------------------------------------------
+    def enable_kernels(self, mode: str = "fp32", store: Optional[WeightStore]
+                       = None, freeze: bool = False) -> InferenceKernels:
+        """Attach the buffer-reusing inference kernels (fp32 or int8).
+
+        ``store`` shares one weight copy across replicas: pass the
+        store from another replica's kernels (or a
+        :meth:`~repro.nn.kernels.WeightStore.from_model` result) and
+        this model serves from the same read-only arrays.  ``freeze``
+        (only honored when the store is created here) marks the weights
+        read-only so no replica can corrupt the shared copy.  Kernels
+        are inference-only, so this switches the model to eval mode;
+        ``train()`` transparently falls back to the autograd path.
+        """
+        owns_freeze = False
+        if store is None:
+            store = WeightStore.from_model(self, freeze=freeze)
+            owns_freeze = freeze
+        kernels = InferenceKernels(store, mode=mode)
+        kernels._owns_freeze = owns_freeze
+        self._kernels = kernels
+        self.eval()
+        return kernels
+
+    # ------------------------------------------------------------------
     # Training path
     # ------------------------------------------------------------------
     def forward(self, ids: np.ndarray) -> Tensor:
         ids = np.asarray(ids)
         if ids.ndim != 2:
             raise ValueError(f"expected (batch, time) ids, got shape {ids.shape}")
+        kernels = self._active_kernels()
+        if kernels is not None and not is_grad_enabled():
+            return Tensor(kernels.full_forward(ids))
         hidden, _ = self._trunk(ids, position_offset=0)
         return self._project(hidden)
 
@@ -137,6 +167,10 @@ class GPT2Model(LanguageModel):
                               v=c.values[:, :, -keep:, :])
                       for c in caches]
             position = keep
+        kernels = self._active_kernels()
+        if kernels is not None:
+            logits, new_caches = kernels.decode_step(ids, caches, position)
+            return logits, GPT2State(caches=new_caches, position=position + 1)
         hidden, new_caches = self._trunk(ids, position_offset=position,
                                          caches=caches)
         logits = self._project(hidden)
@@ -157,6 +191,13 @@ class GPT2Model(LanguageModel):
             raise ValueError("prefill requires at least one token")
         if state.position + ids.size > self.config.context_length:
             return super().prefill(ids, state)
+        kernels = self._active_kernels()
+        if kernels is not None:
+            logits, caches = kernels.prefill_batch(ids.reshape(1, -1),
+                                                   state.caches,
+                                                   state.position)
+            return logits, GPT2State(caches=caches,
+                                     position=state.position + ids.size)
         hidden, caches = self._trunk(ids.reshape(1, -1),
                                      position_offset=state.position,
                                      caches=state.caches)
@@ -181,6 +222,12 @@ class GPT2Model(LanguageModel):
             raise ValueError(
                 f"chunk ending at {state.position + ids.shape[1]} exceeds "
                 f"context length {self.config.context_length}")
+        kernels = self._active_kernels()
+        if kernels is not None:
+            logits, caches = kernels.prefill_batch(ids, state.caches,
+                                                   state.position)
+            return logits, GPT2State(caches=caches,
+                                     position=state.position + ids.shape[1])
         hidden, caches = self._trunk(ids, position_offset=state.position,
                                      caches=state.caches)
         logits = self._project(hidden)
@@ -216,6 +263,19 @@ class GPT2Model(LanguageModel):
             raise ValueError(
                 f"chunk ending at {state.position + steps} exceeds context "
                 f"length {self.config.context_length}")
+        kernels = self._active_kernels()
+        if kernels is not None:
+            logits_data, new_caches = kernels.verify_batch(
+                ids, state.caches, state.position)
+            states = [
+                GPT2State(
+                    caches=[KVCache(k=c.k, v=c.v,
+                                    length=c.length - steps + t + 1)
+                            for c in new_caches],
+                    position=state.position + t + 1)
+                for t in range(steps)
+            ]
+            return logits_data, states
         positions = np.arange(state.position, state.position + steps)
         x = self.wte(ids) + self.wpe(np.broadcast_to(positions, (batch, steps)))
         x = self.drop(x)

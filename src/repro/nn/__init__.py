@@ -10,6 +10,8 @@ attention (:mod:`repro.nn.attention`), optimizers
 
 from . import functional
 from .attention import CausalSelfAttention, KVCache, MLP, TransformerBlock
+from .kernels import (InferenceKernels, QuantizedTensor, WeightStore,
+                      quantize_per_channel)
 from .layers import Dropout, Embedding, LayerNorm, Linear, Sequential
 from .module import Module, ModuleList, Parameter
 from .optim import Adam, AdamW, Optimizer, SGD, clip_grad_norm
@@ -20,9 +22,10 @@ from .tensor import Tensor, is_grad_enabled, no_grad, ones, tensor, zeros
 
 __all__ = [
     "Adam", "AdamW", "CausalSelfAttention", "ConstantLR", "CosineWarmupLR",
-    "Dropout", "Embedding", "KVCache", "LayerNorm", "Linear", "LinearWarmupLR",
-    "LRSchedule", "LSTM", "LSTMCell", "LSTMState", "MLP", "Module",
-    "ModuleList", "Optimizer", "Parameter", "SGD", "Sequential", "Tensor",
-    "TransformerBlock", "clip_grad_norm", "functional", "is_grad_enabled",
-    "no_grad", "ones", "schedule_from_name", "tensor", "zeros",
+    "Dropout", "Embedding", "InferenceKernels", "KVCache", "LayerNorm",
+    "Linear", "LinearWarmupLR", "LRSchedule", "LSTM", "LSTMCell", "LSTMState",
+    "MLP", "Module", "ModuleList", "Optimizer", "Parameter", "QuantizedTensor",
+    "SGD", "Sequential", "Tensor", "TransformerBlock", "WeightStore",
+    "clip_grad_norm", "functional", "is_grad_enabled", "no_grad", "ones",
+    "quantize_per_channel", "schedule_from_name", "tensor", "zeros",
 ]

@@ -93,19 +93,24 @@ class KVCache:
         return KVCache(k=self.keys.copy(), v=self.values.copy(),
                        length=self.length, frozen=True)
 
-    def append(self, new_k: np.ndarray, new_v: np.ndarray) -> "KVCache":
+    def append(self, new_k: np.ndarray, new_v: np.ndarray,
+               reserve: int = 0) -> "KVCache":
         """Extend by ``new_k``/``new_v`` (``(batch, heads, t, head_dim)``).
 
         Returns a new :class:`KVCache` handle; buffers are reused in
         place when owned and large enough, else reallocated with
-        headroom.
+        headroom.  ``reserve`` sets a minimum capacity for any such
+        reallocation: the inference kernels pass the model's context
+        length so a sequence's cache is sized once and every later
+        append is an in-place write (the steady-state zero-allocation
+        fast path).  Values are unaffected — only spare capacity.
         """
         step = new_k.shape[2]
         total = self.length + step
         k, v = self.k, self.v
         if self.frozen or total > k.shape[2]:
             shape = list(k.shape)
-            shape[2] = total + _CACHE_HEADROOM
+            shape[2] = max(total + _CACHE_HEADROOM, reserve)
             k = np.empty(tuple(shape), dtype=self.k.dtype)
             v = np.empty(tuple(shape), dtype=self.v.dtype)
             k[:, :, :self.length] = self.keys

@@ -571,6 +571,7 @@ class InferenceEngine:
 
     def stats(self) -> Dict[str, Any]:
         """Point-in-time engine stats (for the CLI and debug endpoints)."""
+        kernels = getattr(self.model, "kernels", None)
         return {
             "running": self.running,
             "crashed": self._crashed is not None,
@@ -578,6 +579,7 @@ class InferenceEngine:
             "queue_depth": self._queue.qsize(),
             "max_batch_size": self.config.max_batch_size,
             "prefix_cache": self.prefix_cache.stats_snapshot(),
+            "kernels": None if kernels is None else kernels.stats(),
         }
 
     # ------------------------------------------------------------------
@@ -586,8 +588,24 @@ class InferenceEngine:
     def _run(self) -> None:
         try:
             self.model.eval()
+            kernels = getattr(self.model, "kernels", None)
+            if kernels is not None:
+                # Size this thread's workspace arenas for a full batch
+                # of decode slots up front, so steady-state serving
+                # never allocates (see docs/KERNELS.md).
+                kernels.preallocate(self.config.max_batch_size,
+                                    chunk=self.config.prefill_chunk)
             with no_grad():
                 while not self._stop_event.is_set():
+                    # One managed kernel step per scheduler iteration:
+                    # flips the workspace parity, so logits views handed
+                    # out during this iteration survive exactly until
+                    # they are sampled at the next one.  Re-fetched each
+                    # iteration because kernels may be enabled on a
+                    # serving model at runtime.
+                    kernels = getattr(self.model, "kernels", None)
+                    if kernels is not None:
+                        kernels.begin_step()
                     self._admit()
                     if not self._active:
                         continue

@@ -153,7 +153,8 @@ def create_backend(pipeline: Ratatouille,
                    draft=None,
                    speculative_k: int = 0,
                    replicas: int = 1,
-                   affinity_tokens: int = 32) -> App:
+                   affinity_tokens: int = 32,
+                   kernels: Optional[str] = None) -> App:
     """Build the backend :class:`~repro.webapp.framework.App`.
 
     ``registry``/``tracer`` are what ``GET /api/metrics`` exposes and
@@ -195,9 +196,18 @@ def create_backend(pipeline: Ratatouille,
     watermark) apply per replica; fleet admission sheds only when
     every replica is past watermark.  A pre-built router can also be
     passed as ``engine=``.
+
+    ``kernels`` (``"fp32"`` or ``"int8"``, see ``docs/KERNELS.md``)
+    routes decoding through the allocation-free inference kernels.
+    The weights are frozen read-only and — because every replica
+    serves the same model object — the whole fleet shares one weight
+    copy.  ``"fp32"`` is bit-identical to the Tensor path; ``"int8"``
+    trades a small perplexity delta for a smaller working set.
     """
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
+    if kernels is not None:
+        pipeline.model.enable_kernels(mode=kernels, freeze=True)
     catalog = catalog or default_catalog()
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()

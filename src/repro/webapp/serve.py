@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "overrides per request)")
     backend.add_argument("--draft-order", type=int, default=3,
                          help="n-gram order of the speculative draft model")
+    backend.add_argument("--kernels", choices=["off", "fp32", "int8"],
+                         default="off",
+                         help="inference kernel mode: preallocated "
+                              "buffer-reusing decode path with frozen "
+                              "shared weights (fp32 is bit-identical; "
+                              "int8 quantizes the GEMM weights)")
     backend.add_argument("--replicas", type=int, default=1,
                          help="serve through a fleet of N supervised engine "
                               "replicas behind the prefix-affinity router "
@@ -135,7 +141,9 @@ def build_server(argv: List[str]) -> Server:
                              resilience=resilience, draft=draft,
                              speculative_k=speculative_k,
                              replicas=args.replicas,
-                             affinity_tokens=args.affinity_tokens)
+                             affinity_tokens=args.affinity_tokens,
+                             kernels=(None if args.kernels == "off"
+                                      else args.kernels))
     else:
         app = create_frontend(args.backend_url)
     return Server(app, host=args.host, port=args.port)

@@ -258,3 +258,111 @@ class TestLifecycle:
         assert hits.labels(cache=served[0]).value >= 1
         dispatches = registry.counter("cluster_dispatches_total")
         assert dispatches.labels(replica=served[0]).value == 1
+
+
+class TestSharedWeightFleet:
+    """N replicas over ONE frozen weight copy (``docs/KERNELS.md``).
+
+    The factory closes over a single kernel-enabled transformer, so
+    every replica's engine decodes through the same read-only
+    :class:`~repro.nn.WeightStore` — the fleet costs ~1x model weights
+    instead of ~Nx, with per-thread kernel workspaces keeping the
+    replicas' concurrent decodes isolated.
+    """
+
+    @staticmethod
+    def _gpt(seed=0):
+        from repro.models import distilgpt2
+        return distilgpt2(vocab_size=16, seed=seed, context_length=64)
+
+    @staticmethod
+    def _shared_factory(shared, registry):
+        def factory(name):
+            return InferenceEngine(shared, EngineConfig(max_batch_size=2),
+                                   registry=registry, tracer=NullTracer(),
+                                   name=name)
+        return factory
+
+    def test_shared_fleet_bit_identical_to_isolated_replicas(self, registry):
+        prompts = [[1, 2, 3], [7, 6, 5, 4], [2] * 34, [9, 9, 1]]
+        reference = self._gpt()
+        reference.eval()
+        expected = [generate(reference, p, CONFIG, registry=NullRegistry(),
+                             tracer=NullTracer()) for p in prompts]
+
+        shared = self._gpt()
+        shared.enable_kernels("fp32", freeze=True)
+        config = ClusterConfig(replicas=3, restart_backoff_seconds=0.01,
+                               heartbeat_seconds=0.01)
+        with Router(self._shared_factory(shared, registry), config,
+                    registry=registry) as router:
+            handles = [router.submit(p, CONFIG) for p in prompts]
+            assert [h.result(timeout=30) for h in handles] == expected
+
+    def test_fleet_weight_bytes_one_copy_when_shared(self, registry):
+        single = sum(p.data.nbytes for p in self._gpt().parameters())
+        shared = self._gpt()
+        shared.enable_kernels("fp32", freeze=True)
+        config = ClusterConfig(replicas=3, restart_backoff_seconds=0.01,
+                               heartbeat_seconds=0.01)
+        with Router(self._shared_factory(shared, registry), config,
+                    registry=registry) as router:
+            accounting = router.weight_bytes()
+            assert accounting["replicas"] == 3
+            assert accounting["model_copies"] == 1
+            # ~1x: the kernel store references the model's own arrays.
+            assert accounting["unique_bytes"] <= 1.1 * single
+            assert router.stats()["weights"] == accounting
+
+    def test_fleet_weight_bytes_n_copies_when_isolated(self, registry):
+        single = sum(p.data.nbytes for p in self._gpt().parameters())
+
+        def factory(name):
+            model = self._gpt()
+            model.eval()
+            return InferenceEngine(model, EngineConfig(max_batch_size=2),
+                                   registry=registry, tracer=NullTracer(),
+                                   name=name)
+
+        config = ClusterConfig(replicas=3, restart_backoff_seconds=0.01,
+                               heartbeat_seconds=0.01)
+        with Router(factory, config, registry=registry) as router:
+            accounting = router.weight_bytes()
+            assert accounting["model_copies"] == 3
+            assert accounting["unique_bytes"] >= 3 * single
+
+    @pytest.mark.chaos
+    def test_replica_crash_reattaches_to_shared_weights(self, registry):
+        # Crash a replica's engine thread mid-request: the supervisor
+        # restarts it via the factory, re-attaching to the SAME shared
+        # model, and the request fails over bit-identically.  The
+        # frozen store guarantees the crash couldn't have corrupted
+        # weights, and survivors plus the restarted replica must stay
+        # bit-identical to the unfailed sequential run.
+        prompt = [1, 2, 3]
+        reference = self._gpt()
+        reference.eval()
+        expected = generate(reference, prompt, CONFIG,
+                            registry=NullRegistry(), tracer=NullTracer())
+
+        shared = self._gpt()
+        kernels = shared.enable_kernels("fp32", freeze=True)
+        snapshot = shared.wte.weight.data.copy()
+        injector = FaultInjector(
+            {"prefix_cache.get": FaultSpec(schedule={0}, max_faults=1)})
+        config = ClusterConfig(replicas=2, restart_backoff_seconds=0.01,
+                               heartbeat_seconds=0.01)
+        with Router(self._shared_factory(shared, registry), config,
+                    registry=registry) as router:
+            with inject_faults(injector):
+                handle = router.submit(prompt, CONFIG)
+                assert handle.result(timeout=30) == expected
+            assert handle.failovers >= 1
+            # The fleet still shares the one frozen copy after restart.
+            accounting = router.weight_bytes()
+            assert accounting["model_copies"] == 1
+            assert kernels.store.frozen
+            assert not shared.wte.weight.data.flags.writeable
+            assert (shared.wte.weight.data == snapshot).all()
+            # And the restarted fleet keeps serving identically.
+            assert router.generate(prompt, CONFIG) == expected

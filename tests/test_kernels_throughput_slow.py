@@ -1,0 +1,24 @@
+"""Throughput gate for the inference kernels (slow tier).
+
+Runs ``benchmarks/run_decode_kernels.py`` — the engine decoding
+through the fp32 inference kernels must beat the Tensor-graph engine
+by the configured factor on a greedy workload while producing
+bit-identical output.  Excluded from the tier-1 default run; invoke
+with ``pytest -m slow``.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.kernels]
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+
+import run_decode_kernels  # noqa: E402
+
+
+def test_kernels_clear_throughput_gate():
+    assert run_decode_kernels.main(["--rounds", "3"]) == 0
