@@ -1,0 +1,190 @@
+"""Gate benchmark: ANN search must stay accurate and sub-linear.
+
+Builds the retrieval index (docs/RETRIEVAL.md) over two synthetic
+RecipeDB corpora — a small one and one ``--scale``x larger — and
+checks the two properties the serving path depends on:
+
+* **recall@10 >= 0.95** against the brute-force oracle, on held-out
+  full-recipe queries (the novelty read path).  Recall is tie-aware
+  (the ann-benchmarks definition): a returned hit counts if its score
+  reaches the oracle's k-th score minus ``eps=1e-3``, because the
+  hashed embeddings of a templated synthetic corpus bunch scores
+  within ~1e-3 and strict index-matching would punish coin-flip ties.
+* **sub-linear candidate growth** — the median number of candidates a
+  multi-probe LSH query exact-ranks must grow well under linearly
+  with the corpus.  This, not wall-clock against the oracle, is the
+  honest scaling gate: at benchmark-sized corpora a single vectorised
+  matmul over *all* vectors is faster than any pruning strategy, so
+  ann-vs-exact latency would measure numpy's constant factors, not
+  the algorithm.  Both latencies are still reported.
+
+Latency (search p50/p99 for the ANN path, the exact oracle, and
+novelty scoring) is measured on the large corpus over interleaved
+rounds with GC paused, following ``run_serving_throughput.py``.
+
+Writes ``benchmarks/results/BENCH_retrieval.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_retrieval.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.recipedb import generate_corpus  # noqa: E402
+from repro.retrieval import (RecipeIndex, recall_at_k,  # noqa: E402
+                             recipe_document)
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_retrieval.json"
+
+BASE_DOCS = 1500
+SCALE = 4
+HELD_OUT = 50
+RECALL_EPS = 1e-3
+
+
+def _percentile(samples, q):
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+def _build(num_docs: int, queries: int, seed: int):
+    """One corpus: an index over ``num_docs`` plus held-out queries."""
+    corpus = generate_corpus(num_docs + queries, seed=seed)
+    index = RecipeIndex.from_recipes(corpus[:num_docs])
+    held_out = [recipe_document(r) for r in corpus[num_docs:]]
+    vectors = [index.embedder.embed(text) for text in held_out]
+    return index, held_out, vectors
+
+
+def _recall_and_candidates(index, vectors, k=10):
+    strict, eps, candidates = [], [], []
+    for vector in vectors:
+        approx = index.ann.query(vector, k)
+        exact = index.exact.query(vector, k)
+        strict.append(recall_at_k(approx, exact))
+        eps.append(recall_at_k(approx, exact, eps=RECALL_EPS))
+        candidates.append(approx.candidates_examined)
+    return (statistics.mean(strict), statistics.mean(eps),
+            float(statistics.median(candidates)))
+
+
+def _time_queries(index, held_out, vectors, rounds: int):
+    """Interleaved per-query latencies for the three read paths."""
+    ann_s, exact_s, novelty_s = [], [], []
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            for text, vector in zip(held_out, vectors):
+                start = time.perf_counter()
+                index.ann.query(vector, 10)
+                ann_s.append(time.perf_counter() - start)
+
+                start = time.perf_counter()
+                index.exact.query(vector, 10)
+                exact_s.append(time.perf_counter() - start)
+
+                start = time.perf_counter()
+                index.novelty(text)
+                novelty_s.append(time.perf_counter() - start)
+    finally:
+        gc.enable()
+    return {name: {"p50_ms": _percentile(samples, 50) * 1e3,
+                   "p99_ms": _percentile(samples, 99) * 1e3}
+            for name, samples in (("ann", ann_s), ("exact", exact_s),
+                                  ("novelty", novelty_s))}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--base-docs", type=int, default=BASE_DOCS,
+                        help="small corpus size (large = scale x this)")
+    parser.add_argument("--scale", type=int, default=SCALE,
+                        help="corpus growth factor for the scaling gate")
+    parser.add_argument("--queries", type=int, default=HELD_OUT,
+                        help="held-out recipe queries per corpus")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="interleaved latency rounds on the large corpus")
+    parser.add_argument("--recall-threshold", type=float, default=0.95,
+                        help="tie-aware recall@10 floor (both corpora)")
+    parser.add_argument("--growth-fraction", type=float, default=0.75,
+                        help="candidate growth must stay under this "
+                             "fraction of the corpus growth")
+    args = parser.parse_args(argv)
+
+    sizes = [args.base_docs, args.base_docs * args.scale]
+    per_size = []
+    for seed, num_docs in enumerate(sizes, start=101):
+        build_start = time.perf_counter()
+        index, held_out, vectors = _build(num_docs, args.queries, seed)
+        build_s = time.perf_counter() - build_start
+        strict, eps, cand = _recall_and_candidates(index, vectors)
+        per_size.append({
+            "documents": num_docs,
+            "build_seconds": round(build_s, 3),
+            "recall_at_10_strict": round(strict, 4),
+            "recall_at_10_eps": round(eps, 4),
+            "candidates_median": cand,
+            "ann": index.ann.stats(),
+        })
+        print(f"n={num_docs}: recall@10 strict={strict:.3f} "
+              f"eps={eps:.3f} candidates~{cand:.0f} build={build_s:.2f}s")
+        if num_docs == sizes[-1]:
+            latency = _time_queries(index, held_out, vectors, args.rounds)
+
+    growth = per_size[1]["candidates_median"] / max(
+        per_size[0]["candidates_median"], 1.0)
+    growth_limit = args.scale * args.growth_fraction
+    worst_recall = min(entry["recall_at_10_eps"] for entry in per_size)
+
+    for name, stats in latency.items():
+        print(f"{name}: p50={stats['p50_ms']:.2f}ms "
+              f"p99={stats['p99_ms']:.2f}ms")
+    print(f"candidate growth {growth:.2f}x over a {args.scale}x corpus "
+          f"(limit {growth_limit:.2f}x)")
+
+    result = {
+        "benchmark": "retrieval",
+        "workload": {"sizes": sizes, "queries": args.queries,
+                     "rounds": args.rounds, "k": 10,
+                     "recall_eps": RECALL_EPS},
+        "per_size": per_size,
+        "latency": latency,
+        "candidate_growth": round(growth, 3),
+        "gates": {
+            "recall_at_10": {"threshold": args.recall_threshold,
+                             "measured": worst_recall,
+                             "passed": worst_recall >= args.recall_threshold},
+            "sublinear_candidates": {"limit": growth_limit,
+                                     "measured": round(growth, 3),
+                                     "passed": growth < growth_limit},
+        },
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"[written to {RESULTS_PATH}]")
+
+    failed = [name for name, gate in result["gates"].items()
+              if not gate["passed"]]
+    if failed:
+        print(f"FAIL: gates not met: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"OK: recall@10 {worst_recall:.3f} >= {args.recall_threshold}, "
+          f"candidate growth {growth:.2f}x < {growth_limit:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -129,6 +129,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--affinity-tokens", type=int, default=32,
                        help="leading prompt tokens hashed for replica "
                             "placement (with --replicas > 1)")
+    serve.add_argument("--retrieval",
+                       action=argparse.BooleanOptionalAction, default=False,
+                       help="semantic recipe index: /api/search, RAG-"
+                            "conditioned generation, novelty scoring")
+    serve.add_argument("--retrieve-k", type=int, default=0,
+                       help="server-default retrieved exemplars per "
+                            "generation prompt (payload overrides; 0 = "
+                            "search/novelty only)")
+    serve.add_argument("--index-dir", default=None,
+                       help="persisted index directory (loaded mmap when "
+                            "complete, else built and saved for a warm "
+                            "next restart)")
+
+    index = sub.add_parser(
+        "index", help="build + persist a semantic recipe index")
+    index.add_argument("--input", default=None,
+                       help="JSONL corpus path (default: synthesize)")
+    index.add_argument("--num", type=int, default=300,
+                       help="corpus size when synthesizing")
+    index.add_argument("--seed", type=int, default=0,
+                       help="corpus seed when synthesizing")
+    index.add_argument("--out", required=True, help="index directory")
+
+    search = sub.add_parser(
+        "search", help="query a persisted semantic recipe index")
+    search.add_argument("--index", required=True, help="index directory")
+    search.add_argument("--query", default=None, help="free-text query")
+    search.add_argument("--ingredients", default=None,
+                        help="comma-separated ingredient list (alternative "
+                             "to --query)")
+    search.add_argument("--k", type=int, default=5)
+    search.add_argument("--exact", action="store_true",
+                        help="brute-force oracle instead of the ANN")
+    search.add_argument("--text", action="store_true",
+                        help="print the matched recipe texts too")
 
     metrics = sub.add_parser(
         "metrics", help="inspect observability metrics")
@@ -259,6 +294,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.replicas != 1:
         argv += ["--replicas", str(args.replicas),
                  "--affinity-tokens", str(args.affinity_tokens)]
+    if args.retrieval or args.retrieve_k > 0:
+        argv += ["--retrieval", "--retrieve-k", str(args.retrieve_k)]
+        if args.index_dir:
+            argv += ["--index-dir", args.index_dir]
     from .webapp.serve import build_server
     server = build_server(argv)
     server.start()
@@ -274,6 +313,52 @@ def cmd_serve(args: argparse.Namespace) -> int:
         threading.Event().wait()
     except KeyboardInterrupt:
         server.stop()
+    return 0
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    """Build the semantic recipe index and persist it to a directory."""
+    from .retrieval import RecipeIndex
+
+    if args.input:
+        recipes = load_jsonl(args.input)
+        source = args.input
+    else:
+        recipes = generate_corpus(args.num, seed=args.seed)
+        source = f"synthesized corpus (num={args.num}, seed={args.seed})"
+    index = RecipeIndex.from_recipes(recipes)
+    index.save(args.out)
+    stats = index.stats()
+    print(f"indexed {stats['documents']} recipes from {source}")
+    print(f"  dim={stats['dim']}  ann: {stats['ann']['tables']} tables x "
+          f"{stats['ann']['bits']} bits, {stats['ann']['buckets']} buckets "
+          f"(max {stats['ann']['max_bucket']})")
+    print(f"saved to {args.out}")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    """Query a persisted index from the shell (no server needed)."""
+    from .retrieval import RecipeIndex, query_from_ingredients
+
+    if bool(args.query) == bool(args.ingredients):
+        raise SystemExit("error: pass exactly one of --query/--ingredients")
+    query = args.query
+    if args.ingredients:
+        names = [part.strip() for part in args.ingredients.split(",")
+                 if part.strip()]
+        if not names:
+            raise SystemExit("error: --ingredients parsed to an empty list")
+        query = query_from_ingredients(names)
+    index = RecipeIndex.load(args.index)
+    hits = index.search(query, k=args.k, exact=args.exact)
+    mode = "exact" if args.exact else "ann"
+    print(f"top {len(hits)} of {len(index)} recipes ({mode}):")
+    for hit in hits:
+        print(f"  {hit.rank + 1:2d}. [{hit.score:.4f}] "
+              f"#{hit.doc_id} {hit.title}")
+        if args.text:
+            print(f"      {hit.text}")
     return 0
 
 
@@ -343,6 +428,8 @@ _COMMANDS = {
     "generate": cmd_generate,
     "evaluate": cmd_evaluate,
     "serve": cmd_serve,
+    "index": cmd_index,
+    "search": cmd_search,
     "metrics": cmd_metrics,
     "info": cmd_info,
 }

@@ -126,14 +126,33 @@ class Ratatouille:
         return NGramDraft.fit(sequences, self.tokenizer.vocab_size,
                               order=order)
 
+    def build_retrieval_index(self, num_recipes: Optional[int] = None,
+                              seed: Optional[int] = None,
+                              embedding=None, lsh=None, registry=None):
+        """Build a :class:`~repro.retrieval.RecipeIndex` over the corpus.
+
+        Like :meth:`build_draft`, regenerates the training corpus from
+        the pipeline's recorded ``num_recipes``/``corpus_seed`` so the
+        index covers exactly what the model saw — which is what makes
+        its nearest-neighbour novelty score a *memorization* measure
+        rather than a generic similarity one.
+        """
+        from ..retrieval import RecipeIndex
+
+        recipes = generate_corpus(
+            num_recipes if num_recipes is not None else self.config.num_recipes,
+            seed=seed if seed is not None else self.config.corpus_seed)
+        return RecipeIndex.from_recipes(recipes, embedding=embedding,
+                                        lsh=lsh, registry=registry)
+
     # ------------------------------------------------------------------
     # Generation (the web app backend operation)
     # ------------------------------------------------------------------
     def prepare_prompt(self, ingredients: Sequence[str],
                        generation: Optional[GenerationConfig] = None,
-                       checklist: bool = False) -> Tuple[str, List[int],
-                                                         GenerationConfig,
-                                                         list]:
+                       checklist: bool = False,
+                       exemplars: Optional[Sequence[str]] = None
+                       ) -> Tuple[str, List[int], GenerationConfig, list]:
         """Build the token-level request for an ingredient list.
 
         Returns ``(prompt_text, prompt_ids, config, processors)`` —
@@ -141,6 +160,16 @@ class Ratatouille:
         or a :class:`~repro.serving.InferenceEngine`) needs.  Splitting
         this out of :meth:`generate` is what lets the serving engine
         stream tokens and still produce identical recipes.
+
+        ``exemplars`` (retrieval-conditioned generation) prepends the
+        given tagged recipe texts to the *token* prompt, in order —
+        retrieved neighbours the model can imitate.  The returned
+        ``prompt_text`` stays un-prefixed so downstream parsing
+        (:meth:`finish_recipe`) sees exactly the recipe being
+        generated, and the exemplar block forms a deterministic token
+        prefix, which is what makes RAG prompts prefix-cache-friendly
+        in the serving engine.  ``exemplars=None`` (or empty) is
+        bit-identical to the pre-retrieval behaviour.
         """
         if not ingredients:
             raise ValueError("at least one ingredient is required")
@@ -148,7 +177,13 @@ class Ratatouille:
             max_new_tokens=220, top_k=20, temperature=0.8,
             stop_token_id=None)
         prompt_text = encode_numbers(format_prompt(list(ingredients)))
-        prompt_ids = self.tokenizer.encode(prompt_text)
+        token_text = prompt_text
+        if exemplars:
+            prefix = " ".join(text.strip() for text in exemplars
+                              if text and text.strip())
+            if prefix:
+                token_text = f"{prefix} {prompt_text}"
+        prompt_ids = self.tokenizer.encode(token_text)
         if generation.stop_token_id is None:
             generation.stop_token_id = self.tokenizer.eos_id
 
@@ -185,7 +220,9 @@ class Ratatouille:
     def generate(self, ingredients: Sequence[str],
                  generation: Optional[GenerationConfig] = None,
                  checklist: bool = False,
-                 engine=None) -> GeneratedRecipe:
+                 engine=None,
+                 exemplars: Optional[Sequence[str]] = None
+                 ) -> GeneratedRecipe:
         """Generate a recipe from an ingredient list.
 
         Parameters
@@ -202,9 +239,13 @@ class Ratatouille:
             through (continuous batching + prefix-cache reuse).  The
             engine's output is bit-identical to the in-process path,
             so this only changes throughput, never recipes.
+        exemplars:
+            Retrieved recipe texts to condition on (see
+            :meth:`prepare_prompt`); ``None`` generates unconditioned.
         """
         prompt_text, prompt_ids, config, processors = self.prepare_prompt(
-            ingredients, generation=generation, checklist=checklist)
+            ingredients, generation=generation, checklist=checklist,
+            exemplars=exemplars)
         start = time.perf_counter()
         if engine is not None:
             new_ids = engine.generate(prompt_ids, config,

@@ -3,7 +3,8 @@
 from .bleu import BleuResult, brevity_penalty, corpus_bleu, ngrams, sentence_bleu
 from .diversity import corpus_novelty, distinct_n, novelty, self_bleu
 from .perplexity import bits_per_token, perplexity
-from .report import EvaluationReport, ModelEvaluation
+from .report import (EvaluationReport, ModelEvaluation,
+                     attach_retrieval_novelty)
 from .significance import (BootstrapResult, PermutationResult,
                            bootstrap_interval, paired_permutation_test,
                            segment_bleu_scores)
@@ -16,7 +17,8 @@ __all__ = [
     "bits_per_token", "brevity_penalty", "content_words", "corpus_bleu",
     "corpus_novelty", "distinct_n", "ngrams", "novelty", "perplexity",
     "RougeScore", "corpus_rouge", "rouge_l", "rouge_n",
-    "BootstrapResult", "PermutationResult", "bootstrap_interval",
+    "BootstrapResult", "PermutationResult", "attach_retrieval_novelty",
+    "bootstrap_interval",
     "paired_permutation_test", "segment_bleu_scores",
     "score_structure", "self_bleu", "sentence_bleu", "validity_rate",
 ]

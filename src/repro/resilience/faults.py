@@ -21,7 +21,12 @@ Registered failure points (see ``docs/RESILIENCE.md``):
 ``jobs.worker``         a job-queue worker about to run a job — the job
                         resolves ``FAILED`` with a named error;
 ``framework.write``     an HTTP response write — simulates a client that
-                        disconnected mid-stream.
+                        disconnected mid-stream;
+``retrieval.search``    a retrieval-index lookup (search, RAG exemplar
+                        fetch, novelty scoring) — the backend degrades to
+                        un-conditioned generation with
+                        ``"retrieval_degraded": true``, never a failed or
+                        hung request.
 =====================  =====================================================
 
 Determinism contract: a given ``(seed, plan)`` produces the same fault
@@ -46,6 +51,7 @@ FAULT_POINTS: Tuple[str, ...] = (
     "prefix_cache.get",
     "jobs.worker",
     "framework.write",
+    "retrieval.search",
 )
 
 

@@ -1,0 +1,302 @@
+"""Approximate nearest neighbour search in pure numpy.
+
+Two interchangeable structures over one L2-normalized ``(n, dim)``
+matrix:
+
+* :class:`BruteForceIndex` — exact top-k by a single mat-vec; the
+  recall **oracle** every approximate answer is measured against, and
+  the fallback when the corpus is small enough that scanning wins;
+* :class:`LSHIndex` — random-hyperplane locality-sensitive hashing
+  with **multi-probe** querying (Lv et al., VLDB 2007): ``tables``
+  independent sign-hash tables of ``bits`` bits each; a query probes
+  its own bucket plus the buckets reached by flipping the
+  lowest-|margin| bits — the bits the query was least confident about
+  — and exact-ranks the union of candidates.
+
+Sub-linearity comes from bucket geometry: with ``bits`` sized so the
+expected bucket holds ``target_bucket`` vectors (the builder picks
+``bits = log2(n / target_bucket)``), the candidate set is
+``O(tables * probes * target_bucket)`` — independent of corpus size —
+while the exact scan is ``O(n)``.  The benchmark
+(``benchmarks/run_retrieval.py``) gates both recall@10 against the
+oracle and the measured scaling.
+
+Determinism: hyperplanes are drawn from ``default_rng([seed, table])``
+so a given config reproduces the identical structure everywhere, and
+query results are a pure function of (index, query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ANNResult:
+    """One query's answer: row indices, cosine scores, work done."""
+
+    indices: np.ndarray          # (k,) int64, best first
+    scores: np.ndarray           # (k,) float32, cosine similarity
+    candidates_examined: int     # exact-ranked candidate count
+
+
+@dataclass(frozen=True)
+class LSHConfig:
+    """Multi-probe LSH shape.
+
+    ``bits=None`` auto-sizes the tables at build time so the expected
+    bucket occupancy is ``target_bucket`` vectors.  ``probes`` is the
+    number of *extra* buckets probed per table beyond the query's own,
+    in increasing perturbation cost (lowest-margin bit flips first).
+    """
+
+    tables: int = 10
+    bits: Optional[int] = None
+    probes: int = 24
+    target_bucket: int = 12
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.tables < 1:
+            raise ValueError("tables must be >= 1")
+        if self.bits is not None and not 1 <= self.bits <= 30:
+            raise ValueError("bits must be in [1, 30]")
+        if self.probes < 0:
+            raise ValueError("probes must be >= 0")
+        if self.target_bucket < 1:
+            raise ValueError("target_bucket must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {"tables": self.tables, "bits": self.bits,
+                "probes": self.probes, "target_bucket": self.target_bucket,
+                "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LSHConfig":
+        bits = payload.get("bits")
+        return cls(tables=int(payload["tables"]),
+                   bits=None if bits is None else int(bits),
+                   probes=int(payload["probes"]),
+                   target_bucket=int(payload["target_bucket"]),
+                   seed=int(payload["seed"]))
+
+
+def _auto_bits(n: int, target_bucket: int) -> int:
+    """Hash width so the expected bucket holds ``target_bucket`` rows."""
+    if n <= target_bucket:
+        return 1
+    return int(np.clip(np.ceil(np.log2(n / target_bucket)), 1, 24))
+
+
+def _top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores, descending, ties by index.
+
+    Ties are broken toward the *lower* row index (argsort is stable on
+    the negated scores), so ANN and brute-force rank duplicates — e.g.
+    RecipeDB's near-duplicate synthetic recipes — identically and
+    recall measurements compare like with like.
+    """
+    k = min(k, scores.shape[0])
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    if k < scores.shape[0]:
+        part = np.argpartition(-scores, k - 1)[:k]
+    else:
+        part = np.arange(scores.shape[0])
+    return part[np.argsort(-scores[part], kind="stable")].astype(np.int64)
+
+
+class BruteForceIndex:
+    """Exact cosine top-k: one mat-vec over the full matrix."""
+
+    def __init__(self, vectors: np.ndarray) -> None:
+        if vectors.ndim != 2:
+            raise ValueError("vectors must be a 2-D matrix")
+        self.vectors = vectors
+
+    def query(self, vector: np.ndarray, k: int) -> ANNResult:
+        scores = self.vectors @ vector.astype(np.float32)
+        order = _top_k(scores, k)
+        return ANNResult(indices=order, scores=scores[order],
+                         candidates_examined=int(self.vectors.shape[0]))
+
+
+class LSHIndex:
+    """Random-hyperplane LSH with margin-ordered multi-probe querying."""
+
+    def __init__(self, vectors: np.ndarray,
+                 config: Optional[LSHConfig] = None,
+                 planes: Optional[np.ndarray] = None,
+                 codes: Optional[np.ndarray] = None,
+                 center: Optional[np.ndarray] = None) -> None:
+        self.config = config or LSHConfig()
+        self.config.validate()
+        if vectors.ndim != 2:
+            raise ValueError("vectors must be a 2-D matrix")
+        self.vectors = vectors
+        n, dim = vectors.shape
+        # Hash mean-centered vectors: tagged recipes share a large
+        # common component (the format skeleton), which would otherwise
+        # pile most of the corpus into one bucket.  Centering spreads
+        # the hash space and — because the offset is constant across
+        # documents — leaves the dot-product *ranking* for any fixed
+        # query untouched.
+        self.center = (center if center is not None
+                       else vectors.mean(axis=0).astype(np.float32))
+        if planes is not None:
+            # Reconstructing from persisted state: the planes are the
+            # source of truth for the hash width.
+            self.bits = int(planes.shape[2])
+        elif self.config.bits is not None:
+            self.bits = self.config.bits
+        else:
+            self.bits = _auto_bits(n, self.config.target_bucket)
+        if planes is None:
+            # One independent stream per table: adding a table never
+            # perturbs the hyperplanes of another.
+            planes = np.stack([
+                np.random.default_rng([self.config.seed, table])
+                .standard_normal((dim, self.bits)).astype(np.float32)
+                for table in range(self.config.tables)])
+        self.planes = planes              # (tables, dim, bits)
+        if codes is None:
+            codes = np.stack([self._codes_for(vectors, table)
+                              for table in range(self.config.tables)])
+        self.codes = codes                # (tables, n) uint64
+        self._buckets: List[Dict[int, np.ndarray]] = []
+        for table in range(self.config.tables):
+            buckets: Dict[int, list] = {}
+            for row, code in enumerate(self.codes[table].tolist()):
+                buckets.setdefault(code, []).append(row)
+            self._buckets.append({code: np.asarray(rows, dtype=np.int64)
+                                  for code, rows in buckets.items()})
+        # Probe machinery, precomputed once (see _probe_codes): all
+        # subsets of the L softest bit *positions* (sizes 1-3) as a
+        # padded index matrix, so per-query probe selection is pure
+        # vectorized numpy instead of itertools in the hot path.
+        self._soft_universe = min(self.bits, 10)
+        subsets = [list(subset)
+                   for size in (1, 2, 3)
+                   for subset in combinations(range(self._soft_universe),
+                                              size)
+                   if size <= self._soft_universe]
+        pad = self._soft_universe  # index of a zero-cost padding slot
+        self._subset_matrix = np.asarray(
+            [subset + [pad] * (3 - len(subset)) for subset in subsets],
+            dtype=np.int64)
+        # Flattened planes: one GEMV hashes a query for every table.
+        self._planes_flat = np.ascontiguousarray(
+            self.planes.transpose(1, 0, 2).reshape(
+                self.planes.shape[1], -1))
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+    def _codes_for(self, vectors: np.ndarray, table: int) -> np.ndarray:
+        centered = vectors - self.center
+        signs = (centered @ self.planes[table]) > 0.0   # (n, bits)
+        weights = (1 << np.arange(self.bits, dtype=np.uint64))
+        return (signs.astype(np.uint64) @ weights).astype(np.uint64)
+
+    def _probe_codes(self, projection: np.ndarray) -> List[int]:
+        """Bucket codes to visit for one table, cheapest probe first.
+
+        The base code, then perturbations flipping subsets (size <= 3)
+        of the lowest-|projection| bits — the signs the query was least
+        confident about — ordered by total flipped margin: the standard
+        multi-probe sequence, truncated at ``probes`` extras.  Subset
+        enumeration is precomputed at build time; per query this is an
+        argsort over ``bits`` margins plus a couple of fancy-indexing
+        passes.
+        """
+        signs = projection > 0.0
+        weights = (1 << np.arange(self.bits, dtype=np.uint64))
+        base = int(signs.astype(np.uint64) @ weights)
+        if self.config.probes == 0:
+            return [base]
+        margins = np.abs(projection)
+        soft = np.argsort(margins, kind="stable")[:self._soft_universe]
+        # Padded lookup tables: position L is the zero-cost / zero-mask
+        # padding slot the subset matrix points unused entries at.
+        cost_table = np.append(margins[soft], 0.0)
+        bit_table = np.append(
+            weights[soft].astype(np.int64), np.int64(0))
+        costs = cost_table[self._subset_matrix].sum(axis=1)
+        masks = np.bitwise_or.reduce(bit_table[self._subset_matrix], axis=1)
+        take = min(self.config.probes, costs.shape[0])
+        if take < costs.shape[0]:
+            chosen = np.argpartition(costs, take - 1)[:take]
+            chosen = chosen[np.argsort(costs[chosen], kind="stable")]
+        else:
+            chosen = np.argsort(costs, kind="stable")
+        return [base] + [base ^ int(mask) for mask in masks[chosen]]
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def candidates(self, vector: np.ndarray) -> np.ndarray:
+        """Union of bucket contents across tables and probes."""
+        hit_arrays: List[np.ndarray] = []
+        centered = vector.astype(np.float32) - self.center
+        for table in range(self.config.tables):
+            projection = centered @ self.planes[table]
+            buckets = self._buckets[table]
+            for code in self._probe_codes(projection):
+                rows = buckets.get(code)
+                if rows is not None:
+                    hit_arrays.append(rows)
+        if not hit_arrays:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(hit_arrays))
+
+    def query(self, vector: np.ndarray, k: int) -> ANNResult:
+        rows = self.candidates(vector)
+        if rows.shape[0] < k:
+            # Too few candidates to fill k (tiny corpus or an outlier
+            # query hashing into empty buckets): degrade to exact scan
+            # rather than return a silently truncated answer.
+            return BruteForceIndex(self.vectors).query(vector, k)
+        scores = self.vectors[rows] @ vector.astype(np.float32)
+        order = _top_k(scores, k)
+        return ANNResult(indices=rows[order], scores=scores[order],
+                         candidates_examined=int(rows.shape[0]))
+
+    def stats(self) -> dict:
+        """Structure summary (exposed by ``RecipeIndex.stats``)."""
+        sizes = [rows.shape[0]
+                 for buckets in self._buckets for rows in buckets.values()]
+        return {
+            "tables": self.config.tables,
+            "bits": self.bits,
+            "probes": self.config.probes,
+            "buckets": len(sizes),
+            "mean_bucket": float(np.mean(sizes)) if sizes else 0.0,
+            "max_bucket": int(max(sizes)) if sizes else 0,
+        }
+
+
+def recall_at_k(approx: ANNResult, exact: ANNResult,
+                eps: float = 0.0) -> float:
+    """Fraction of the oracle's answer the approximate answer found.
+
+    With ``eps > 0`` this is the tie-aware recall used by
+    ann-benchmarks: an approximate hit counts if its score is within
+    ``eps`` of the oracle's k-th best, so interchangeable near-ties —
+    common in RecipeDB, where many synthetic recipes differ by one
+    ingredient and scores bunch within ~1e-3 — are not counted as
+    misses.  ``eps=0`` is strict set recall.
+    """
+    if exact.indices.shape[0] == 0:
+        return 1.0
+    if eps > 0.0:
+        threshold = float(exact.scores[-1]) - eps
+        hits = int(np.sum(approx.scores[:exact.indices.shape[0]]
+                          >= threshold))
+        return min(hits, exact.indices.shape[0]) / exact.indices.shape[0]
+    truth = set(exact.indices.tolist())
+    found = len(truth.intersection(approx.indices.tolist()))
+    return found / len(truth)

@@ -1,0 +1,321 @@
+"""The semantic recipe index: embeddings + ANN + novelty + persistence.
+
+:class:`RecipeIndex` is the subsystem's facade.  It owns
+
+* the corpus documents (id, title, tagged text — the same
+  ``encode_numbers(format_recipe(...))`` serialization the models
+  train on, so queries, corpus and generations share one space);
+* the L2-normalized embedding matrix (:mod:`.embedding`);
+* an ANN structure (:mod:`.ann` multi-probe LSH) **and** the exact
+  brute-force oracle — every search can be answered either way, and
+  ``exact=True`` is both the recall yardstick and the fallback;
+* the novelty scorer (:mod:`.novelty`): nearest-corpus-neighbour
+  distance of a generated recipe, always computed exactly.
+
+Persistence is a directory of mmap-friendly flat files::
+
+    index_dir/
+      vectors.npy   float32 (n, dim) embedding matrix  (np.load mmap)
+      ann.npz       hyperplanes (tables, dim, bits) + codes (tables, n)
+      meta.json     configs, doc ids, titles, layout version
+      texts.json    corpus texts (exemplar payload for RAG prompts)
+
+so ``repro serve --retrieval --index-dir d`` restarts warm: the
+embedding pass (the expensive part) is skipped and the vector matrix
+can be memory-mapped read-only, which also lets every replica of a
+fleet share one physical copy.
+
+Failure injection: searches run through the ``retrieval.search`` fault
+point (``docs/RESILIENCE.md``); the serving layer degrades a faulted
+retrieval to un-conditioned generation rather than failing the request.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..obs import MetricsRegistry, get_registry
+from ..preprocess import encode_numbers, format_recipe, normalize_text
+from ..resilience.faults import fault_check
+from .ann import ANNResult, BruteForceIndex, LSHConfig, LSHIndex, recall_at_k
+from .embedding import EmbeddingConfig, TextEmbedder
+from .novelty import NoveltyReport
+
+#: On-disk layout version; bumped on any incompatible change.
+LAYOUT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One search result, best first."""
+
+    rank: int
+    doc_id: int
+    title: str
+    score: float
+    text: str
+
+    def to_dict(self, include_text: bool = False) -> dict:
+        payload = {"rank": self.rank, "doc_id": self.doc_id,
+                   "title": self.title, "score": round(float(self.score), 6)}
+        if include_text:
+            payload["text"] = self.text
+        return payload
+
+
+def recipe_document(recipe) -> str:
+    """A recipe's retrieval text: the tagged training serialization."""
+    return encode_numbers(format_recipe(recipe))
+
+
+def query_from_ingredients(ingredients: Sequence[str]) -> str:
+    """Canonical query text for an ingredient list.
+
+    Deterministic and normalization-aligned with the corpus documents,
+    so identical ingredient lists always embed identically — which is
+    what makes retrieval-conditioned prompts prefix-cache-friendly.
+    """
+    return " ".join(normalize_text(name) for name in ingredients
+                    if name.strip())
+
+
+class RecipeIndex:
+    """Searchable embedded view of a recipe corpus."""
+
+    def __init__(self, vectors: np.ndarray, doc_ids: Sequence[int],
+                 titles: Sequence[str], texts: Sequence[str],
+                 embedder: TextEmbedder, ann: LSHIndex,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if not (vectors.shape[0] == len(doc_ids) == len(titles)
+                == len(texts)):
+            raise ValueError("vectors, doc_ids, titles and texts must all "
+                             "have one entry per document")
+        self.vectors = vectors
+        self.doc_ids = list(doc_ids)
+        self.titles = list(titles)
+        self.texts = list(texts)
+        self.embedder = embedder
+        self.ann = ann
+        self.exact = BruteForceIndex(vectors)
+        self.set_registry(registry if registry is not None else get_registry())
+
+    def set_registry(self, registry: MetricsRegistry) -> None:
+        """(Re)bind the metrics registry — used after ``load``."""
+        self.registry = registry
+        self._searches = registry.counter(
+            "retrieval_searches_total",
+            help="Index searches by mode (ann or exact)")
+        self._latency = registry.histogram(
+            "retrieval_search_seconds",
+            help="Index search latency by mode")
+        self._candidate_fraction = registry.histogram(
+            "retrieval_candidate_fraction",
+            help="Candidates exact-ranked per ANN search / corpus size")
+        self._novelty = registry.histogram(
+            "novelty_score",
+            help="Novelty (1 - nearest corpus neighbour cosine) of "
+                 "scored generations")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, texts: Sequence[str],
+              doc_ids: Optional[Sequence[int]] = None,
+              titles: Optional[Sequence[str]] = None,
+              embedding: Optional[EmbeddingConfig] = None,
+              lsh: Optional[LSHConfig] = None,
+              registry: Optional[MetricsRegistry] = None) -> "RecipeIndex":
+        """Embed ``texts`` and build the ANN structure over them."""
+        if not texts:
+            raise ValueError("cannot build an index over an empty corpus")
+        embedder = TextEmbedder(embedding)
+        vectors = embedder.embed_batch(texts)
+        ann = LSHIndex(vectors, lsh)
+        doc_ids = list(doc_ids) if doc_ids is not None else list(range(len(texts)))
+        titles = list(titles) if titles is not None else [""] * len(texts)
+        return cls(vectors, doc_ids, titles, list(texts), embedder, ann,
+                   registry=registry)
+
+    @classmethod
+    def from_recipes(cls, recipes: Sequence,
+                     embedding: Optional[EmbeddingConfig] = None,
+                     lsh: Optional[LSHConfig] = None,
+                     registry: Optional[MetricsRegistry] = None
+                     ) -> "RecipeIndex":
+        """Build from :class:`~repro.recipedb.Recipe` records."""
+        texts = [recipe_document(recipe) for recipe in recipes]
+        return cls.build(
+            texts,
+            doc_ids=[recipe.recipe_id for recipe in recipes],
+            titles=[recipe.title for recipe in recipes],
+            embedding=embedding, lsh=lsh, registry=registry)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.texts)
+
+    def _query(self, vector: np.ndarray, k: int, exact: bool) -> ANNResult:
+        if exact:
+            return self.exact.query(vector, k)
+        return self.ann.query(vector, k)
+
+    def search(self, query: str, k: int = 5,
+               exact: bool = False) -> List[SearchHit]:
+        """Top-``k`` corpus recipes for a free-text query.
+
+        ``exact=True`` routes through the brute-force oracle (exact
+        answer, O(n)); the default uses the ANN structure.  Raises
+        ``ValueError`` on an empty query or non-positive ``k``.
+        """
+        if not query or not query.strip():
+            raise ValueError("query must be a non-empty string")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        fault_check("retrieval.search")
+        mode = "exact" if exact else "ann"
+        with self._latency.labels(mode=mode).time():
+            vector = self.embedder.embed(query)
+            result = self._query(vector, k, exact)
+        self._searches.labels(mode=mode).inc()
+        if not exact and len(self) > 0:
+            self._candidate_fraction.observe(
+                result.candidates_examined / len(self))
+        return [SearchHit(rank=rank,
+                          doc_id=self.doc_ids[row],
+                          title=self.titles[row],
+                          score=float(result.scores[rank]),
+                          text=self.texts[row])
+                for rank, row in enumerate(result.indices.tolist())]
+
+    def search_ingredients(self, ingredients: Sequence[str], k: int = 5,
+                           exact: bool = False) -> List[SearchHit]:
+        return self.search(query_from_ingredients(ingredients), k=k,
+                           exact=exact)
+
+    # ------------------------------------------------------------------
+    # Novelty
+    # ------------------------------------------------------------------
+    def novelty(self, text: str) -> NoveltyReport:
+        """Nearest-corpus-neighbour novelty of a generated recipe.
+
+        Always exact: an ANN miss would overstate novelty precisely for
+        the near-duplicates the score exists to catch.
+        """
+        fault_check("retrieval.search")
+        with self._latency.labels(mode="novelty").time():
+            vector = self.embedder.embed(text)
+            result = self.exact.query(vector, 1)
+        self._searches.labels(mode="novelty").inc()
+        if result.indices.shape[0] == 0:
+            report = NoveltyReport(novelty=1.0, similarity=0.0,
+                                   nearest_id=None, nearest_title=None)
+        else:
+            row = int(result.indices[0])
+            similarity = float(result.scores[0])
+            report = NoveltyReport(
+                novelty=float(1.0 - np.clip(similarity, 0.0, 1.0)),
+                similarity=similarity,
+                nearest_id=self.doc_ids[row],
+                nearest_title=self.titles[row])
+        self._novelty.observe(report.novelty)
+        return report
+
+    def novelty_batch(self, texts: Sequence[str]) -> List[NoveltyReport]:
+        return [self.novelty(text) for text in texts]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def measure_recall(self, queries: Sequence[str], k: int = 10) -> float:
+        """Mean ANN recall@k against the exact oracle over ``queries``."""
+        if not queries:
+            raise ValueError("at least one query is required")
+        total = 0.0
+        for query in queries:
+            vector = self.embedder.embed(query)
+            total += recall_at_k(self.ann.query(vector, k),
+                                 self.exact.query(vector, k))
+        return total / len(queries)
+
+    def stats(self) -> dict:
+        return {
+            "documents": len(self),
+            "dim": int(self.vectors.shape[1]),
+            "vector_bytes": int(self.vectors.nbytes),
+            "mmap": isinstance(self.vectors, np.memmap),
+            "ann": self.ann.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory) -> None:
+        """Write the mmap-friendly on-disk layout (see module docs)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        np.save(directory / "vectors.npy",
+                np.ascontiguousarray(self.vectors))
+        np.savez(directory / "ann.npz", planes=self.ann.planes,
+                 codes=self.ann.codes, center=self.ann.center)
+        meta = {
+            "version": LAYOUT_VERSION,
+            "documents": len(self),
+            "embedding": self.embedder.config.to_dict(),
+            "lsh": self.ann.config.to_dict(),
+            "bits": self.ann.bits,
+            "doc_ids": self.doc_ids,
+            "titles": self.titles,
+        }
+        (directory / "meta.json").write_text(
+            json.dumps(meta), encoding="utf-8")
+        (directory / "texts.json").write_text(
+            json.dumps(self.texts, ensure_ascii=False), encoding="utf-8")
+
+    @classmethod
+    def load(cls, directory, mmap: bool = True,
+             registry: Optional[MetricsRegistry] = None) -> "RecipeIndex":
+        """Load a saved index; ``mmap=True`` maps the vectors read-only.
+
+        The ANN bucket table is rebuilt from the persisted codes (an
+        O(n) dict fill — cheap); nothing is re-embedded, which is the
+        point: a warm restart costs milliseconds, not the corpus
+        embedding pass.
+        """
+        directory = Path(directory)
+        meta = json.loads((directory / "meta.json").read_text("utf-8"))
+        if meta.get("version") != LAYOUT_VERSION:
+            raise ValueError(
+                f"index layout version {meta.get('version')!r} is not "
+                f"supported (expected {LAYOUT_VERSION}); rebuild the index")
+        vectors = np.load(directory / "vectors.npy",
+                          mmap_mode="r" if mmap else None)
+        with np.load(directory / "ann.npz") as ann_file:
+            planes = ann_file["planes"]
+            codes = ann_file["codes"]
+            center = ann_file["center"]
+        embedding = EmbeddingConfig.from_dict(meta["embedding"])
+        lsh_config = LSHConfig.from_dict(meta["lsh"])
+        texts = json.loads((directory / "texts.json").read_text("utf-8"))
+        if vectors.shape[0] != len(texts) or codes.shape[1] != len(texts):
+            raise ValueError("index files disagree on corpus size; "
+                             "the directory is corrupt — rebuild it")
+        ann = LSHIndex(vectors, lsh_config, planes=planes, codes=codes,
+                       center=center)
+        return cls(vectors, meta["doc_ids"], meta["titles"], texts,
+                   TextEmbedder(embedding), ann, registry=registry)
+
+
+def exists_on_disk(directory) -> bool:
+    """True when ``directory`` holds a complete persisted index."""
+    directory = Path(directory)
+    return all((directory / name).exists()
+               for name in ("vectors.npy", "ann.npz", "meta.json",
+                            "texts.json"))

@@ -13,6 +13,9 @@ Endpoints:
   load-handling story of Sec. VI;
 * ``POST /api/generate_stream`` — server-sent-events token streaming
   through the serving engine (``docs/SERVING.md``);
+* ``POST /api/search`` — semantic search over the training corpus
+  (``docs/RETRIEVAL.md``); requires ``retrieval_index``;
+* ``GET /api/retrieval`` — index structure and recall stats;
 * ``GET /api/engine`` — serving-engine and prefix-cache stats;
 * ``GET /api/metrics`` — the observability exposition (JSON by
   default, ``?format=text`` for the Prometheus-style form); see
@@ -36,6 +39,7 @@ from ..obs import (MetricsRegistry, Tracer, get_registry, get_tracer,
 from ..recipedb import IngredientCatalog, PairingGraph, default_catalog
 from ..resilience import (AdmissionController, OverloadShedError,
                           ResilienceConfig)
+from ..retrieval import query_from_ingredients
 from ..resilience.supervisor import (EngineSupervisor, EngineUnavailableError,
                                      sequential_fallback)
 from ..serving import (DeadlineExceededError, EngineCrashedError,
@@ -54,6 +58,23 @@ MAX_NEW_TOKENS_CAP = 512
 #: per verify step).  Beyond ~16 the acceptance tail is empty and the
 #: verify chunk just wastes work, so larger asks are a 400.
 MAX_SPECULATIVE_K = 16
+
+#: Server-side ceiling on per-request ``retrieve_k`` (RAG exemplars
+#: prepended to the prompt).  Each exemplar is a full tagged recipe
+#: (~100 tokens), so beyond a handful the prefix crowds out the decode
+#: budget; larger asks are a 400.
+MAX_RETRIEVE_K = 8
+
+#: Server-side ceiling on ``/api/search`` result count.
+MAX_SEARCH_K = 50
+
+#: Server-side ceiling on ``/api/search`` query length.
+MAX_QUERY_CHARS = 2000
+
+#: Admission cost (in token-equivalents) charged for one search.  A
+#: search is two mat-vecs, far cheaper than decoding, but it must cost
+#: *something* so a saturated server sheds search load too.
+SEARCH_ADMISSION_COST = 16
 
 _CONFIG_FIELDS = (
     ("max_new_tokens", int, 220),
@@ -111,6 +132,30 @@ def _parse_generation_request(payload: dict,
     return names, config, bool(payload.get("checklist", False))
 
 
+def _parse_retrieve_k(payload: dict, default_k: int,
+                      retrieval_enabled: bool) -> int:
+    """Validate ``retrieve_k``; raises ValueError (→ HTTP 400).
+
+    ``default_k`` is the server default (``repro serve --retrieve-k``);
+    the payload overrides per request, ``0`` opting out explicitly.
+    Asking for exemplars on a server with no index is a client error,
+    not a silent no-op.
+    """
+    raw = payload.get("retrieve_k")
+    if raw is None:
+        return default_k if retrieval_enabled else 0
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise ValueError(f"'retrieve_k' must be an integer, got {raw!r}")
+    if raw < 0 or raw > MAX_RETRIEVE_K:
+        raise ValueError(
+            f"'retrieve_k' must be in [0, {MAX_RETRIEVE_K}] (got {raw})")
+    if raw > 0 and not retrieval_enabled:
+        raise ValueError(
+            "retrieval is not enabled on this server "
+            "(start with repro serve --retrieval)")
+    return raw
+
+
 def _parse_deadline(payload: dict,
                     default_ms: Optional[float]) -> Optional[float]:
     """Per-request deadline: ``deadline_ms`` in the payload, else the
@@ -154,7 +199,9 @@ def create_backend(pipeline: Ratatouille,
                    speculative_k: int = 0,
                    replicas: int = 1,
                    affinity_tokens: int = 32,
-                   kernels: Optional[str] = None) -> App:
+                   kernels: Optional[str] = None,
+                   retrieval_index=None,
+                   retrieve_k: int = 0) -> App:
     """Build the backend :class:`~repro.webapp.framework.App`.
 
     ``registry``/``tracer`` are what ``GET /api/metrics`` exposes and
@@ -203,6 +250,18 @@ def create_backend(pipeline: Ratatouille,
     serves the same model object — the whole fleet shares one weight
     copy.  ``"fp32"`` is bit-identical to the Tensor path; ``"int8"``
     trades a small perplexity delta for a smaller working set.
+
+    ``retrieval_index`` (a :class:`~repro.retrieval.RecipeIndex`, see
+    ``docs/RETRIEVAL.md``) enables the retrieval surface:
+    ``POST /api/search``, retrieval-conditioned generation
+    (``retrieve_k`` exemplars prepended to the prompt; ``retrieve_k``
+    here is the server default, payloads override per request), and a
+    nearest-corpus-neighbour ``novelty`` score attached to every
+    generation response.  A faulted retrieval lookup *degrades* the
+    request — un-conditioned generation plus
+    ``"retrieval_degraded": true`` — it never fails it.  With
+    ``retrieve_k=0`` (the default) generation output is bit-identical
+    to a backend built without an index.
     """
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
@@ -271,6 +330,22 @@ def create_backend(pipeline: Ratatouille,
     # With no draft fitted, a server-level speculative_k would silently
     # decode sequentially; zero it so /api/health tells the truth.
     default_speculative_k = speculative_k if draft is not None else 0
+    if retrieve_k < 0 or retrieve_k > MAX_RETRIEVE_K:
+        raise ValueError(f"retrieve_k must be in [0, {MAX_RETRIEVE_K}]")
+    if retrieve_k > 0 and retrieval_index is None:
+        raise ValueError("retrieve_k > 0 requires a retrieval_index")
+    default_retrieve_k = retrieve_k if retrieval_index is not None else 0
+    retrieval_shed = None
+    retrieval_degradations = None
+    if retrieval_index is not None:
+        retrieval_index.set_registry(registry)
+        retrieval_shed = registry.counter(
+            "retrieval_shed_total",
+            help="Search requests shed by admission control")
+        retrieval_degradations = registry.counter(
+            "retrieval_degraded_total",
+            help="Generations that degraded to un-conditioned output "
+                 "because a retrieval lookup failed")
     # The router does its own fleet-level admission (shed only when
     # every replica is past watermark) — a single-queue gate in front
     # of it would shed spillable load.
@@ -285,6 +360,7 @@ def create_backend(pipeline: Ratatouille,
     app.engine = engine
     app.router = router
     app.admission = admission
+    app.retrieval_index = retrieval_index
 
     def _admit(cost: int) -> Optional[Response]:
         """Acquire admission; a Response means "shed, answer with this".
@@ -316,22 +392,61 @@ def create_backend(pipeline: Ratatouille,
         if admission is not None:
             admission.release(cost)
 
+    def _fetch_exemplars(names, count: int):
+        """Retrieve RAG exemplar texts; returns ``(texts, degraded)``.
+
+        Any retrieval failure — an injected fault included — degrades
+        to un-conditioned generation (``(None, True)``); it never
+        propagates, so a broken index cannot fail a generation request.
+        """
+        if count <= 0 or retrieval_index is None:
+            return None, False
+        try:
+            hits = retrieval_index.search_ingredients(names, k=count)
+            return [hit.text for hit in hits], False
+        except Exception:  # noqa: BLE001 - degrade, never fail the request
+            retrieval_degradations.inc()
+            return None, True
+
+    def _generation_payload(recipe, exemplars, retrieval_degraded: bool
+                            ) -> dict:
+        """Recipe payload plus the retrieval surface (payload-only:
+        the novelty score and flags never alter the generation)."""
+        payload = _recipe_payload(recipe)
+        if retrieval_index is None:
+            return payload
+        try:
+            payload["novelty"] = retrieval_index.novelty(
+                recipe.raw_text).to_dict()
+        except Exception:  # noqa: BLE001 - degrade, never fail the request
+            retrieval_degradations.inc()
+            retrieval_degraded = True
+        payload["retrieved_k"] = len(exemplars) if exemplars else 0
+        if retrieval_degraded:
+            payload["retrieval_degraded"] = True
+        return payload
+
     def _run_generation(names, config, checklist, deadline_ms,
-                        allow_partial: bool) -> dict:
+                        allow_partial: bool, retrieve_count: int = 0) -> dict:
         """Generate through whatever decode path is configured.
 
         Returns the JSON payload; deadline expiry becomes either a
         partial recipe (``"partial": true``, when the client opted in
         and tokens exist) or re-raises for the 504 path.
         """
+        exemplars, retrieval_degraded = _fetch_exemplars(names,
+                                                         retrieve_count)
         if engine is None:
             if config.speculative_k > 0 and config.draft is None:
                 config.draft = draft
             recipe = pipeline.generate(names, generation=config,
-                                       checklist=checklist)
-            return _recipe_payload(recipe)
+                                       checklist=checklist,
+                                       exemplars=exemplars)
+            return _generation_payload(recipe, exemplars,
+                                       retrieval_degraded)
         prompt_text, prompt_ids, config, processors = pipeline.prepare_prompt(
-            names, generation=config, checklist=checklist)
+            names, generation=config, checklist=checklist,
+            exemplars=exemplars)
         clock = registry.clock
         start = clock.now()
         degraded = False
@@ -347,13 +462,14 @@ def create_backend(pipeline: Ratatouille,
                 raise
             recipe = pipeline.finish_recipe(prompt_text, exc.tokens, names,
                                             elapsed=clock.now() - start)
-            payload = _recipe_payload(recipe)
+            payload = _generation_payload(recipe, exemplars,
+                                          retrieval_degraded)
             payload["partial"] = True
             payload["deadline_ms"] = exc.deadline_ms
             return payload
         recipe = pipeline.finish_recipe(prompt_text, new_ids, names,
                                         elapsed=clock.now() - start)
-        payload = _recipe_payload(recipe)
+        payload = _generation_payload(recipe, exemplars, retrieval_degraded)
         if degraded:
             payload["degraded"] = True
         return payload
@@ -392,6 +508,12 @@ def create_backend(pipeline: Ratatouille,
                 "draft": type(draft).__name__ if draft is not None else None,
                 "default_k": default_speculative_k,
             },
+            "retrieval": {
+                "enabled": retrieval_index is not None,
+                "documents": (len(retrieval_index)
+                              if retrieval_index is not None else 0),
+                "default_k": default_retrieve_k,
+            },
         })
 
     @app.route("/api/ingredients")
@@ -416,6 +538,8 @@ def create_backend(pipeline: Ratatouille,
         names, config, checklist = _parse_generation_request(
             payload, max_new_tokens_cap, default_speculative_k)
         deadline_ms = _parse_deadline(payload, default_deadline_ms)
+        retrieve_count = _parse_retrieve_k(payload, default_retrieve_k,
+                                           retrieval_index is not None)
         allow_partial = bool(payload.get("partial", False))
         cost = config.max_new_tokens
         shed = _admit(cost)
@@ -423,7 +547,7 @@ def create_backend(pipeline: Ratatouille,
             return shed
         try:
             body = _run_generation(names, config, checklist, deadline_ms,
-                                   allow_partial)
+                                   allow_partial, retrieve_count)
         except DeadlineExceededError as exc:
             return Response.error(str(exc), status=504)
         except EngineQueueFullError as exc:
@@ -451,6 +575,8 @@ def create_backend(pipeline: Ratatouille,
         names, config, checklist = _parse_generation_request(
             payload, max_new_tokens_cap, default_speculative_k)
         deadline_ms = _parse_deadline(payload, default_deadline_ms)
+        retrieve_count = _parse_retrieve_k(payload, default_retrieve_k,
+                                           retrieval_index is not None)
         allow_partial = bool(payload.get("partial", False))
         cost = config.max_new_tokens
         shed = _admit(cost)
@@ -463,7 +589,7 @@ def create_backend(pipeline: Ratatouille,
             # the backlog admission control must count.
             try:
                 return _run_generation(names, config, checklist, deadline_ms,
-                                       allow_partial)
+                                       allow_partial, retrieve_count)
             finally:
                 _release(cost)
 
@@ -486,11 +612,16 @@ def create_backend(pipeline: Ratatouille,
         names, config, checklist = _parse_generation_request(
             payload, max_new_tokens_cap, default_speculative_k)
         deadline_ms = _parse_deadline(payload, default_deadline_ms)
+        retrieve_count = _parse_retrieve_k(payload, default_retrieve_k,
+                                           retrieval_index is not None)
         if config.strategy == "beam":
             return Response.error(
                 "beam search cannot stream; use /api/generate")
+        exemplars, retrieval_degraded = _fetch_exemplars(names,
+                                                         retrieve_count)
         prompt_text, prompt_ids, config, processors = pipeline.prepare_prompt(
-            names, generation=config, checklist=checklist)
+            names, generation=config, checklist=checklist,
+            exemplars=exemplars)
         clock = registry.clock
         start = clock.now()
         cost = config.max_new_tokens
@@ -536,7 +667,9 @@ def create_backend(pipeline: Ratatouille,
                 except Exception as exc:  # noqa: BLE001 - headers already sent
                     yield {"error": str(exc)}
                     return
-                yield {"done": True, "recipe": _recipe_payload(recipe)}
+                yield {"done": True,
+                       "recipe": _generation_payload(recipe, exemplars,
+                                                     retrieval_degraded)}
             finally:
                 # Runs on normal completion AND when the framework
                 # closes an abandoned stream (client disconnected):
@@ -548,6 +681,73 @@ def create_backend(pipeline: Ratatouille,
                     handle.cancel()
 
         return Response.event_stream(events())
+
+    @app.route("/api/search", methods=("POST",))
+    def search(request: Request) -> Response:
+        if retrieval_index is None:
+            return Response.error(
+                "retrieval is not enabled on this server "
+                "(start with repro serve --retrieval)", status=503)
+        payload = request.json()
+        query = payload.get("query")
+        selected = payload.get("ingredients")
+        # Validation raises ValueError → the framework's 400 path, the
+        # same contract every other endpoint uses.
+        if query is not None:
+            if not isinstance(query, str) or not query.strip():
+                raise ValueError("'query' must be a non-empty string")
+            if len(query) > MAX_QUERY_CHARS:
+                raise ValueError(
+                    f"'query' is capped at {MAX_QUERY_CHARS} characters "
+                    f"(got {len(query)})")
+        elif selected is not None:
+            if not isinstance(selected, list) or not selected:
+                raise ValueError("'ingredients' must be a non-empty list")
+            if len(selected) > MAX_INGREDIENTS:
+                raise ValueError(
+                    f"at most {MAX_INGREDIENTS} ingredients supported")
+            query = query_from_ingredients([str(name) for name in selected])
+            if not query:
+                raise ValueError("'ingredients' normalized to an empty query")
+        else:
+            raise ValueError("provide 'query' or 'ingredients'")
+        k = payload.get("k", 5)
+        if isinstance(k, bool) or not isinstance(k, int):
+            raise ValueError(f"'k' must be an integer, got {k!r}")
+        if not 1 <= k <= MAX_SEARCH_K:
+            raise ValueError(f"'k' must be in [1, {MAX_SEARCH_K}] (got {k})")
+        exact = bool(payload.get("exact", False))
+        include_text = bool(payload.get("include_text", False))
+        shed = _admit(SEARCH_ADMISSION_COST)
+        if shed is not None:
+            retrieval_shed.inc()
+            return shed
+        try:
+            hits = retrieval_index.search(query, k=k, exact=exact)
+        except Exception as exc:  # noqa: BLE001 - incl. injected faults
+            # A search has nothing to degrade *to* — unlike generation —
+            # so a faulted lookup is an explicit 503, never a hang/500.
+            return Response.error(
+                f"retrieval unavailable: {exc}", status=503)
+        finally:
+            _release(SEARCH_ADMISSION_COST)
+        return Response.json({
+            "hits": [hit.to_dict(include_text=include_text)
+                     for hit in hits],
+            "k": k,
+            "mode": "exact" if exact else "ann",
+            "documents": len(retrieval_index),
+        })
+
+    @app.route("/api/retrieval")
+    def retrieval_stats(request: Request) -> Response:
+        if retrieval_index is None:
+            return Response.json({"enabled": False})
+        return Response.json({
+            "enabled": True,
+            "default_retrieve_k": default_retrieve_k,
+            **retrieval_index.stats(),
+        })
 
     @app.route("/api/engine")
     def engine_stats(request: Request) -> Response:

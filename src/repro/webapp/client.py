@@ -292,6 +292,27 @@ class RatatouilleClient:
             raise StreamInterrupted(
                 "stream ended without a terminal event", tokens)
 
+    def search(self, query: Optional[str] = None,
+               ingredients: Optional[List[str]] = None, k: int = 5,
+               exact: bool = False,
+               include_text: bool = False) -> Dict[str, Any]:
+        """Semantic corpus search (``POST /api/search``).
+
+        Pass a free-text ``query`` or an ``ingredients`` list (exactly
+        one).  Returns the full response payload — ``hits``, ``mode``
+        and corpus ``documents`` count.
+        """
+        payload: Dict[str, Any] = {"k": k, "exact": exact,
+                                   "include_text": include_text}
+        if query is not None:
+            payload["query"] = query
+        if ingredients is not None:
+            payload["ingredients"] = ingredients
+        return self._request("POST", "/api/search", payload)
+
+    def retrieval_stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/api/retrieval")
+
     def engine_stats(self) -> Dict[str, Any]:
         return self._request("GET", "/api/engine")
 

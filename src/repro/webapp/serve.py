@@ -82,6 +82,21 @@ def build_parser() -> argparse.ArgumentParser:
     backend.add_argument("--affinity-tokens", type=int, default=32,
                          help="leading prompt tokens hashed for replica "
                               "placement (with --replicas > 1)")
+    backend.add_argument("--retrieval",
+                         action=argparse.BooleanOptionalAction, default=False,
+                         help="build (or load, with --index-dir) the "
+                              "semantic recipe index: /api/search, RAG-"
+                              "conditioned generation and novelty scoring "
+                              "(see docs/RETRIEVAL.md)")
+    backend.add_argument("--retrieve-k", type=int, default=0,
+                         help="server-default retrieved exemplars prepended "
+                              "to each generation prompt (payload "
+                              "retrieve_k overrides; 0 = search/novelty "
+                              "only)")
+    backend.add_argument("--index-dir", default=None,
+                         help="persisted index directory: loaded (mmap) "
+                              "when complete, else built and saved there "
+                              "so the next restart is warm")
 
     frontend = sub.add_parser("frontend", help="the static picker UI")
     frontend.add_argument("--port", type=int, default=8080)
@@ -89,6 +104,30 @@ def build_parser() -> argparse.ArgumentParser:
     frontend.add_argument("--backend-url", default="http://127.0.0.1:8000",
                           help="where the generation API lives")
     return parser
+
+
+def _load_or_build_index(pipeline: Ratatouille,
+                         index_dir: Optional[str]):
+    """The warm-restart path for ``--retrieval``.
+
+    A complete ``--index-dir`` is loaded memory-mapped (milliseconds);
+    otherwise the index is built from the pipeline's training corpus
+    and, when a directory was named, saved there so the *next* restart
+    is warm.
+    """
+    from ..retrieval import RecipeIndex, exists_on_disk
+
+    if index_dir and exists_on_disk(index_dir):
+        print(f"loading retrieval index from {index_dir} (mmap)",
+              file=sys.stderr)
+        return RecipeIndex.load(index_dir)
+    print("building retrieval index over the training corpus",
+          file=sys.stderr)
+    index = pipeline.build_retrieval_index()
+    if index_dir:
+        index.save(index_dir)
+        print(f"saved retrieval index to {index_dir}", file=sys.stderr)
+    return index
 
 
 def build_server(argv: List[str]) -> Server:
@@ -137,13 +176,18 @@ def build_server(argv: List[str]) -> Server:
         if args.replicas > 1 and not args.engine:
             raise SystemExit("--replicas requires the serving engine "
                              "(drop --no-engine)")
+        retrieval_index = None
+        if args.retrieval or args.retrieve_k > 0:
+            retrieval_index = _load_or_build_index(pipeline, args.index_dir)
         app = create_backend(pipeline, use_engine=args.engine,
                              resilience=resilience, draft=draft,
                              speculative_k=speculative_k,
                              replicas=args.replicas,
                              affinity_tokens=args.affinity_tokens,
                              kernels=(None if args.kernels == "off"
-                                      else args.kernels))
+                                      else args.kernels),
+                             retrieval_index=retrieval_index,
+                             retrieve_k=args.retrieve_k)
     else:
         app = create_frontend(args.backend_url)
     return Server(app, host=args.host, port=args.port)

@@ -126,10 +126,61 @@ class TestEveryNamedPoint:
         finally:
             app.engine.stop()
 
+    def test_retrieval_fault_degrades_generation_not_request(self):
+        # A faulted retrieval lookup must *degrade* the generation —
+        # un-conditioned output, flagged — never fail or hang it; and
+        # a faulted /api/search is a 503, never a hang or a 500.
+        import json as _json
+
+        from repro.webapp import Request, create_backend
+
+        pipeline = _tiny_pipeline()
+        registry = MetricsRegistry()
+        index = pipeline.build_retrieval_index(registry=registry)
+        app = create_backend(pipeline, registry=registry, use_engine=False,
+                             retrieval_index=index, retrieve_k=2)
+
+        def post(path, payload):
+            return app.dispatch(Request(
+                "POST", path, {}, {}, _json.dumps(payload).encode()))
+
+        injector = FaultInjector(
+            {"retrieval.search": FaultSpec(schedule={0})})
+        with inject_faults(injector):
+            # Call #0: the exemplar fetch faults -> degraded, 200.
+            response = post("/api/generate",
+                            {"ingredients": ["garlic", "onion"],
+                             "max_new_tokens": 6, "retrieve_k": 2})
+            assert response.status == 200
+            body = _json.loads(response.body)
+            assert body["retrieval_degraded"] is True
+            assert body["retrieved_k"] == 0
+            assert "title" in body
+            # Novelty (exempted call #1) still rides along.
+            assert "novelty" in body
+            # Calls #1+: retrieval recovered — conditioning works again.
+            response = post("/api/generate",
+                            {"ingredients": ["garlic", "onion"],
+                             "max_new_tokens": 6, "retrieve_k": 2})
+            body = _json.loads(response.body)
+            assert response.status == 200
+            assert body["retrieved_k"] == 2
+            assert "retrieval_degraded" not in body
+        snapshot = injector.snapshot()["retrieval.search"]
+        assert snapshot["faults"] == 1
+        # /api/search has nothing to degrade to: explicit 503.
+        with inject_faults(FaultInjector(
+                {"retrieval.search": FaultSpec(schedule={0})})):
+            response = post("/api/search", {"query": "garlic soup", "k": 2})
+            assert response.status == 503
+            response = post("/api/search", {"query": "garlic soup", "k": 2})
+            assert response.status == 200
+
     def test_all_points_are_exercised_by_this_suite(self):
         # Guard: a new fault point must come with chaos coverage.
         assert set(FAULT_POINTS) == {"model.forward", "prefix_cache.get",
-                                     "jobs.worker", "framework.write"}
+                                     "jobs.worker", "framework.write",
+                                     "retrieval.search"}
 
 
 class TestSpeculativeUnderFaults:

@@ -1,0 +1,277 @@
+"""Unit tests for repro.retrieval: embeddings, ANN, index, novelty,
+persistence (docs/RETRIEVAL.md)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.recipedb import generate_corpus
+from repro.retrieval import (LAYOUT_VERSION, MEMORIZED_NOVELTY_THRESHOLD,
+                             BruteForceIndex, EmbeddingConfig, LSHConfig,
+                             LSHIndex, RecipeIndex, TextEmbedder,
+                             exists_on_disk, query_from_ingredients,
+                             recall_at_k, recipe_document, summarize_novelty)
+
+pytestmark = pytest.mark.retrieval
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(400, seed=11)
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    return RecipeIndex.from_recipes(corpus[:360],
+                                    registry=MetricsRegistry())
+
+
+@pytest.fixture(scope="module")
+def held_out(corpus):
+    return corpus[360:]
+
+
+class TestEmbedder:
+    def test_unit_norm(self):
+        embedder = TextEmbedder()
+        vector = embedder.embed("butter garlic chicken with rice")
+        assert vector.dtype == np.float32
+        assert np.isclose(np.linalg.norm(vector), 1.0, atol=1e-5)
+
+    def test_deterministic_same_seed(self):
+        a = TextEmbedder(EmbeddingConfig(seed=3))
+        b = TextEmbedder(EmbeddingConfig(seed=3))
+        text = "spicy paneer tikka with naan"
+        assert np.array_equal(a.embed(text), b.embed(text))
+
+    def test_seed_changes_embedding(self):
+        text = "spicy paneer tikka with naan"
+        a = TextEmbedder(EmbeddingConfig(seed=0)).embed(text)
+        b = TextEmbedder(EmbeddingConfig(seed=1)).embed(text)
+        assert not np.array_equal(a, b)
+
+    def test_empty_text_is_zero_vector(self):
+        vector = TextEmbedder().embed("   ")
+        assert np.allclose(vector, 0.0)
+
+    def test_batch_matches_single(self):
+        embedder = TextEmbedder()
+        texts = ["chicken and rice", "chocolate cake", "miso soup"]
+        batch = embedder.embed_batch(texts)
+        for row, text in zip(batch, texts):
+            assert np.array_equal(row, embedder.embed(text))
+
+    def test_similar_texts_score_higher(self):
+        embedder = TextEmbedder()
+        base = embedder.embed("grilled chicken with garlic butter")
+        near = embedder.embed("grilled chicken with garlic sauce")
+        far = embedder.embed("chocolate raspberry layer cake")
+        assert float(base @ near) > float(base @ far)
+
+    def test_fingerprint_stable(self):
+        texts = ["one recipe", "another recipe"]
+        a = TextEmbedder().fingerprint(texts)
+        b = TextEmbedder().fingerprint(texts)
+        assert a == b
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EmbeddingConfig(dim=0).validate()
+        with pytest.raises(ValueError):
+            EmbeddingConfig(char_ngrams=(5, 3)).validate()
+
+
+class TestANN:
+    def test_lsh_config_validation(self):
+        with pytest.raises(ValueError):
+            LSHConfig(tables=0).validate()
+        with pytest.raises(ValueError):
+            LSHConfig(probes=-1).validate()
+        with pytest.raises(ValueError):
+            LSHConfig(bits=31).validate()
+
+    def test_brute_force_is_exact(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((50, 16)).astype(np.float32)
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+        query = vectors[7]
+        result = BruteForceIndex(vectors).query(query, 3)
+        assert result.indices[0] == 7
+        assert np.isclose(result.scores[0], 1.0, atol=1e-5)
+        assert list(result.scores) == sorted(result.scores, reverse=True)
+
+    def test_tiny_corpus_falls_back_to_exact(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.standard_normal((5, 8)).astype(np.float32)
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+        result = LSHIndex(vectors).query(vectors[2], 5)
+        assert result.candidates_examined == 5
+        assert set(result.indices.tolist()) == set(range(5))
+
+    def test_self_query_finds_itself(self, index):
+        row = 42
+        result = index.ann.query(index.vectors[row], 1)
+        assert result.indices[0] == row
+
+    def test_recall_against_oracle(self, index, held_out):
+        """The acceptance-criteria recall gate, miniature edition."""
+        queries = [recipe_document(r) for r in held_out[:25]]
+        strict = eps = 0.0
+        for query in queries:
+            vector = index.embedder.embed(query)
+            approx = index.ann.query(vector, 10)
+            exact = index.exact.query(vector, 10)
+            strict += recall_at_k(approx, exact)
+            eps += recall_at_k(approx, exact, eps=1e-3)
+        assert eps / len(queries) >= 0.95
+        assert strict / len(queries) >= 0.85
+
+    def test_candidates_grow_sublinearly(self):
+        """4x the corpus must cost well under 4x the candidates."""
+        rng = np.random.default_rng(5)
+        medians = []
+        for n in (2000, 8000):
+            vectors = rng.standard_normal((n, 64)).astype(np.float32)
+            vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+            ann = LSHIndex(vectors)
+            counts = [ann.query(vectors[i], 10).candidates_examined
+                      for i in range(0, n, n // 20)]
+            medians.append(float(np.median(counts)))
+        assert medians[1] < medians[0] * 2.0
+
+    def test_bucket_spread(self, index):
+        assert index.ann.stats()["max_bucket"] < len(index) // 2
+
+    def test_eps_recall_counts_near_ties(self):
+        exact = BruteForceIndex(np.eye(4, dtype=np.float32))
+        a = exact.query(np.eye(4, dtype=np.float32)[0], 2)
+        # A fake "approximate" answer with the same scores but other
+        # indices: strict recall penalizes it, eps recall does not.
+        fake = type(a)(indices=np.array([2, 3]), scores=a.scores.copy(),
+                       candidates_examined=4)
+        assert recall_at_k(fake, a) == 0.0
+        assert recall_at_k(fake, a, eps=1e-3) == 1.0
+
+
+class TestRecipeIndex:
+    def test_search_returns_ranked_hits(self, index):
+        hits = index.search("chicken garlic rice", k=5)
+        assert len(hits) == 5
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+        assert [hit.rank for hit in hits] == list(range(5))
+
+    def test_corpus_document_retrieves_itself(self, index):
+        text = index.texts[17]
+        for exact in (False, True):
+            hits = index.search(text, k=1, exact=exact)
+            assert hits[0].doc_id == index.doc_ids[17]
+            assert hits[0].score > 0.999
+
+    def test_search_validation(self, index):
+        with pytest.raises(ValueError):
+            index.search("   ")
+        with pytest.raises(ValueError):
+            index.search("chicken", k=0)
+
+    def test_query_from_ingredients_deterministic(self):
+        names = ["Chicken Breast", "garlic", " rice "]
+        assert (query_from_ingredients(names)
+                == query_from_ingredients(list(names)))
+        assert query_from_ingredients(["", "  "]) == ""
+
+    def test_search_ingredients(self, index):
+        hits = index.search_ingredients(["chicken", "garlic"], k=3)
+        assert len(hits) == 3
+
+    def test_novelty_of_corpus_text_is_memorized(self, index):
+        report = index.novelty(index.texts[5])
+        assert report.novelty < MEMORIZED_NOVELTY_THRESHOLD
+        assert report.memorized
+        assert report.nearest_id == index.doc_ids[5]
+
+    def test_novelty_of_unrelated_text(self, index):
+        report = index.novelty("xylophone quantum blockchain zamboni")
+        assert report.novelty > 0.3
+        assert not report.memorized
+
+    def test_novelty_summary(self, index, held_out):
+        reports = index.novelty_batch(
+            [recipe_document(r) for r in held_out[:5]])
+        summary = summarize_novelty(reports)
+        assert summary.count == 5
+        assert summary.min_novelty <= summary.mean_novelty <= summary.max_novelty
+        assert summarize_novelty([]).count == 0
+
+    def test_metrics_recorded(self, index):
+        index.search("paneer tikka", k=2)
+        index.novelty("paneer tikka masala")
+        names = {family.name for family in index.registry.families()}
+        assert "retrieval_searches_total" in names
+        assert "retrieval_search_seconds" in names
+        assert "novelty_score" in names
+
+    def test_measure_recall(self, index):
+        value = index.measure_recall(["chicken rice", "chocolate cake"], k=5)
+        assert 0.0 <= value <= 1.0
+
+    def test_stats(self, index):
+        stats = index.stats()
+        assert stats["documents"] == len(index)
+        assert stats["dim"] == index.vectors.shape[1]
+        assert "ann" in stats
+
+
+class TestPersistence:
+    def test_round_trip_bit_identical(self, index, tmp_path):
+        directory = tmp_path / "idx"
+        index.save(directory)
+        assert exists_on_disk(directory)
+        loaded = RecipeIndex.load(directory, registry=MetricsRegistry())
+        assert np.array_equal(np.asarray(loaded.vectors), index.vectors)
+        assert np.array_equal(loaded.ann.codes, index.ann.codes)
+        assert np.array_equal(loaded.ann.center, index.ann.center)
+        assert loaded.doc_ids == index.doc_ids
+        assert loaded.texts == index.texts
+        query = "garlic chicken with rice"
+        before = [(h.doc_id, round(h.score, 6))
+                  for h in index.search(query, k=10)]
+        after = [(h.doc_id, round(h.score, 6))
+                 for h in loaded.search(query, k=10)]
+        assert before == after
+
+    def test_load_is_mmap_by_default(self, index, tmp_path):
+        directory = tmp_path / "idx_mmap"
+        index.save(directory)
+        loaded = RecipeIndex.load(directory, registry=MetricsRegistry())
+        assert isinstance(np.asarray(loaded.vectors).base, np.memmap) or \
+            isinstance(loaded.vectors, np.memmap)
+        assert loaded.stats()["mmap"]
+        eager = RecipeIndex.load(directory, mmap=False,
+                                 registry=MetricsRegistry())
+        assert not eager.stats()["mmap"]
+
+    def test_version_mismatch_rejected(self, index, tmp_path):
+        directory = tmp_path / "idx_ver"
+        index.save(directory)
+        meta = json.loads((directory / "meta.json").read_text())
+        meta["version"] = LAYOUT_VERSION + 1
+        (directory / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="layout version"):
+            RecipeIndex.load(directory, registry=MetricsRegistry())
+
+    def test_corrupt_size_rejected(self, index, tmp_path):
+        directory = tmp_path / "idx_corrupt"
+        index.save(directory)
+        texts = json.loads((directory / "texts.json").read_text())
+        (directory / "texts.json").write_text(json.dumps(texts[:-3]))
+        with pytest.raises(ValueError, match="corrupt"):
+            RecipeIndex.load(directory, registry=MetricsRegistry())
+
+    def test_exists_on_disk_partial(self, index, tmp_path):
+        directory = tmp_path / "idx_partial"
+        index.save(directory)
+        (directory / "ann.npz").unlink()
+        assert not exists_on_disk(directory)

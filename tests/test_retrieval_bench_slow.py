@@ -1,0 +1,23 @@
+"""Recall and scaling gate for the retrieval index (slow tier).
+
+Runs ``benchmarks/run_retrieval.py`` — the multi-probe LSH index must
+hold tie-aware recall@10 >= 0.95 against the brute-force oracle and
+show sub-linear candidate growth across a 4x corpus.  Excluded from
+the tier-1 default run; invoke with ``pytest -m slow``.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.retrieval]
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+
+import run_retrieval  # noqa: E402
+
+
+def test_retrieval_clears_recall_and_scaling_gates():
+    assert run_retrieval.main(["--rounds", "2"]) == 0
