@@ -18,6 +18,16 @@ reported for context but never gated):
   the router's failover re-dispatches to the survivor and determinism
   makes the replay invisible.
 
+* **rolling restart** — the warm fleet is put through a full
+  ``drain → swap → readmit`` cycle on *every* replica, with a
+  :class:`~repro.durability.FleetCacheSpill` attached: each swap
+  spills the drained replica's prefix cache and the replacement
+  engine warm-loads it.  The gate: the post-restart workload's
+  hit-token rate stays ≥ 60% of the steady-state rate (a cold
+  restart sits near 53% on this workload — only the shared heads
+  re-hit; warm reload keeps the full-prompt entries and re-hits
+  everything).
+
 Writes ``benchmarks/results/BENCH_cluster.json``.
 
 Usage::
@@ -30,12 +40,15 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import shutil
 import sys
+import tempfile
 import time
 
 import numpy as np
 
 from repro.cluster import ClusterConfig, Router
+from repro.durability import FleetCacheSpill
 from repro.models import GenerationConfig, distilgpt2, generate
 from repro.obs import MetricsRegistry, NullRegistry, NullTracer
 from repro.resilience import FaultInjector, FaultSpec, inject_faults
@@ -215,11 +228,81 @@ def _failover_phase(model):
     return ok, payload
 
 
+def _rolling_restart_phase(model, threshold):
+    """Returns (ok, payload): spill keeps a rolling restart cache-warm.
+
+    Every replica is drained, swapped (fresh engine) and readmitted.
+    Without the spill the replacement engines start cold and only the
+    shared family heads re-hit; with it, each swap snapshots the
+    drained cache and the replacement warm-loads it, so the
+    post-restart workload hits like steady state.
+    """
+    prompts = _family_prompts()
+    prompt_tokens = sum(len(p) for p in prompts)
+    registry = MetricsRegistry()
+
+    def factory(name):
+        return InferenceEngine(model,
+                               EngineConfig(max_batch_size=CONCURRENCY),
+                               registry=registry, tracer=NullTracer(),
+                               name=name)
+
+    cluster_config = ClusterConfig(replicas=2,
+                                   affinity_tokens=AFFINITY_TOKENS,
+                                   saturation_tokens=10**6,
+                                   restart_backoff_seconds=0.01,
+                                   heartbeat_seconds=0.01)
+    spill_dir = tempfile.mkdtemp(prefix="repro-bench-spill-")
+    spill = FleetCacheSpill(spill_dir, model=model)
+    try:
+        with Router(factory, cluster_config, registry=registry,
+                    tracer=NullTracer(), spill=spill) as router:
+            def fleet_hits():
+                return sum(_hit_tokens(replica["prefix_cache"])
+                           for replica in router.stats()["replicas"].values())
+            _run_all(router, prompts)       # warm every home cache
+            before = fleet_hits()
+            _run_all(router, prompts)       # steady-state measurement
+            steady_hits = fleet_hits() - before
+
+            restart_start = time.perf_counter()
+            for name in router.replica_names():
+                router.drain(name, timeout=30.0)
+                router.swap(name)           # spill -> fresh engine -> reload
+                router.readmit(name)
+            restart_seconds = time.perf_counter() - restart_start
+
+            before = fleet_hits()           # fresh engines: counters at 0
+            start = time.perf_counter()
+            _run_all(router, prompts)
+            warm_seconds = time.perf_counter() - start
+            warm_hits = fleet_hits() - before
+    finally:
+        shutil.rmtree(spill_dir, ignore_errors=True)
+
+    steady_rate = steady_hits / prompt_tokens
+    warm_rate = warm_hits / prompt_tokens
+    ok = steady_hits > 0 and warm_hits >= threshold * steady_hits
+    payload = {
+        "requests": len(prompts),
+        "prompt_tokens": prompt_tokens,
+        "steady_hit_token_rate": steady_rate,
+        "post_restart_hit_token_rate": warm_rate,
+        "threshold_fraction_of_steady": threshold,
+        "rolling_restart_seconds": restart_seconds,
+        "post_restart_seconds": warm_seconds,
+    }
+    return ok, payload
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--affinity-threshold", type=float, default=0.9,
                         help="cluster hit-token rate must be at least this "
                              "fraction of the single engine's")
+    parser.add_argument("--warm-threshold", type=float, default=0.6,
+                        help="post-rolling-restart hit-token rate must be "
+                             "at least this fraction of steady state")
     args = parser.parse_args(argv)
 
     model = distilgpt2(vocab_size=VOCAB, context_length=256)
@@ -227,11 +310,13 @@ def main(argv=None) -> int:
 
     affinity_ok, affinity = _affinity_phase(model, args.affinity_threshold)
     failover_ok, failover = _failover_phase(model)
+    rolling_ok, rolling = _rolling_restart_phase(model, args.warm_threshold)
 
     result = {
         "affinity": affinity,
         "failover": failover,
-        "pass": affinity_ok and failover_ok,
+        "rolling_restart": rolling,
+        "pass": affinity_ok and failover_ok and rolling_ok,
     }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(result, indent=2) + "\n",
@@ -247,6 +332,10 @@ def main(argv=None) -> int:
           f"concurrency {CONCURRENCY}; {failover['failed_requests']} failed "
           f"of {FAILOVER_REQUESTS}, {failover['failovers']} failover(s), "
           f"bit_identical={failover['bit_identical']}")
+    print(f"rolling restart: post-restart hit-token rate "
+          f"{rolling['post_restart_hit_token_rate']:.3f} vs steady "
+          f"{rolling['steady_hit_token_rate']:.3f} "
+          f"(gate >= {args.warm_threshold:.0%} of steady)")
     print(f"[written to {RESULTS_PATH}]")
     if not affinity_ok:
         print("FAIL: cluster prefix-cache hit-token rate below the "
@@ -254,9 +343,12 @@ def main(argv=None) -> int:
     if not failover_ok:
         print("FAIL: replica kill lost requests or diverged from "
               "sequential decoding", file=sys.stderr)
-    if not (affinity_ok and failover_ok):
+    if not rolling_ok:
+        print("FAIL: rolling drain->swap->readmit came back cold; the "
+              "cache spill did not keep the fleet warm", file=sys.stderr)
+    if not (affinity_ok and failover_ok and rolling_ok):
         return 1
-    print("OK: fleet clears both cluster gates")
+    print("OK: fleet clears all cluster gates")
     return 0
 
 

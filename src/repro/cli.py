@@ -141,6 +141,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persisted index directory (loaded mmap when "
                             "complete, else built and saved for a warm "
                             "next restart)")
+    serve.add_argument("--journal-dir", default=None,
+                       help="write-ahead job journal directory: async jobs "
+                            "are fsync'd before the 202 and replayed on "
+                            "restart")
+    serve.add_argument("--spill-dir", default=None,
+                       help="prefix-cache spill directory: snapshotted on "
+                            "clean shutdown, mmap-reloaded on start")
+    serve.add_argument("--drain-deadline", type=float, default=10.0,
+                       help="graceful-shutdown budget in seconds (SIGTERM "
+                            "drains in-flight jobs, flushes durable state, "
+                            "exits 0)")
 
     index = sub.add_parser(
         "index", help="build + persist a semantic recipe index")
@@ -269,8 +280,6 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the backend API, engine-backed by default."""
-    import threading
-
     argv = ["backend", "--host", args.host, "--port", str(args.port),
             "--train-recipes", str(args.train_recipes),
             "--train-steps", str(args.train_steps),
@@ -298,7 +307,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         argv += ["--retrieval", "--retrieve-k", str(args.retrieve_k)]
         if args.index_dir:
             argv += ["--index-dir", args.index_dir]
-    from .webapp.serve import build_server
+    if args.journal_dir:
+        argv += ["--journal-dir", args.journal_dir]
+    if args.spill_dir:
+        argv += ["--spill-dir", args.spill_dir]
+    argv += ["--drain-deadline", str(args.drain_deadline)]
+    from .webapp.serve import build_server, run_until_signalled
     server = build_server(argv)
     server.start()
     mode = "in-process"
@@ -307,13 +321,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 else "engine")
         if args.kernels != "off":
             mode += f", {args.kernels} kernels"
-    print(f"serving on {server.url} ({mode} decoding) — Ctrl+C to stop",
-          file=sys.stderr)
-    try:
-        threading.Event().wait()
-    except KeyboardInterrupt:
-        server.stop()
-    return 0
+    durable = []
+    if args.journal_dir:
+        durable.append("journal")
+    if args.spill_dir:
+        durable.append("spill")
+    if durable:
+        mode += ", " + "+".join(durable)
+    print(f"serving on {server.url} ({mode} decoding) — SIGTERM/Ctrl+C "
+          f"to stop", file=sys.stderr)
+    return run_until_signalled(server)
 
 
 def cmd_index(args: argparse.Namespace) -> int:

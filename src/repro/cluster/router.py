@@ -320,14 +320,22 @@ class Router:
         per-replica ``engine=`` / ``cache=`` labels.
     config:
         :class:`ClusterConfig`; the default runs two replicas.
+    spill:
+        Optional :class:`~repro.durability.FleetCacheSpill`-shaped
+        object (``for_replica(name)``).  Each replica's supervisor gets
+        its own per-replica spill directory, so restarts, ``swap`` and
+        process restarts reload that replica's own prefix working set —
+        warm caches stay disjoint exactly like the live ones.
     """
 
     def __init__(self, engine_factory: Callable[[str], InferenceEngine],
                  config: Optional[ClusterConfig] = None,
                  registry: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 spill: Optional[Any] = None) -> None:
         self.config = config or ClusterConfig()
         self.config.validate()
+        self.spill = spill
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
         self._clock = self.registry.clock
@@ -341,7 +349,7 @@ class Router:
             name = f"r{index}"
             factory = self._bind_factory(engine_factory, name)
             self._replicas[name] = _Replica(
-                name, self._build_supervisor(factory), factory)
+                name, self._build_supervisor(factory, name), factory)
         self._ring = self._build_ring(list(self._replicas))
         self._next_id = 0
         self._id_lock = threading.Lock()
@@ -361,15 +369,17 @@ class Router:
             return engine_factory(name)
         return build
 
-    def _build_supervisor(self, factory: Callable[[], InferenceEngine]
-                          ) -> EngineSupervisor:
+    def _build_supervisor(self, factory: Callable[[], InferenceEngine],
+                          name: str) -> EngineSupervisor:
         # No sequential fallback: the fleet's degraded mode is another
         # replica, which is both faster and bit-identical.
+        replica_spill = (self.spill.for_replica(name)
+                         if self.spill is not None else None)
         return EngineSupervisor(
             factory, max_restarts=self.config.max_restarts,
             backoff_seconds=self.config.restart_backoff_seconds,
             poll_seconds=min(0.02, self.config.heartbeat_seconds),
-            fallback=None, registry=self.registry)
+            fallback=None, registry=self.registry, spill=replica_spill)
 
     def _build_ring(self, names: List[str]) -> List[Tuple[int, str]]:
         ring = [(self._hash(f"{name}#{vnode}".encode("utf-8")), name)
@@ -666,7 +676,7 @@ class Router:
         if engine_factory is not None:
             replica.factory = self._bind_factory(engine_factory, name)
         replica.supervisor.stop(timeout=timeout)
-        replica.supervisor = self._build_supervisor(replica.factory)
+        replica.supervisor = self._build_supervisor(replica.factory, name)
 
     def readmit(self, name: str) -> None:
         """Return a drained replica to the placement rotation."""

@@ -26,7 +26,14 @@ Registered failure points (see ``docs/RESILIENCE.md``):
                         fetch, novelty scoring) — the backend degrades to
                         un-conditioned generation with
                         ``"retrieval_degraded": true``, never a failed or
-                        hung request.
+                        hung request;
+``journal.append``      a write-ahead job-journal append — an async submit
+                        that cannot be made durable is refused with 503 +
+                        Retry-After *before* the 202, never acknowledged
+                        and then lost;
+``spill.save``          a prefix-cache spill snapshot — a failed spill
+                        degrades the *next* restart to a cold cache, it
+                        never fails shutdown, swap, or serving.
 =====================  =====================================================
 
 Determinism contract: a given ``(seed, plan)`` produces the same fault
@@ -52,6 +59,8 @@ FAULT_POINTS: Tuple[str, ...] = (
     "jobs.worker",
     "framework.write",
     "retrieval.search",
+    "journal.append",
+    "spill.save",
 )
 
 

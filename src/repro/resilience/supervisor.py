@@ -80,6 +80,14 @@ class EngineSupervisor:
         Watchdog check interval.
     fallback:
         Optional degraded decoder (see :func:`sequential_fallback`).
+    spill:
+        Optional :class:`~repro.durability.CacheSpill`-shaped object
+        (``load_into(cache)`` / ``save(cache)``).  When set, every
+        engine the supervisor builds — the first one and each restart
+        replacement — is warm-loaded from the spill, and a clean
+        :meth:`stop` of a *serving* engine snapshots its cache first
+        so the next supervisor starts warm.  A crashed engine's cache
+        is never saved: the crash may have been a poisoned snapshot.
     """
 
     def __init__(self, factory: Callable[[], InferenceEngine],
@@ -88,7 +96,8 @@ class EngineSupervisor:
                  backoff_multiplier: float = 2.0,
                  poll_seconds: float = 0.02,
                  fallback: Optional[Fallback] = None,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 spill: Optional[Any] = None) -> None:
         if max_restarts < 0:
             raise ValueError("max_restarts must be >= 0")
         if backoff_seconds < 0 or backoff_multiplier < 1.0:
@@ -100,6 +109,7 @@ class EngineSupervisor:
         self.backoff_multiplier = backoff_multiplier
         self.poll_seconds = poll_seconds
         self.fallback = fallback
+        self.spill = spill
         registry = registry if registry is not None else get_registry()
         self._restarts_total = registry.counter(
             "engine_restarts_total",
@@ -117,6 +127,7 @@ class EngineSupervisor:
         self._restarts = 0
         self._state = "serving"  # serving | restarting | failed | stopped
         self._engine = factory()
+        self._warm_reload(self._engine)
         self._up_gauge.set(1)
         self._stop_event = threading.Event()
         self._thread = threading.Thread(target=self._watch,
@@ -227,13 +238,36 @@ class EngineSupervisor:
         return tokens, True
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Stop the watchdog and the current engine."""
+        """Stop the watchdog and the current engine.
+
+        When a spill is configured and the engine is being stopped
+        *cleanly* (it was serving, not crashed or failed), its prefix
+        cache is snapshotted first so the next supervisor — a process
+        restart or a cluster swap — starts warm.  Spill failure is
+        logged into the fault machinery by the spill itself and never
+        blocks shutdown.
+        """
         self._stop_event.set()
         with self._lock:
+            was_serving = self._state == "serving"
             self._state = "stopped"
         self._thread.join(timeout=timeout)
+        if self.spill is not None and was_serving and self._engine.crashed is None:
+            try:
+                self.spill.save(self._engine.prefix_cache)
+            except Exception:  # noqa: BLE001 - degrade next start to cold
+                pass
         self._engine.stop(timeout=timeout)
         self._up_gauge.set(0)
+
+    def _warm_reload(self, engine: InferenceEngine) -> None:
+        """Best-effort warm load of a fresh engine's prefix cache."""
+        if self.spill is None:
+            return
+        try:
+            self.spill.load_into(engine.prefix_cache)
+        except Exception:  # noqa: BLE001 - corrupt spill => cold start
+            pass
 
     def __enter__(self) -> "EngineSupervisor":
         return self
@@ -279,6 +313,7 @@ class EngineSupervisor:
             return
         try:
             replacement = self._factory()
+            self._warm_reload(replacement)
         except BaseException:  # noqa: BLE001 - factory itself failed
             # Burn the attempt; the watchdog will see the dead engine
             # again next poll and retry until the budget runs out.

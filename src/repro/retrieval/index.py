@@ -33,6 +33,7 @@ retrieval to un-conditioned generation rather than failing the request.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -258,13 +259,32 @@ class RecipeIndex:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, directory) -> None:
-        """Write the mmap-friendly on-disk layout (see module docs)."""
+        """Write the mmap-friendly on-disk layout (see module docs).
+
+        Crash-atomic: every file is written to a temp name, fsync'd,
+        and ``os.replace``'d into place — and ``meta.json`` (the file
+        :func:`exists_on_disk` treats as the completeness marker) is
+        replaced *last*, after the payload files are durable.  A crash
+        at any point leaves either the previous complete index, or a
+        directory the warm-restart path correctly treats as incomplete
+        and rebuilds — never a torn mix ``load`` would trip over.
+        """
+        from ..durability import atomic_write_bytes, fsync_dir, fsync_file
+
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        np.save(directory / "vectors.npy",
-                np.ascontiguousarray(self.vectors))
-        np.savez(directory / "ann.npz", planes=self.ann.planes,
+        tmp_vectors = directory / f".vectors.tmp-{os.getpid()}.npy"
+        np.save(tmp_vectors, np.ascontiguousarray(self.vectors))
+        fsync_file(tmp_vectors)
+        os.replace(tmp_vectors, directory / "vectors.npy")
+        tmp_ann = directory / f".ann.tmp-{os.getpid()}.npz"
+        np.savez(tmp_ann, planes=self.ann.planes,
                  codes=self.ann.codes, center=self.ann.center)
+        fsync_file(tmp_ann)
+        os.replace(tmp_ann, directory / "ann.npz")
+        atomic_write_bytes(
+            directory / "texts.json",
+            json.dumps(self.texts, ensure_ascii=False).encode("utf-8"))
         meta = {
             "version": LAYOUT_VERSION,
             "documents": len(self),
@@ -274,10 +294,11 @@ class RecipeIndex:
             "doc_ids": self.doc_ids,
             "titles": self.titles,
         }
-        (directory / "meta.json").write_text(
-            json.dumps(meta), encoding="utf-8")
-        (directory / "texts.json").write_text(
-            json.dumps(self.texts, ensure_ascii=False), encoding="utf-8")
+        # The commit point: meta.json lands only once everything else
+        # it describes is already on disk.
+        atomic_write_bytes(directory / "meta.json",
+                           json.dumps(meta).encode("utf-8"))
+        fsync_dir(directory)
 
     @classmethod
     def load(cls, directory, mmap: bool = True,

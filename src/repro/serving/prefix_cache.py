@@ -178,6 +178,17 @@ class PrefixCache:
             node.parent = None
             node = parent
 
+    def entries_snapshot(self) -> "list[Tuple[Tuple[int, ...], Any, int]]":
+        """All entries as ``(key, value, nbytes)``, oldest (LRU) first.
+
+        Taken under the cache lock so the spill layer
+        (:class:`repro.durability.CacheSpill`) sees a consistent cut;
+        re-inserting the tuples in order reproduces the LRU ordering.
+        """
+        with self._lock:
+            return [(key, entry.value, entry.nbytes)
+                    for key, entry in self._entries.items()]
+
     def stats_snapshot(self) -> Dict[str, float]:
         """Atomic copy of the counters, taken under the cache lock.
 

@@ -29,10 +29,14 @@ work happens.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import threading
+import uuid
+from typing import Dict, Optional, Sequence
 
 from ..cluster import ClusterConfig, NoReplicaAvailableError, Router
 from ..core.pipeline import Ratatouille
+from ..durability import (CacheSpill, FleetCacheSpill, JobJournal,
+                          JournalError)
 from ..models import GenerationConfig
 from ..obs import (MetricsRegistry, Tracer, get_registry, get_tracer,
                    render_json, render_text)
@@ -201,7 +205,9 @@ def create_backend(pipeline: Ratatouille,
                    affinity_tokens: int = 32,
                    kernels: Optional[str] = None,
                    retrieval_index=None,
-                   retrieve_k: int = 0) -> App:
+                   retrieve_k: int = 0,
+                   journal_dir=None,
+                   spill_dir=None) -> App:
     """Build the backend :class:`~repro.webapp.framework.App`.
 
     ``registry``/``tracer`` are what ``GET /api/metrics`` exposes and
@@ -262,6 +268,25 @@ def create_backend(pipeline: Ratatouille,
     ``"retrieval_degraded": true`` — it never fails it.  With
     ``retrieve_k=0`` (the default) generation output is bit-identical
     to a backend built without an index.
+
+    ``journal_dir`` enables the write-ahead job journal (see
+    ``docs/DURABILITY.md``): every ``POST /api/generate_async`` is
+    fsync'd to disk *before* the 202 is returned, incomplete jobs are
+    replayed through the engine on the next start, and completed
+    results stay fetchable via ``GET /api/job`` across restarts.  The
+    journal also backs ``Idempotency-Key`` deduplication: a retried
+    submit with the same key maps to the already-journaled job instead
+    of executing twice.
+
+    ``spill_dir`` enables prefix-cache spill: the engine's (or each
+    replica's) KV prefix cache is snapshotted on clean stop and
+    mmap-reloaded on the next start, so restarts and rolling swaps
+    serve warm instead of re-prefilling every prompt.
+
+    Both feed ``app.shutdown_gracefully(deadline_seconds)`` — stop
+    admission (503 + ``Retry-After``), drain in-flight jobs under the
+    deadline, flush journal and spill, stop the engine — which
+    ``repro serve`` runs on SIGTERM/SIGINT.
     """
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
@@ -285,6 +310,13 @@ def create_backend(pipeline: Ratatouille,
     if speculative_k < 0 or speculative_k > MAX_SPECULATIVE_K:
         raise ValueError(
             f"speculative_k must be in [0, {MAX_SPECULATIVE_K}]")
+    journal = JobJournal(journal_dir) if journal_dir is not None else None
+    spill = None
+    if spill_dir is not None:
+        if replicas > 1:
+            spill = FleetCacheSpill(spill_dir, model=pipeline.model)
+        else:
+            spill = CacheSpill(spill_dir, model=pipeline.model)
     if engine is None and use_engine:
         if replicas > 1:
             def _engine_factory(name: str) -> InferenceEngine:
@@ -307,7 +339,7 @@ def create_backend(pipeline: Ratatouille,
                     if resilience is not None
                     else ClusterConfig.restart_backoff_seconds))
             engine = Router(_engine_factory, cluster_config,
-                            registry=registry, tracer=tracer)
+                            registry=registry, tracer=tracer, spill=spill)
         elif resilience is not None and resilience.supervise:
             def _factory() -> InferenceEngine:
                 return InferenceEngine(pipeline.model, registry=registry,
@@ -319,10 +351,16 @@ def create_backend(pipeline: Ratatouille,
                 max_restarts=resilience.max_restarts,
                 backoff_seconds=resilience.restart_backoff_seconds,
                 fallback=fallback,
-                registry=registry)
+                registry=registry,
+                spill=spill)
         else:
             engine = InferenceEngine(pipeline.model, registry=registry,
                                      tracer=tracer, draft=draft)
+            if spill is not None:
+                try:
+                    spill.load_into(engine.prefix_cache)
+                except Exception:  # noqa: BLE001 - corrupt spill => cold
+                    pass
     supervisor = engine if isinstance(engine, EngineSupervisor) else None
     router = engine if isinstance(engine, Router) else None
     default_deadline_ms = (resilience.default_deadline_ms
@@ -361,6 +399,17 @@ def create_backend(pipeline: Ratatouille,
     app.router = router
     app.admission = admission
     app.retrieval_index = retrieval_index
+    app.journal = journal
+    app.spill = spill
+
+    #: ``Idempotency-Key`` → job id; seeded from the journal on replay.
+    idempotency: Dict[str, str] = {}
+    idempotency_lock = threading.Lock()
+    #: Completion snapshots restored from the journal — jobs that
+    #: finished in a *previous* process but whose results must stay
+    #: fetchable via ``GET /api/job``.
+    restored: Dict[str, dict] = {}
+    lifecycle = {"draining": False, "shutdown": None}
 
     def _admit(cost: int) -> Optional[Response]:
         """Acquire admission; a Response means "shed, answer with this".
@@ -369,7 +418,15 @@ def create_backend(pipeline: Ratatouille,
         we only *probe* it, so an async job that would queue behind a
         saturated fleet sheds at submit time (503 + Retry-After)
         instead of failing later inside the job worker.
+
+        A draining server (graceful shutdown in progress) refuses all
+        new work the same way — 503 + ``Retry-After`` — so clients
+        with the standard retry policy land on the replacement process.
         """
+        if lifecycle["draining"]:
+            return Response.error(
+                "server is draining for shutdown", status=503,
+                headers={"Retry-After": "1"})
         if router is not None:
             try:
                 router.check_admission(cost)
@@ -497,7 +554,10 @@ def create_backend(pipeline: Ratatouille,
     def health(request: Request) -> Response:
         fleet = _fleet_health()
         return Response.json({
-            "status": fleet["status"],
+            "status": ("draining" if lifecycle["draining"]
+                       else fleet["status"]),
+            "lifecycle": ("draining" if lifecycle["draining"]
+                          else "serving"),
             "replicas": fleet["replicas"],
             "healthy": fleet["healthy"],
             "draining": fleet["draining"],
@@ -513,6 +573,10 @@ def create_backend(pipeline: Ratatouille,
                 "documents": (len(retrieval_index)
                               if retrieval_index is not None else 0),
                 "default_k": default_retrieve_k,
+            },
+            "durability": {
+                "journal": journal is not None,
+                "spill": spill is not None,
             },
         })
 
@@ -569,9 +633,67 @@ def create_backend(pipeline: Ratatouille,
             _release(cost)
         return Response.json(body)
 
+    def _forget_idempotency(key: Optional[str], job_id: str) -> None:
+        """Undo a provisional key claim when the submit did not stick."""
+        if not key:
+            return
+        with idempotency_lock:
+            if idempotency.get(key) == job_id:
+                del idempotency[key]
+
+    def _job_status_of(job_id: str) -> str:
+        try:
+            return jobs.get(job_id).status.value
+        except KeyError:
+            snap = restored.get(job_id)
+            return snap["status"] if snap is not None else "pending"
+
+    def _journal_completion(job_id: str, status: str, result=None,
+                            error: Optional[str] = None) -> None:
+        """Best-effort completion record; a dead disk must not take the
+        job's actual result down with it (replay just re-executes)."""
+        if journal is None:
+            return
+        try:
+            journal.append_completed(job_id, status, result=result,
+                                     error=error)
+            journal.maybe_rotate()
+        except Exception:  # noqa: BLE001
+            pass
+
+    def _make_work(job_id, names, config, checklist, deadline_ms,
+                   allow_partial, retrieve_count, cost, admitted):
+        """Build the queued callable for one async generation.
+
+        Shared by the live submit path (``admitted=True`` — the
+        admission cost is released when the job resolves, not when it
+        is queued: queued-but-unstarted jobs are exactly the backlog
+        admission control must count) and journal replay
+        (``admitted=False`` — the original process's admission died
+        with it).
+        """
+        def work():
+            try:
+                result = _run_generation(names, config, checklist,
+                                         deadline_ms, allow_partial,
+                                         retrieve_count)
+            except Exception as exc:
+                _journal_completion(job_id, "failed",
+                                    error=f"{type(exc).__name__}: {exc}")
+                raise
+            finally:
+                if admitted:
+                    _release(cost)
+            _journal_completion(job_id, "done", result=result)
+            return result
+        return work
+
     @app.route("/api/generate_async", methods=("POST",))
     def generate_async(request: Request) -> Response:
         payload = request.json()
+        idem_key = request.headers.get("idempotency-key")
+        if idem_key is None and payload.get("idempotency_key") is not None:
+            idem_key = str(payload["idempotency_key"])
         names, config, checklist = _parse_generation_request(
             payload, max_new_tokens_cap, default_speculative_k)
         deadline_ms = _parse_deadline(payload, default_deadline_ms)
@@ -579,24 +701,46 @@ def create_backend(pipeline: Ratatouille,
                                            retrieval_index is not None)
         allow_partial = bool(payload.get("partial", False))
         cost = config.max_new_tokens
+        # The job id is minted before the journal append so journal and
+        # queue agree; the idempotency claim is provisional until the
+        # submit sticks (journal failure / full queue releases it).
+        job_id = uuid.uuid4().hex[:12]
+        if idem_key:
+            with idempotency_lock:
+                existing = idempotency.setdefault(idem_key, job_id)
+            if existing != job_id:
+                # A retry of a submit we already accepted: point the
+                # client at the original job instead of running twice.
+                return Response.json(
+                    {"job_id": existing,
+                     "status": _job_status_of(existing),
+                     "deduplicated": True}, status=202)
         shed = _admit(cost)
         if shed is not None:
+            _forget_idempotency(idem_key, job_id)
             return shed
-
-        def work():
-            # The admitted work is released when the job resolves, not
-            # when it is queued — queued-but-unstarted jobs are exactly
-            # the backlog admission control must count.
+        if journal is not None:
             try:
-                return _run_generation(names, config, checklist, deadline_ms,
-                                       allow_partial, retrieve_count)
-            finally:
+                journal.append_accepted(job_id, payload,
+                                        idempotency_key=idem_key)
+            except JournalError as exc:
+                # Cannot make the acknowledgement durable => refuse the
+                # work *before* the 202, never acknowledge-then-lose.
                 _release(cost)
-
+                _forget_idempotency(idem_key, job_id)
+                return Response.error(
+                    f"journal unavailable: {exc}", status=503,
+                    headers={"Retry-After": "1"})
+        work = _make_work(job_id, names, config, checklist, deadline_ms,
+                          allow_partial, retrieve_count, cost, admitted=True)
         try:
-            job_id = jobs.submit(work)
-        except (QueueFullError, RuntimeError) as exc:
+            jobs.submit(work, job_id=job_id)
+        except (QueueFullError, RuntimeError, ValueError) as exc:
             _release(cost)
+            _forget_idempotency(idem_key, job_id)
+            # Journaled but never queued: a "rejected" completion stops
+            # replay from resurrecting work the client was refused.
+            _journal_completion(job_id, "rejected", error=str(exc))
             status = 429 if isinstance(exc, QueueFullError) else 503
             return Response.error(str(exc), status=status)
         return Response.json({"job_id": job_id, "status": "pending"},
@@ -780,6 +924,12 @@ def create_backend(pipeline: Ratatouille,
         try:
             job = jobs.get(job_id)
         except KeyError:
+            # Completed in a previous process: the journal restored the
+            # result so a client that submitted before the restart can
+            # still fetch it.
+            snap = restored.get(job_id)
+            if snap is not None:
+                return Response.json(snap)
             return Response.error(f"unknown job {job_id}", status=404)
         return Response.json(job.snapshot())
 
@@ -811,5 +961,131 @@ def create_backend(pipeline: Ratatouille,
                 for name, score in suggestions
             ],
         })
+
+    # ------------------------------------------------------------------
+    # Journal replay: resurrect the previous process's state.
+    # ------------------------------------------------------------------
+    def _replay_journal() -> dict:
+        """Fold the journal into live state; re-submit incomplete jobs.
+
+        Completed jobs become ``restored`` snapshots (results stay
+        fetchable); accepted-but-incomplete jobs re-enter the queue in
+        acceptance order and execute exactly once *here* — engine
+        output is deterministic, so even a job that did run before the
+        crash (but lost its completion record) re-executes to the
+        identical result.
+        """
+        state = journal.replay()
+        with idempotency_lock:
+            for key, jid in state.idempotency.items():
+                idempotency.setdefault(key, jid)
+        for jid, record in state.completed.items():
+            status = record.get("status", "done")
+            if status == "rejected":
+                # Refused with a 4xx/5xx before the 202 — there is no
+                # acknowledged job to restore.
+                continue
+            snap = {"job_id": jid, "status": status, "restored": True}
+            if record.get("result") is not None:
+                snap["result"] = record["result"]
+            if record.get("error") is not None:
+                snap["error"] = record["error"]
+            restored[jid] = snap
+        replayed = failed = 0
+        for jid, record in state.incomplete():
+            payload = record.get("request") or {}
+            try:
+                names, config, checklist = _parse_generation_request(
+                    payload, max_new_tokens_cap, default_speculative_k)
+                deadline_ms = _parse_deadline(payload, default_deadline_ms)
+                retrieve_count = _parse_retrieve_k(
+                    payload, default_retrieve_k, retrieval_index is not None)
+            except ValueError as exc:
+                # Journaled under a different server config (cap,
+                # retrieval) — resolve it rather than crash-loop on it.
+                error = f"replay rejected: {exc}"
+                _journal_completion(jid, "failed", error=error)
+                restored[jid] = {"job_id": jid, "status": "failed",
+                                 "error": error, "restored": True}
+                failed += 1
+                continue
+            work = _make_work(jid, names, config, checklist, deadline_ms,
+                              bool(payload.get("partial", False)),
+                              retrieve_count, cost=0, admitted=False)
+            try:
+                # block=True: a backlog larger than max_pending must
+                # re-enqueue completely, not lose its tail to a 429.
+                jobs.submit(work, job_id=jid, block=True)
+                replayed += 1
+            except Exception as exc:  # noqa: BLE001
+                error = f"replay submit failed: {type(exc).__name__}: {exc}"
+                _journal_completion(jid, "failed", error=error)
+                restored[jid] = {"job_id": jid, "status": "failed",
+                                 "error": error, "restored": True}
+                failed += 1
+        return {"restored": len(restored), "replayed": replayed,
+                "replay_failed": failed,
+                "torn_records": state.torn_records}
+
+    app.replay_summary = _replay_journal() if journal is not None else None
+
+    # ------------------------------------------------------------------
+    # Graceful shutdown
+    # ------------------------------------------------------------------
+    def begin_drain() -> None:
+        """Stop admitting new work; in-flight jobs keep running."""
+        lifecycle["draining"] = True
+
+    def shutdown_gracefully(deadline_seconds: float = 10.0) -> dict:
+        """SIGTERM path: drain, flush durable state, stop the engine.
+
+        1. stop admission — every new request sheds with 503 +
+           ``Retry-After`` while the drain runs;
+        2. wait (up to ``deadline_seconds``) for queued + running jobs;
+           leftovers are failed with the named shutdown error — their
+           journal records stay incomplete, so the *next* process
+           replays them;
+        3. spill the prefix cache(s) — supervisors and routers do this
+           inside their own ``stop()``, a bare engine is spilled here;
+        4. compact + close the journal and stop the engine.
+
+        Idempotent: a second call returns the first call's summary.
+        """
+        if lifecycle["shutdown"] is not None:
+            return lifecycle["shutdown"]
+        lifecycle["draining"] = True
+        drained = jobs.wait_idle(timeout=deadline_seconds)
+        leftover = jobs.unfinished
+        jobs.shutdown()
+        spilled = False
+        if engine is not None:
+            if supervisor is None and router is None:
+                if spill is not None:
+                    try:
+                        spill.save(engine.prefix_cache)
+                        spilled = True
+                    except Exception:  # noqa: BLE001 - next start is cold
+                        pass
+                engine.stop()
+            else:
+                # Supervisor/router stop() spills each serving engine's
+                # cache itself (and skips crashed ones).
+                engine.stop()
+                spilled = spill is not None
+        journal_stats = None
+        if journal is not None:
+            try:
+                journal.rotate()
+            except Exception:  # noqa: BLE001 - closing anyway
+                pass
+            journal_stats = journal.stats()
+            journal.close()
+        summary = {"drained": drained, "jobs_abandoned": leftover,
+                   "spilled": spilled, "journal": journal_stats}
+        lifecycle["shutdown"] = summary
+        return summary
+
+    app.begin_drain = begin_drain
+    app.shutdown_gracefully = shutdown_gracefully
 
     return app

@@ -117,25 +117,45 @@ class JobQueue:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def submit(self, func: Callable[[], Any]) -> str:
+    def submit(self, func: Callable[[], Any], job_id: Optional[str] = None,
+               block: bool = False, block_timeout: float = 30.0) -> str:
         """Queue ``func``; returns the job id.
+
+        Parameters
+        ----------
+        job_id:
+            Caller-chosen id (the durability layer journals the id
+            *before* submitting, so the journal and queue must agree).
+            Defaults to a fresh ``uuid4`` fragment.  Re-using a live id
+            raises :class:`ValueError`.
+        block / block_timeout:
+            With ``block=True`` a full queue waits up to
+            ``block_timeout`` seconds instead of raising — the journal
+            replay path uses this so a backlog larger than
+            ``max_pending`` re-enqueues completely.
 
         Raises
         ------
         QueueFullError
-            When ``max_pending`` jobs are already waiting.
+            When ``max_pending`` jobs are already waiting (and the wait
+            expired, if blocking).
         RuntimeError
             After :meth:`shutdown`.
         """
         if self._shutdown:
             raise RuntimeError("queue is shut down")
-        job = Job(job_id=uuid.uuid4().hex[:12], func=func,
+        job = Job(job_id=job_id or uuid.uuid4().hex[:12], func=func,
                   submitted_at=self._clock())
         with self._lock:
+            if job.job_id in self._jobs:
+                raise ValueError(f"job id {job.job_id!r} already exists")
             self._jobs[job.job_id] = job
         try:
-            self._queue.put_nowait(job)
-        except queue.Full:
+            if block:
+                self._queue.put(job, timeout=block_timeout)
+            else:
+                self._queue.put_nowait(job)
+        except (queue.Full, TimeoutError):
             with self._lock:
                 del self._jobs[job.job_id]
             self._rejected.inc()
@@ -182,6 +202,31 @@ class JobQueue:
     @property
     def pending(self) -> int:
         return self._queue.qsize()
+
+    @property
+    def unfinished(self) -> int:
+        """Jobs not yet DONE/FAILED — queued *and* running.
+
+        ``pending`` only counts the queue; the graceful-shutdown drain
+        needs to wait for in-flight work too.
+        """
+        with self._lock:
+            return sum(job.status in (JobStatus.PENDING, JobStatus.RUNNING)
+                       for job in self._jobs.values())
+
+    def wait_idle(self, timeout: float = 10.0, poll: float = 0.02) -> bool:
+        """Block until no job is pending or running; True if drained.
+
+        Returns False when ``timeout`` expires with work still in
+        flight — the graceful-shutdown path then fails the leftovers
+        via :meth:`shutdown` rather than waiting forever.
+        """
+        deadline = time.monotonic() + timeout
+        while self.unfinished > 0:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(poll)
+        return True
 
     def shutdown(self) -> None:
         """Stop accepting work and fail every still-pending job.

@@ -97,6 +97,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persisted index directory: loaded (mmap) "
                               "when complete, else built and saved there "
                               "so the next restart is warm")
+    backend.add_argument("--journal-dir", default=None,
+                         help="write-ahead job journal directory: async "
+                              "jobs are fsync'd before the 202 and "
+                              "replayed on restart (docs/DURABILITY.md)")
+    backend.add_argument("--spill-dir", default=None,
+                         help="prefix-cache spill directory: the KV cache "
+                              "is snapshotted on clean shutdown and "
+                              "mmap-reloaded on the next start")
+    backend.add_argument("--drain-deadline", type=float, default=10.0,
+                         help="graceful-shutdown budget in seconds: "
+                              "SIGTERM stops admission, waits this long "
+                              "for in-flight jobs, then flushes journal "
+                              "and cache spill and exits 0")
 
     frontend = sub.add_parser("frontend", help="the static picker UI")
     frontend.add_argument("--port", type=int, default=8080)
@@ -187,22 +200,63 @@ def build_server(argv: List[str]) -> Server:
                              kernels=(None if args.kernels == "off"
                                       else args.kernels),
                              retrieval_index=retrieval_index,
-                             retrieve_k=args.retrieve_k)
+                             retrieve_k=args.retrieve_k,
+                             journal_dir=args.journal_dir,
+                             spill_dir=args.spill_dir)
+        app.drain_deadline = args.drain_deadline
     else:
         app = create_frontend(args.backend_url)
     return Server(app, host=args.host, port=args.port)
 
 
-def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
+def run_until_signalled(server: Server) -> int:
+    """Serve until SIGTERM/SIGINT, then shut down gracefully; returns 0.
+
+    The graceful path (``docs/DURABILITY.md``): stop admission (new
+    requests shed 503 + ``Retry-After``), drain in-flight jobs under
+    ``--drain-deadline``, spill the prefix cache, compact + close the
+    journal, stop the engine, exit 0 — so an orchestrator's ordinary
+    ``SIGTERM; wait; SIGKILL`` rollout never loses acknowledged work
+    and never trips the kill escalation.
+    """
+    import signal
+    import threading
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal signature
+        stop.set()
+
+    try:
+        previous = {sig: signal.signal(sig, _on_signal)
+                    for sig in (signal.SIGTERM, signal.SIGINT)}
+    except ValueError:
+        # Not the main thread (embedded/test use): no handlers, block
+        # on the event forever — the caller stops the server itself.
+        previous = {}
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    shutdown = getattr(server.app, "shutdown_gracefully", None)
+    if shutdown is not None:
+        deadline = getattr(server.app, "drain_deadline", 10.0)
+        summary = shutdown(deadline_seconds=deadline)
+        print(f"graceful shutdown: {summary}", file=sys.stderr)
+    server.stop()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
     server = build_server(argv if argv is not None else sys.argv[1:])
     server.start()
-    print(f"serving on {server.url} — Ctrl+C to stop", file=sys.stderr)
-    try:
-        import threading
-        threading.Event().wait()
-    except KeyboardInterrupt:
-        server.stop()
+    print(f"serving on {server.url} — SIGTERM/Ctrl+C to stop",
+          file=sys.stderr)
+    return run_until_signalled(server)
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    sys.exit(main())

@@ -176,11 +176,47 @@ class TestEveryNamedPoint:
             response = post("/api/search", {"query": "garlic soup", "k": 2})
             assert response.status == 200
 
+    def test_journal_append_fault_refuses_durably(self, tmp_path):
+        from repro.durability import JobJournal, JournalError
+
+        with JobJournal(tmp_path / "journal", fsync=False) as journal:
+            injector = FaultInjector(
+                {"journal.append": FaultSpec(schedule={0})})
+            with inject_faults(injector):
+                # The fault is a disk failure to the caller: a typed
+                # refusal (the backend maps it to 503 + Retry-After),
+                # never an acknowledgement we cannot honour.
+                with pytest.raises(JournalError):
+                    journal.append_accepted("doomed", {"ingredients": ["x"]})
+                assert "doomed" not in journal.replay().accepted
+                # The journal survives and keeps accepting.
+                journal.append_accepted("fine", {"ingredients": ["x"]})
+            assert "fine" in journal.replay().accepted
+
+    def test_spill_save_fault_degrades_to_cold_start(self, tmp_path):
+        from repro.durability import CacheSpill, SpillError
+        from repro.serving import PrefixCache
+
+        cache = PrefixCache(max_bytes=1024)
+        cache.insert([1, 2], "snapshot", nbytes=8)
+        spill = CacheSpill(tmp_path / "spill")
+        injector = FaultInjector({"spill.save": FaultSpec(schedule={0})})
+        with inject_faults(injector):
+            with pytest.raises(SpillError):
+                spill.save(cache)
+            # Nothing half-written became live: the next start is a
+            # clean cold start, not a torn snapshot.
+            assert spill.load_into(PrefixCache(max_bytes=1024)) == 0
+            # Recovery: the next save succeeds and loads warm.
+            spill.save(cache)
+        assert spill.load_into(PrefixCache(max_bytes=1024)) == 1
+
     def test_all_points_are_exercised_by_this_suite(self):
         # Guard: a new fault point must come with chaos coverage.
         assert set(FAULT_POINTS) == {"model.forward", "prefix_cache.get",
                                      "jobs.worker", "framework.write",
-                                     "retrieval.search"}
+                                     "retrieval.search", "journal.append",
+                                     "spill.save"}
 
 
 class TestSpeculativeUnderFaults:

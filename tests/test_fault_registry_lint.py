@@ -1,0 +1,63 @@
+"""Lint: every fault point in the code is registered and documented.
+
+A `fault_check("...")` call site that is not in ``FAULT_POINTS`` is
+dead chaos coverage (the injector refuses to arm unknown names), and
+one missing from ``docs/RESILIENCE.md`` is a failure mode nobody can
+reason about during an incident.  This test greps ``src/`` so the
+registry, the call sites and the docs can never drift apart silently.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.resilience import FAULT_POINTS
+
+pytestmark = pytest.mark.durability
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+DOC = REPO / "docs" / "RESILIENCE.md"
+
+#: Matches the literal-name call form, including a name on the next
+#: line after a black-style wrap.
+_CALL = re.compile(r'fault_check\(\s*"(?P<name>[^"]+)"')
+
+
+def _call_sites():
+    sites = {}
+    for path in sorted(SRC.rglob("*.py")):
+        for match in _CALL.finditer(path.read_text("utf-8")):
+            sites.setdefault(match.group("name"), []).append(
+                str(path.relative_to(REPO)))
+    return sites
+
+
+def test_every_call_site_is_registered():
+    unknown = {name: paths for name, paths in _call_sites().items()
+               if name not in FAULT_POINTS}
+    assert not unknown, (
+        f"fault_check() names not in FAULT_POINTS: {unknown} — add them "
+        f"to repro.resilience.faults.FAULT_POINTS")
+
+
+def test_every_registered_point_has_a_call_site():
+    sites = _call_sites()
+    orphaned = [name for name in FAULT_POINTS if name not in sites]
+    assert not orphaned, (
+        f"FAULT_POINTS entries with no fault_check() call site in src/: "
+        f"{orphaned} — stale registration?")
+
+
+def test_every_registered_point_is_documented():
+    doc = DOC.read_text("utf-8")
+    undocumented = [name for name in FAULT_POINTS
+                    if f"`{name}`" not in doc]
+    assert not undocumented, (
+        f"FAULT_POINTS missing from docs/RESILIENCE.md: {undocumented} — "
+        f"add a row to the fault-point table")
+
+
+def test_fault_points_are_unique_and_sorted_by_subsystem():
+    assert len(FAULT_POINTS) == len(set(FAULT_POINTS))
