@@ -336,6 +336,10 @@ class Router:
         self.config = config or ClusterConfig()
         self.config.validate()
         self.spill = spill
+        #: Whether :meth:`stop` wrote at least one replica's warm
+        #: snapshot; ``None`` until stop runs or when no spill is
+        #: configured (mirrors ``EngineSupervisor.last_spill_saved``).
+        self.last_spill_saved: Optional[bool] = None
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
         self._clock = self.registry.clock
@@ -801,11 +805,21 @@ class Router:
         self._metrics.draining.set(draining)
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Stop the heartbeat and every replica's supervisor + engine."""
+        """Stop the heartbeat and every replica's supervisor + engine.
+
+        With a spill configured, :attr:`last_spill_saved` records
+        whether *any* replica actually wrote a warm snapshot during
+        this stop (``None`` when no spill is configured), so shutdown
+        summaries report the real outcome rather than the config.
+        """
         self._stop_event.set()
         self._heartbeat.join(timeout=timeout)
         for replica in self._replicas.values():
             replica.supervisor.stop(timeout=timeout)
+        if self.spill is not None and self.last_spill_saved is None:
+            self.last_spill_saved = any(
+                replica.supervisor.last_spill_saved is True
+                for replica in self._replicas.values())
         self._observe_health()
 
     def __enter__(self) -> "Router":

@@ -351,7 +351,11 @@ class JobJournal:
                     path.unlink()
                 except OSError:
                     pass
-            self._completed_ids = set(kept_ids)
+            # The idempotent-completion guard must survive compaction:
+            # a completion record may be dropped from disk, but a late
+            # append_completed for that job must still be a no-op.  Ids
+            # are tiny; keep them all.
+            self._completed_ids = set(state.completed)
             self._dead_records = 0
             self._rotations += 1
 

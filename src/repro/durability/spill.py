@@ -57,10 +57,19 @@ LAYOUT_VERSION = 1
 #: every mapped view alignment-safe for any dtype numpy will hand us.
 _ALIGN = 64
 
-#: Module prefixes the unpickler will resolve classes from.  Spill
-#: files are self-produced, but a corrupted or adversarial file should
-#: fail closed (cold start), not import arbitrary code.
-_SAFE_MODULE_PREFIXES = ("repro.", "numpy", "collections", "builtins")
+#: Modules the unpickler will resolve classes from.  Spill files are
+#: self-produced, but a corrupted or adversarial file should fail
+#: closed (cold start), not import arbitrary code.  Matching is exact
+#: module or dotted submodule — a bare prefix would let ``numpy_evil``
+#: ride in on ``numpy``.  ``builtins`` is deliberately absent: an
+#: allowlisted ``builtins`` would hand the file ``eval``/``exec``/
+#: ``getattr`` via a GLOBAL+REDUCE pair; the few safe builtins are
+#: named individually below (containers pickle via opcodes, not
+#: GLOBAL, so the set stays tiny).
+_SAFE_MODULES = ("repro", "numpy", "collections")
+_SAFE_BUILTINS = frozenset({
+    "complex", "frozenset", "set", "bytearray", "range", "slice",
+})
 
 
 def model_fingerprint(model) -> str:
@@ -139,7 +148,12 @@ class _TensorResolvingUnpickler(pickle.Unpickler):
         return self._arrays[int(pid)]
 
     def find_class(self, module: str, name: str):  # noqa: D102
-        if not module.startswith(_SAFE_MODULE_PREFIXES):
+        if module == "builtins":
+            allowed = name in _SAFE_BUILTINS
+        else:
+            root = module.split(".", 1)[0]
+            allowed = root in _SAFE_MODULES
+        if not allowed:
             raise pickle.UnpicklingError(
                 f"refusing to unpickle {module}.{name} from a spill file")
         return super().find_class(module, name)

@@ -110,6 +110,13 @@ class EngineSupervisor:
         self.poll_seconds = poll_seconds
         self.fallback = fallback
         self.spill = spill
+        #: Outcome of the spill attempt made by :meth:`stop`: ``True``
+        #: once a snapshot was written, ``False`` when a configured
+        #: spill did not produce one (save failed, or the engine was
+        #: crashed/stopped), ``None`` when no spill is configured or
+        #: ``stop`` has not run.  Shutdown summaries read this instead
+        #: of guessing from configuration.
+        self.last_spill_saved: Optional[bool] = None
         registry = registry if registry is not None else get_registry()
         self._restarts_total = registry.counter(
             "engine_restarts_total",
@@ -245,18 +252,24 @@ class EngineSupervisor:
         cache is snapshotted first so the next supervisor — a process
         restart or a cluster swap — starts warm.  Spill failure is
         logged into the fault machinery by the spill itself and never
-        blocks shutdown.
+        blocks shutdown; the real outcome lands in
+        :attr:`last_spill_saved` for shutdown summaries.
         """
         self._stop_event.set()
         with self._lock:
             was_serving = self._state == "serving"
             self._state = "stopped"
         self._thread.join(timeout=timeout)
-        if self.spill is not None and was_serving and self._engine.crashed is None:
-            try:
-                self.spill.save(self._engine.prefix_cache)
-            except Exception:  # noqa: BLE001 - degrade next start to cold
-                pass
+        if self.spill is not None and self.last_spill_saved is None:
+            # First stop() decides the outcome; a repeated stop() must
+            # not clobber a recorded success with False.
+            self.last_spill_saved = False
+            if was_serving and self._engine.crashed is None:
+                try:
+                    self.spill.save(self._engine.prefix_cache)
+                    self.last_spill_saved = True
+                except Exception:  # noqa: BLE001 - next start is cold
+                    pass
         self._engine.stop(timeout=timeout)
         self._up_gauge.set(0)
 

@@ -402,8 +402,14 @@ def create_backend(pipeline: Ratatouille,
     app.journal = journal
     app.spill = spill
 
-    #: ``Idempotency-Key`` → job id; seeded from the journal on replay.
-    idempotency: Dict[str, str] = {}
+    #: ``Idempotency-Key`` → ``{"job_id", "committed"}``.  A claim is
+    #: provisional (``committed=False``) until the submit sticks
+    #: (journal append + queue accept); only committed claims dedupe
+    #: duplicate requests — a provisional claim can still roll back,
+    #: and handing its job id to a duplicate would leave that client
+    #: polling a job that never exists.  Seeded from the journal on
+    #: replay (those submits stuck by definition).
+    idempotency: Dict[str, dict] = {}
     idempotency_lock = threading.Lock()
     #: Completion snapshots restored from the journal — jobs that
     #: finished in a *previous* process but whose results must stay
@@ -638,8 +644,18 @@ def create_backend(pipeline: Ratatouille,
         if not key:
             return
         with idempotency_lock:
-            if idempotency.get(key) == job_id:
+            claim = idempotency.get(key)
+            if claim is not None and claim["job_id"] == job_id:
                 del idempotency[key]
+
+    def _commit_idempotency(key: Optional[str], job_id: str) -> None:
+        """Publish the key → job mapping once the submit stuck."""
+        if not key:
+            return
+        with idempotency_lock:
+            claim = idempotency.get(key)
+            if claim is not None and claim["job_id"] == job_id:
+                claim["committed"] = True
 
     def _job_status_of(job_id: str) -> str:
         try:
@@ -707,8 +723,23 @@ def create_backend(pipeline: Ratatouille,
         job_id = uuid.uuid4().hex[:12]
         if idem_key:
             with idempotency_lock:
-                existing = idempotency.setdefault(idem_key, job_id)
-            if existing != job_id:
+                claim = idempotency.get(idem_key)
+                if claim is None:
+                    idempotency[idem_key] = {"job_id": job_id,
+                                             "committed": False}
+                else:
+                    existing = claim["job_id"]
+                    committed = claim["committed"]
+            if claim is not None:
+                if not committed:
+                    # The original submit is still in flight and may
+                    # yet roll back (journal error, full queue); its
+                    # job id must not leak to a duplicate, so the
+                    # duplicate retries instead.
+                    return Response.error(
+                        "a submit with this Idempotency-Key is in "
+                        "flight; retry", status=503,
+                        headers={"Retry-After": "1"})
                 # A retry of a submit we already accepted: point the
                 # client at the original job instead of running twice.
                 return Response.json(
@@ -743,6 +774,7 @@ def create_backend(pipeline: Ratatouille,
             _journal_completion(job_id, "rejected", error=str(exc))
             status = 429 if isinstance(exc, QueueFullError) else 503
             return Response.error(str(exc), status=status)
+        _commit_idempotency(idem_key, job_id)
         return Response.json({"job_id": job_id, "status": "pending"},
                              status=202)
 
@@ -978,7 +1010,8 @@ def create_backend(pipeline: Ratatouille,
         state = journal.replay()
         with idempotency_lock:
             for key, jid in state.idempotency.items():
-                idempotency.setdefault(key, jid)
+                idempotency.setdefault(key, {"job_id": jid,
+                                             "committed": True})
         for jid, record in state.completed.items():
             status = record.get("status", "done")
             if status == "rejected":
@@ -1069,9 +1102,11 @@ def create_backend(pipeline: Ratatouille,
                 engine.stop()
             else:
                 # Supervisor/router stop() spills each serving engine's
-                # cache itself (and skips crashed ones).
+                # cache itself (and skips crashed ones); it records the
+                # real outcome so the summary never claims a warm
+                # snapshot that was not actually written.
                 engine.stop()
-                spilled = spill is not None
+                spilled = getattr(engine, "last_spill_saved", None) is True
         journal_stats = None
         if journal is not None:
             try:

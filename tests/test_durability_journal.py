@@ -154,6 +154,20 @@ class TestRotation:
             # Kept completions stay idempotent after the compaction.
             assert journal.append_completed("job-3", "done") is False
 
+    def test_compacted_completions_stay_idempotent(self, tmp_path):
+        # Rotation may drop a completion *record* from disk, but the
+        # in-memory guard must survive: a late/stale append_completed
+        # for a compacted-away job is still a no-op.
+        with _journal(tmp_path, keep_completed=1) as journal:
+            journal.append_accepted("old", REQUEST)
+            journal.append_accepted("new", REQUEST)
+            journal.append_completed("old", "done", result=1)
+            journal.append_completed("new", "done", result=2)
+            journal.rotate()
+            assert set(journal.replay().completed) == {"new"}
+            assert journal.append_completed("old", "failed") is False
+            assert journal.replay().duplicate_completions == 0
+
     def test_crash_mid_rotation_duplicates_fold_away(self, tmp_path):
         with _journal(tmp_path) as journal:
             journal.append_accepted("a", REQUEST, idempotency_key="k")

@@ -149,6 +149,27 @@ class TestFailClosed:
         with pytest.raises(SpillError):
             spill.load_into(PrefixCache(max_bytes=1 << 20))
 
+    def test_unpickler_refuses_dangerous_builtins(self, tmp_path):
+        # builtins.eval via GLOBAL+REDUCE is the classic pickle RCE;
+        # only the named safe constructors may resolve from builtins.
+        spill = CacheSpill(tmp_path / "spill")
+        spill.save(_filled_cache(entries=1))
+        current = (tmp_path / "spill" / "CURRENT").read_text("utf-8").strip()
+        (tmp_path / "spill" / current / "entries.pkl").write_bytes(
+            pickle.dumps(eval))
+        with pytest.raises(SpillError):
+            spill.load_into(PrefixCache(max_bytes=1 << 20))
+
+    def test_unpickler_refuses_prefix_spoofed_modules(self, tmp_path):
+        # "numpy_evil" must not ride in on a bare "numpy" prefix match.
+        spill = CacheSpill(tmp_path / "spill")
+        spill.save(_filled_cache(entries=1))
+        current = (tmp_path / "spill" / "CURRENT").read_text("utf-8").strip()
+        (tmp_path / "spill" / current / "entries.pkl").write_bytes(
+            b"cnumpy_evil\nboom\n.")
+        with pytest.raises(SpillError):
+            spill.load_into(PrefixCache(max_bytes=1 << 20))
+
 
 class TestFleet:
     def test_for_replica_is_cached_and_namespaced(self, tmp_path):

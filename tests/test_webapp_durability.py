@@ -240,6 +240,47 @@ class TestJournalFaults:
         finally:
             app.shutdown_gracefully()
 
+    def test_duplicate_during_inflight_submit_gets_retryable_503(
+            self, pipeline, tmp_path):
+        # A duplicate that lands while the original submit is still in
+        # flight must NOT be handed the provisional job id — if that
+        # submit then fails (here: journal fault) the duplicate's
+        # client would poll a job that never exists.  It sheds 503.
+        from repro.resilience import FaultInjector, FaultSpec, inject_faults
+
+        app = _backend(pipeline, tmp_path)
+        responses = {}
+
+        def racing_duplicate(_seconds):
+            # Runs mid-submit of the first request: after its
+            # provisional idempotency claim, before its journal append
+            # resolves — exactly the race window.
+            if "dup" not in responses:
+                responses["dup"] = _post(
+                    app, "/api/generate_async", PAYLOAD,
+                    headers={"idempotency-key": "race"})
+
+        try:
+            injector = FaultInjector(
+                {"journal.append": FaultSpec(schedule={0},
+                                             delay_seconds=0.001)},
+                sleep=racing_duplicate)
+            with inject_faults(injector):
+                first = _post(app, "/api/generate_async", PAYLOAD,
+                              headers={"idempotency-key": "race"})
+            assert first.status == 503  # the journal fault refused it
+            dup = responses["dup"]
+            assert dup.status == 503
+            assert dup.headers.get("Retry-After") == "1"
+            assert "job_id" not in _body(dup)
+            # The failed submit released the key; a clean retry works.
+            retry = _post(app, "/api/generate_async", PAYLOAD,
+                          headers={"idempotency-key": "race"})
+            assert retry.status == 202
+            assert "deduplicated" not in _body(retry)
+        finally:
+            app.shutdown_gracefully()
+
 
 class TestDrainAndShutdown:
     def test_draining_sheds_503_with_retry_after(self, pipeline, tmp_path):
@@ -268,6 +309,22 @@ class TestDrainAndShutdown:
         assert app.shutdown_gracefully() is summary
         # The in-flight job completed before the engine stopped.
         assert _audit(tmp_path).completed[job_id]["status"] == "done"
+
+    def test_shutdown_summary_reports_failed_spill_honestly(self, pipeline,
+                                                            tmp_path):
+        # Supervisor path: stop() attempts the spill itself.  When the
+        # save fails, the summary must say so instead of claiming a
+        # warm snapshot that does not exist.
+        from repro.resilience import (FaultInjector, FaultSpec,
+                                      ResilienceConfig, inject_faults)
+
+        app = _backend(pipeline, tmp_path, spill_dir=tmp_path / "spill",
+                       resilience=ResilienceConfig(supervise=True))
+        injector = FaultInjector({"spill.save": FaultSpec(rate=1.0)})
+        with inject_faults(injector):
+            summary = app.shutdown_gracefully(deadline_seconds=30.0)
+        assert summary["spilled"] is False
+        assert not (tmp_path / "spill" / "CURRENT").exists()
 
     def test_warm_cache_after_restart(self, pipeline, tmp_path):
         app = _backend(pipeline, tmp_path, spill_dir=tmp_path / "spill")
