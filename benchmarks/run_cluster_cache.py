@@ -1,0 +1,313 @@
+"""Gate benchmark: the fleet cache tier beats the static hash ring.
+
+A Zipf-skewed workload — one rank-1 recipe scaffold dominating every
+round, a tail of one-shot cold prompts churning every replica's cache
+— runs twice through a 4-replica fleet under cache pressure (each
+replica's prefix cache barely fits one hot snapshot):
+
+* **baseline** — ``ClusterConfig(fleet_cache=False)``: the static
+  consistent-hash ring.  Hot-burst spills land on cold replicas and
+  recompute prefill; the cold churn evicts the hot snapshot between
+  rounds, so even the home replica mostly misses.
+* **treatment** — the fleet cache tier: placement follows the
+  published prefix, diverted bursts borrow the owner's frozen KV
+  snapshot read-through, and the borrow pins the owner's copy so the
+  hot scaffold survives the churn.
+
+Both runs absorb a seeded mid-run replica kill (the same
+``prefix_cache.get`` schedule that drives the chaos suite).  Gates,
+all deterministic counts:
+
+* treatment fleet hit-token rate >= 1.3x the baseline's;
+* treatment prefill compute tokens (looked-up minus cache-served)
+  <= 0.8x the baseline's;
+* zero failed requests in either run, despite the kill;
+* every response in both runs bit-identical to the single-engine
+  sequential reference.
+
+Writes ``benchmarks/results/BENCH_cluster_cache.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_cluster_cache.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.cluster import ClusterConfig, Router
+from repro.models import GenerationConfig, distilgpt2, generate
+from repro.obs import MetricsRegistry, NullRegistry, NullTracer
+from repro.resilience import FaultInjector, FaultSpec, inject_faults
+from repro.serving import EngineConfig, InferenceEngine
+
+VOCAB = 64
+REPLICAS = 4
+AFFINITY_TOKENS = 32       # = the engine's prefill chunk
+PROMPT_TOKENS = 40         # 32-token scaffold head + 8-token tail
+MAX_NEW_TOKENS = 32
+ROUNDS = 8
+HOT_PER_ROUND = 4          # rank-1 family: one burst per round
+SATURATION_TOKENS = MAX_NEW_TOKENS  # one in-flight request saturates
+KILL_AT_CALL = 32          # prefix_cache.get call index: round 5's opener
+RESULTS_PATH = (pathlib.Path(__file__).parent / "results"
+                / "BENCH_cluster_cache.json")
+
+
+def _config() -> GenerationConfig:
+    return GenerationConfig(max_new_tokens=MAX_NEW_TOKENS,
+                            strategy="greedy", seed=0)
+
+
+def _hot_prompt():
+    rng = np.random.default_rng(7)
+    return [int(t) for t in rng.integers(0, VOCAB, size=PROMPT_TOKENS)]
+
+
+def _cold_prompts(ring):
+    """One fresh cold prompt per (round, replica), homed on that replica.
+
+    The tail of the Zipf distribution: every prompt is seen exactly
+    once, so it can never hit — its only effect is to churn the cache
+    it lands on.  Rejection-sampling the head against the ring pins
+    each round's churn to cover all four replicas in both runs (the
+    ring is identical: same replica names, same virtual nodes).
+    """
+    prompts = {}
+    seed = 0
+    for round_index in range(ROUNDS):
+        for name in sorted(ring):
+            while True:
+                seed += 1
+                rng = np.random.default_rng(10_000 + seed)
+                prompt = [int(t) for t in
+                          rng.integers(0, VOCAB, size=PROMPT_TOKENS)]
+                if ring[name](prompt) == name:
+                    prompts[(round_index, name)] = prompt
+                    break
+    return prompts
+
+
+def _probe_entry_bytes(model):
+    """Measure the cache entry sizes one hot prompt produces.
+
+    Returns ``(head_bytes, full_bytes)`` — the chunk-aligned 32-token
+    snapshot and the full 40-token snapshot.  The benchmark budgets
+    each replica's cache to hold the full snapshot but not both, so a
+    single cold insert evicts an unpinned hot entry: the churn the
+    treatment's pinning has to survive.
+    """
+    engine = InferenceEngine(model, EngineConfig(max_batch_size=1),
+                             registry=NullRegistry(), tracer=NullTracer())
+    try:
+        engine.submit(_hot_prompt(), _config()).result(timeout=300)
+        sizes = {len(key): nbytes for key, _, nbytes
+                 in engine.prefix_cache.entries_snapshot()}
+    finally:
+        engine.stop()
+    return sizes[AFFINITY_TOKENS], sizes[PROMPT_TOKENS]
+
+
+def _run_workload(model, registry, fleet_cache, cache_bytes, cold, expected):
+    """One full Zipf run; returns the payload dict for this arm.
+
+    Per round: a hot opener (awaited, so the scaffold is cached and —
+    with the tier on — published), then a burst of three more hot
+    requests whose second and third saturate the home and divert; then
+    one cold one-shot per replica.  A seeded fault kills the engine
+    serving the round-5 opener mid-prefill in both arms.
+    """
+    config = _config()
+    hot = _hot_prompt()
+
+    def factory(name):
+        return InferenceEngine(
+            model, EngineConfig(max_batch_size=HOT_PER_ROUND,
+                                prefix_cache_bytes=cache_bytes),
+            registry=registry, tracer=NullTracer(), name=name)
+
+    cluster_config = ClusterConfig(replicas=REPLICAS,
+                                   affinity_tokens=AFFINITY_TOKENS,
+                                   saturation_tokens=SATURATION_TOKENS,
+                                   fleet_cache=fleet_cache,
+                                   restart_backoff_seconds=0.01,
+                                   heartbeat_seconds=0.01)
+    injector = FaultInjector(
+        {"prefix_cache.get": FaultSpec(schedule={KILL_AT_CALL})})
+    failed = 0
+    mismatched = 0
+    failovers = 0
+    start = time.perf_counter()
+    with Router(factory, cluster_config, registry=registry,
+                tracer=NullTracer()) as router:
+        with inject_faults(injector):
+            for round_index in range(ROUNDS):
+                handles = [router.submit(hot, config)]
+                handles[0].result(timeout=300)   # scaffold cached (+published)
+                handles += [router.submit(hot, config)
+                            for _ in range(HOT_PER_ROUND - 1)]
+                for handle in handles:
+                    try:
+                        result = handle.result(timeout=300)
+                        mismatched += result != expected[tuple(hot)]
+                    except Exception:  # noqa: BLE001 - counted, reported
+                        failed += 1
+                    failovers += handle.failovers
+                for name in sorted(router.replica_names()):
+                    prompt = cold[(round_index, name)]
+                    try:
+                        result = router.generate(prompt, config)
+                        mismatched += result != expected[tuple(prompt)]
+                    except Exception:  # noqa: BLE001 - counted, reported
+                        failed += 1
+        stats = router.stats()
+    elapsed = time.perf_counter() - start
+    tier = stats["cache_tier"]
+    computed = tier["lookup_tokens"] - tier["hit_tokens"]
+    return {
+        "fleet_cache": fleet_cache,
+        "hit_token_rate": tier["hit_token_rate"],
+        "hit_tokens": tier["hit_tokens"],
+        "lookup_tokens": tier["lookup_tokens"],
+        "prefill_computed_tokens": computed,
+        "borrows": tier["borrows"],
+        "borrow_tokens": tier["borrow_tokens"],
+        "placement_reasons": stats["placement"]["reasons"],
+        "spill_total": stats["placement"]["spill_total"],
+        "failed_requests": failed,
+        "mismatched_results": mismatched,
+        "failovers": failovers,
+        "seconds": elapsed,
+    }
+
+
+def main(argv=None) -> int:
+    global REPLICAS
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--replicas", type=int, default=REPLICAS,
+                        help="fleet size (the gate is calibrated at 4)")
+    parser.add_argument("--hit-rate-ratio", type=float, default=1.3,
+                        help="treatment fleet hit-token rate must be at "
+                             "least this multiple of the baseline's")
+    parser.add_argument("--compute-ratio", type=float, default=0.8,
+                        help="treatment prefill compute tokens must be at "
+                             "most this fraction of the baseline's")
+    args = parser.parse_args(argv)
+    REPLICAS = args.replicas
+
+    model = distilgpt2(vocab_size=VOCAB, context_length=256)
+    model.eval()
+
+    head_bytes, full_bytes = _probe_entry_bytes(model)
+    # Budget: the full hot snapshot fits (and can be borrowed into any
+    # replica), but head + full together do not — one unpinned insert
+    # of either size evicts the resident hot entry.
+    cache_bytes = full_bytes + head_bytes // 2
+
+    # The ring is config-determined: probe it once to aim the cold churn.
+    def ring_factory(name):
+        return InferenceEngine(model, EngineConfig(max_batch_size=1),
+                               registry=NullRegistry(), tracer=NullTracer(),
+                               name=name)
+    with Router(ring_factory,
+                ClusterConfig(replicas=REPLICAS,
+                              affinity_tokens=AFFINITY_TOKENS,
+                              restart_backoff_seconds=0.01,
+                              heartbeat_seconds=0.01),
+                registry=MetricsRegistry(), tracer=NullTracer()) as probe:
+        ring = {name: probe.affinity_replica
+                for name in probe.replica_names()}
+        cold = _cold_prompts(ring)
+
+    # Single-engine sequential reference for bit-identity.
+    config = _config()
+    expected = {tuple(_hot_prompt()):
+                generate(model, _hot_prompt(), config,
+                         registry=NullRegistry(), tracer=NullTracer())}
+    for prompt in cold.values():
+        expected[tuple(prompt)] = generate(model, prompt, config,
+                                           registry=NullRegistry(),
+                                           tracer=NullTracer())
+
+    baseline = _run_workload(model, MetricsRegistry(), False, cache_bytes,
+                             cold, expected)
+    treatment = _run_workload(model, MetricsRegistry(), True, cache_bytes,
+                              cold, expected)
+
+    rate_ratio = (treatment["hit_token_rate"] / baseline["hit_token_rate"]
+                  if baseline["hit_token_rate"] else float("inf"))
+    compute_ratio = (treatment["prefill_computed_tokens"]
+                     / baseline["prefill_computed_tokens"]
+                     if baseline["prefill_computed_tokens"] else 0.0)
+    rate_ok = rate_ratio >= args.hit_rate_ratio
+    compute_ok = compute_ratio <= args.compute_ratio
+    survived_ok = (baseline["failed_requests"] == 0
+                   and treatment["failed_requests"] == 0
+                   and baseline["failovers"] >= 1
+                   and treatment["failovers"] >= 1)
+    identical_ok = (baseline["mismatched_results"] == 0
+                    and treatment["mismatched_results"] == 0)
+    borrow_ok = treatment["borrows"] >= 1
+
+    result = {
+        "replicas": REPLICAS,
+        "rounds": ROUNDS,
+        "cache_bytes_per_replica": cache_bytes,
+        "baseline": baseline,
+        "treatment": treatment,
+        "hit_token_rate_ratio": rate_ratio,
+        "hit_token_rate_ratio_gate": args.hit_rate_ratio,
+        "prefill_compute_ratio": compute_ratio,
+        "prefill_compute_ratio_gate": args.compute_ratio,
+        "pass": (rate_ok and compute_ok and survived_ok and identical_ok
+                 and borrow_ok),
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(result, indent=2) + "\n",
+                            encoding="utf-8")
+
+    print(f"hit-token rate: treatment {treatment['hit_token_rate']:.3f} vs "
+          f"baseline {baseline['hit_token_rate']:.3f} "
+          f"({rate_ratio:.2f}x, gate >= {args.hit_rate_ratio:.2f}x)")
+    print(f"prefill compute: treatment "
+          f"{treatment['prefill_computed_tokens']:.0f} vs baseline "
+          f"{baseline['prefill_computed_tokens']:.0f} tokens "
+          f"({compute_ratio:.2f}x, gate <= {args.compute_ratio:.2f}x)")
+    print(f"kill: baseline {baseline['failovers']} failover(s) / "
+          f"{baseline['failed_requests']} failed, treatment "
+          f"{treatment['failovers']} failover(s) / "
+          f"{treatment['failed_requests']} failed; "
+          f"{treatment['borrows']:.0f} borrow(s) "
+          f"({treatment['borrow_tokens']:.0f} tokens)")
+    print(f"bit-identical: baseline mismatches "
+          f"{baseline['mismatched_results']}, treatment "
+          f"{treatment['mismatched_results']}")
+    print(f"[written to {RESULTS_PATH}]")
+    if not rate_ok:
+        print("FAIL: fleet cache tier hit-token rate below the gate",
+              file=sys.stderr)
+    if not compute_ok:
+        print("FAIL: prefill compute not reduced enough", file=sys.stderr)
+    if not survived_ok:
+        print("FAIL: the mid-run replica kill lost requests (or never "
+              "landed)", file=sys.stderr)
+    if not identical_ok:
+        print("FAIL: routed output diverged from the sequential reference",
+              file=sys.stderr)
+    if not borrow_ok:
+        print("FAIL: no cross-replica KV borrow happened", file=sys.stderr)
+    if not result["pass"]:
+        return 1
+    print("OK: fleet cache tier clears all gates")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

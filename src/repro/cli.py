@@ -129,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--affinity-tokens", type=int, default=32,
                        help="leading prompt tokens hashed for replica "
                             "placement (with --replicas > 1)")
+    serve.add_argument("--fleet-cache",
+                       action=argparse.BooleanOptionalAction, default=True,
+                       help="fleet-wide prefix-cache tier: cache-aware "
+                            "placement + cross-replica KV borrowing "
+                            "(with --replicas > 1)")
+    serve.add_argument("--publish-tokens", type=int, default=128,
+                       help="depth cap on prefixes published to the fleet "
+                            "cache index")
     serve.add_argument("--retrieval",
                        action=argparse.BooleanOptionalAction, default=False,
                        help="semantic recipe index: /api/search, RAG-"
@@ -302,7 +310,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         argv += ["--kernels", args.kernels]
     if args.replicas != 1:
         argv += ["--replicas", str(args.replicas),
-                 "--affinity-tokens", str(args.affinity_tokens)]
+                 "--affinity-tokens", str(args.affinity_tokens),
+                 "--fleet-cache" if args.fleet_cache else "--no-fleet-cache",
+                 "--publish-tokens", str(args.publish_tokens)]
     if args.retrieval or args.retrieve_k > 0:
         argv += ["--retrieval", "--retrieve-k", str(args.retrieve_k)]
         if args.index_dir:

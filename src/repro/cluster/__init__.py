@@ -2,13 +2,16 @@
 
 N :class:`~repro.serving.InferenceEngine` replicas, each supervised
 and each with an isolated prefix cache, behind a :class:`Router` that
-does prefix-affinity placement (consistent hashing over the prompt's
-leading chunk), balance-of-two spill under saturation, fleet-level
-admission control, transparent bit-identical failover, and rolling
-drain → swap → readmit operations.  See ``docs/CLUSTER.md``.
+does cache-aware prefix-affinity placement (a fleet-wide
+:class:`FleetCacheIndex` of published prefixes, falling back to
+consistent hashing over the prompt's leading chunk), balance-of-two
+spill under saturation, read-through cross-replica KV borrowing,
+fleet-level admission control, transparent bit-identical failover, and
+rolling drain → swap → readmit operations.  See ``docs/CLUSTER.md``.
 """
 
 from .admission import ClusterAdmissionController
+from .fleet_cache import FleetCacheIndex
 from .router import (ClusterConfig, ClusterRequest, NoReplicaAvailableError,
                      Router)
 
@@ -16,6 +19,7 @@ __all__ = [
     "ClusterAdmissionController",
     "ClusterConfig",
     "ClusterRequest",
+    "FleetCacheIndex",
     "NoReplicaAvailableError",
     "Router",
 ]

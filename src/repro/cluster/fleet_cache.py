@@ -1,0 +1,287 @@
+"""Fleet-global prefix-cache index: who holds which prefix, right now.
+
+The router's consistent-hash ring knows where a prefix *should* live;
+it cannot know where a prefix actually *is* after saturation spills,
+drains, crashes and rolling swaps have moved traffic around.  The
+:class:`FleetCacheIndex` closes that gap: every replica's
+:class:`~repro.serving.PrefixCache` publishes the token paths it
+stores (depth-capped, refreshed incrementally on insert and evict
+through the cache's listener hook), and the router consults the index
+on the dispatch path to prefer the replica already holding the longest
+matching prefix over the static ring (see ``docs/CLUSTER.md``).
+
+Design constraints:
+
+* **Compact** — the index stores token paths only (ints in a trie),
+  never KV bytes; the snapshots stay in the owning replica's cache.
+  Publishing is capped at ``publish_tokens`` so one replica's million
+  deep full-prompt entries cannot balloon the shared trie: deep
+  entries are still served locally, they just aren't advertised.
+* **Lock-cheap reads** — one mutex, O(depth) walks, no allocation on
+  the read path beyond the holder tuple.  Listeners call in while
+  holding their cache's lock, so the index never calls back into any
+  cache (lock order is always cache → index, making deadlock
+  impossible by construction).
+* **Crash-consistent** — each replica registration is gated on the
+  *cache object identity*: publishes from a dead engine's cache are
+  refused the moment a replacement registers (or the replica is
+  dropped), so the index never resurrects entries from a cache that is
+  no longer serving.  The router additionally drops a replica's
+  entries on failover and on observed death.
+
+Eligibility mirrors the cache's chunk-alignment gate: a published
+depth only counts as a match when resuming from it would replay the
+exact trunk calls of a cold run (``depth % chunk_size == 0`` or the
+entry covers the whole query) — the bit-identity contract the serving
+layer enforces everywhere else.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["FleetCacheIndex"]
+
+
+class _IndexNode:
+    """One shared-trie node; ``holders`` are replicas with an entry here."""
+
+    __slots__ = ("children", "parent", "token", "holders")
+
+    def __init__(self, parent: Optional["_IndexNode"] = None,
+                 token: Optional[int] = None) -> None:
+        self.children: Dict[int, "_IndexNode"] = {}
+        self.parent = parent
+        self.token = token
+        self.holders: Set[str] = set()
+
+
+class _Publisher:
+    """Per-cache listener bridging ``PrefixCache`` events to the index.
+
+    Holds the cache it was attached to so the index can refuse stale
+    events once a replacement cache registers under the same replica
+    name (a restart, swap, or warm reload racing a dying engine).
+    """
+
+    __slots__ = ("index", "replica", "cache")
+
+    def __init__(self, index: "FleetCacheIndex", replica: str,
+                 cache: Any) -> None:
+        self.index = index
+        self.replica = replica
+        self.cache = cache
+
+    def on_insert(self, key: Tuple[int, ...]) -> None:
+        self.index.publish(self.replica, self.cache, key)
+
+    def on_evict(self, key: Tuple[int, ...]) -> None:
+        self.index.unpublish(self.replica, self.cache, key)
+
+    def on_clear(self) -> None:
+        self.index.drop_replica(self.replica, if_cache=self.cache)
+
+
+class FleetCacheIndex:
+    """Compact fleet-wide token trie of published cache prefixes.
+
+    Parameters
+    ----------
+    publish_tokens:
+        Depth cap: prefixes longer than this are not advertised (they
+        are still served by the owning replica's own cache).
+    chunk_size:
+        The engines' prefill chunk, for the eligibility gate in
+        :meth:`longest_match`; ``None`` disables the gate.  When left
+        ``None`` it is adopted from the first attached cache.
+    """
+
+    def __init__(self, publish_tokens: int = 128,
+                 chunk_size: Optional[int] = None) -> None:
+        if publish_tokens < 1:
+            raise ValueError("publish_tokens must be >= 1")
+        self.publish_tokens = publish_tokens
+        self.chunk_size = chunk_size
+        self._lock = threading.Lock()
+        self._root = _IndexNode()
+        #: replica -> set of published keys (for O(keys) drops).
+        self._keys: Dict[str, Set[Tuple[int, ...]]] = {}
+        #: replica -> the cache whose events are currently accepted.
+        self._active: Dict[str, Any] = {}
+        self.published_total = 0
+        self.unpublished_total = 0
+        self.dropped_replicas_total = 0
+
+    # ------------------------------------------------------------------
+    # Registration + lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, replica: str, cache: Any) -> _Publisher:
+        """Register ``cache`` as ``replica``'s live cache.
+
+        Atomically drops whatever the replica had published before (a
+        fresh engine starts with a fresh — possibly warm-reloaded —
+        cache) and returns the listener to install on the cache.
+        Events from any previously attached cache are refused from
+        this point on.
+        """
+        with self._lock:
+            self._drop_locked(replica)
+            self._active[replica] = cache
+            if self.chunk_size is None:
+                self.chunk_size = getattr(cache, "chunk_size", None)
+        return _Publisher(self, replica, cache)
+
+    def drop_replica(self, replica: str,
+                     if_cache: Optional[Any] = None) -> int:
+        """Remove every entry ``replica`` published; returns how many.
+
+        With ``if_cache`` the drop only applies while that cache is
+        still the replica's active one (used by the clear-event path so
+        a stale cache clearing after a swap cannot wipe the
+        replacement's entries).  A plain drop also deactivates the
+        replica: publishes are refused until the next :meth:`attach`
+        (death path — the crashed engine's cache must not repopulate
+        the index).
+        """
+        with self._lock:
+            if if_cache is not None and self._active.get(replica) is not if_cache:
+                return 0
+            dropped = self._drop_locked(replica)
+            if if_cache is None:
+                self._active[replica] = None
+            if dropped:
+                self.dropped_replicas_total += 1
+            return dropped
+
+    def _drop_locked(self, replica: str) -> int:
+        keys = self._keys.pop(replica, None)
+        if not keys:
+            return 0
+        for key in keys:
+            self._remove_locked(replica, key)
+        return len(keys)
+
+    # ------------------------------------------------------------------
+    # Publish / unpublish (called under the owning cache's lock)
+    # ------------------------------------------------------------------
+    def publish(self, replica: str, cache: Any,
+                tokens: Iterable[int]) -> bool:
+        """Advertise that ``replica`` holds an entry at exactly ``tokens``.
+
+        Refused (returns False) when the key exceeds the depth cap or
+        ``cache`` is no longer the replica's active cache.
+        """
+        key = tuple(int(t) for t in tokens)
+        if not key or len(key) > self.publish_tokens:
+            return False
+        with self._lock:
+            if self._active.get(replica) is not cache:
+                return False
+            published = self._keys.setdefault(replica, set())
+            if key in published:
+                return True
+            node = self._root
+            for token in key:
+                child = node.children.get(token)
+                if child is None:
+                    child = _IndexNode(parent=node, token=token)
+                    node.children[token] = child
+                node = child
+            node.holders.add(replica)
+            published.add(key)
+            self.published_total += 1
+            return True
+
+    def unpublish(self, replica: str, cache: Any,
+                  tokens: Iterable[int]) -> bool:
+        """Withdraw one published key (the owning cache evicted it)."""
+        key = tuple(int(t) for t in tokens)
+        with self._lock:
+            if self._active.get(replica) is not cache:
+                return False
+            published = self._keys.get(replica)
+            if published is None or key not in published:
+                return False
+            published.discard(key)
+            self._remove_locked(replica, key)
+            self.unpublished_total += 1
+            return True
+
+    def _remove_locked(self, replica: str, key: Tuple[int, ...]) -> None:
+        node = self._root
+        for token in key:
+            node = node.children.get(token)
+            if node is None:
+                return
+        node.holders.discard(replica)
+        # Prune empty branches so dropped replicas free their nodes.
+        while (node.parent is not None and not node.children
+               and not node.holders):
+            parent = node.parent
+            del parent.children[node.token]
+            node.parent = None
+            node = parent
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _eligible(self, depth: int, query_len: int) -> bool:
+        if self.chunk_size is None:
+            return True
+        return depth == query_len or depth % self.chunk_size == 0
+
+    def longest_match(self, tokens: Iterable[int]
+                      ) -> Tuple[int, Tuple[str, ...]]:
+        """Deepest eligible published prefix of ``tokens`` and its holders.
+
+        Returns ``(depth, holders)``; ``(0, ())`` when nothing
+        matches.  Holders are sorted for deterministic placement.
+        """
+        key = tuple(int(t) for t in tokens)
+        with self._lock:
+            best_depth = 0
+            best: Optional[_IndexNode] = None
+            node = self._root
+            for depth, token in enumerate(key, start=1):
+                node = node.children.get(token)
+                if node is None:
+                    break
+                if node.holders and self._eligible(depth, len(key)):
+                    best_depth = depth
+                    best = node
+            if best is None:
+                return 0, ()
+            return best_depth, tuple(sorted(best.holders))
+
+    def holders(self, tokens: Iterable[int]) -> Tuple[str, ...]:
+        """Replicas holding an entry at exactly ``tokens`` (for tests)."""
+        key = tuple(int(t) for t in tokens)
+        with self._lock:
+            node = self._root
+            for token in key:
+                node = node.children.get(token)
+                if node is None:
+                    return ()
+            return tuple(sorted(node.holders))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            per_replica = {name: len(keys)
+                           for name, keys in self._keys.items() if keys}
+            return {
+                "publish_tokens": self.publish_tokens,
+                "chunk_size": self.chunk_size,
+                "entries": sum(per_replica.values()),
+                "per_replica": per_replica,
+                "published_total": self.published_total,
+                "unpublished_total": self.unpublished_total,
+                "dropped_replicas_total": self.dropped_replicas_total,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(keys) for keys in self._keys.values())

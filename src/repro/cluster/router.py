@@ -22,6 +22,19 @@ eligible replica — affinity is a heuristic for cache locality, never a
 correctness constraint, because engine output is bit-identical on
 every replica.
 
+The hash ring knows where a prefix *should* live; the **fleet cache
+tier** (on by default, ``ClusterConfig.fleet_cache``) knows where it
+actually *is*.  Every replica's prefix cache publishes its stored
+prefixes into a shared :class:`FleetCacheIndex`, and placement prefers
+the eligible replica holding the longest published match over the
+static ring — subject to the same saturation load guard, so a hot
+holder still spills balance-of-two.  When placement must divert off
+every holder (saturation, drain, death), the chosen replica *borrows*
+the owner's frozen KV snapshot read-through instead of recomputing
+prefill — safe because frozen :class:`~repro.nn.KVCache` snapshots are
+copy-on-append and weights are already fleet-shared.  See
+``docs/CLUSTER.md`` for tuning and semantics.
+
 That same determinism makes **failover transparent**: a request whose
 replica dies mid-decode is re-dispatched to a survivor and the retried
 result is byte-equal to an unfailed run (chaos-tested with a seeded
@@ -52,11 +65,13 @@ from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
 from ..models import GenerationConfig, LogitsProcessor
 from ..obs import MetricsRegistry, Tracer, get_registry, get_tracer
 from ..resilience.admission import OverloadShedError
+from ..resilience.faults import InjectedFault, fault_check
 from ..resilience.supervisor import EngineSupervisor, EngineUnavailableError
 from ..serving.engine import (DeadlineExceededError, EngineCrashedError,
                               EngineQueueFullError, EngineRequest,
                               EngineStoppedError, InferenceEngine)
 from .admission import ClusterAdmissionController
+from .fleet_cache import FleetCacheIndex
 
 __all__ = ["ClusterConfig", "ClusterRequest", "NoReplicaAvailableError",
            "Router"]
@@ -98,6 +113,17 @@ class ClusterConfig:
     restart_backoff_seconds: float = 0.05
     heartbeat_seconds: float = 0.05
     virtual_nodes: int = 64
+    #: Fleet cache tier: replicas publish cached prefixes into a shared
+    #: :class:`FleetCacheIndex` and placement prefers the replica
+    #: holding the longest published match over the static ring.
+    fleet_cache: bool = True
+    #: Depth cap on published prefixes; deeper entries are still served
+    #: by the owning replica's cache, just never advertised fleet-wide.
+    publish_tokens: int = 128
+    #: Read-through KV borrowing when placement diverts off every
+    #: holder (saturation, drain, death) — the chosen replica copies
+    #: the owner's frozen snapshot instead of recomputing prefill.
+    borrow: bool = True
 
     def validate(self) -> None:
         if self.replicas < 1:
@@ -112,6 +138,8 @@ class ClusterConfig:
             raise ValueError("virtual_nodes must be >= 1")
         if self.heartbeat_seconds <= 0:
             raise ValueError("heartbeat_seconds must be > 0")
+        if self.publish_tokens < 1:
+            raise ValueError("publish_tokens must be >= 1")
 
 
 class _Attempt:
@@ -122,6 +150,23 @@ class _Attempt:
     def __init__(self, replica: "_Replica", handle: EngineRequest) -> None:
         self.replica = replica
         self.handle = handle
+
+
+@dataclass(frozen=True)
+class _Placement:
+    """Why a dispatch landed where it did (drives borrowing + metrics).
+
+    ``reason`` is one of ``affinity`` (landed on the ring home),
+    ``cache`` (diverted to a published-prefix holder), ``spill``
+    (load guard diverted off the preferred target), ``fallback``
+    (home unavailable, no usable holder).  ``depth``/``holders`` echo
+    the fleet index's longest published match for the prompt.
+    """
+
+    reason: str
+    home: str
+    depth: int
+    holders: Tuple[str, ...]
 
 
 class _Replica:
@@ -290,6 +335,25 @@ class _ClusterMetrics:
             "cluster_affinity_hit_rate",
             help="Lifetime fraction of dispatches on the affinity target"
         ).labels()
+        self.placement = registry.counter(
+            "cluster_placement",
+            help="Placement decisions, by reason "
+                 "(affinity|cache|spill|fallback)")
+        self.spill_total = registry.counter(
+            "cluster_spill_total",
+            help="Dispatches diverted off the preferred target by the "
+                 "saturation load guard (balance of two)").labels()
+        self.borrows = registry.counter(
+            "cluster_kv_borrows_total",
+            help="Cross-replica KV snapshot borrows, by borrowing replica")
+        self.borrow_tokens = registry.counter(
+            "cluster_kv_borrow_tokens_total",
+            help="Prompt tokens whose prefill was skipped by borrowing "
+                 "another replica's frozen KV snapshot").labels()
+        self.cache_hit_token_rate = registry.gauge(
+            "cluster_cache_hit_token_rate",
+            help="Fleet-aggregated fraction of looked-up prompt tokens "
+                 "served from prefix caches").labels()
         self.queued_tokens = registry.gauge(
             "cluster_queued_tokens",
             help="Outstanding decode-token cost, by replica")
@@ -348,6 +412,11 @@ class Router:
             watermark_tokens=self.config.watermark_tokens,
             tokens_per_second_hint=self.config.tokens_per_second_hint,
             registry=self.registry)
+        #: Shared fleet-wide prefix index; built before the replicas so
+        #: the bound factories can attach each engine's cache to it.
+        self.fleet_index: Optional[FleetCacheIndex] = (
+            FleetCacheIndex(publish_tokens=self.config.publish_tokens)
+            if self.config.fleet_cache else None)
         self._replicas: Dict[str, _Replica] = {}
         for index in range(self.config.replicas):
             name = f"r{index}"
@@ -366,12 +435,31 @@ class Router:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
-    @staticmethod
-    def _bind_factory(engine_factory: Callable[[str], InferenceEngine],
+    def _bind_factory(self, engine_factory: Callable[[str], InferenceEngine],
                       name: str) -> Callable[[], InferenceEngine]:
         def build() -> InferenceEngine:
-            return engine_factory(name)
+            engine = engine_factory(name)
+            self._attach_fleet_cache(name, engine)
+            return engine
         return build
+
+    def _attach_fleet_cache(self, name: str,
+                            engine: InferenceEngine) -> None:
+        """Wire a fresh engine's prefix cache into the fleet index.
+
+        Runs on every engine build — construction, supervisor restarts
+        and :meth:`swap` — so the index always tracks the *live* cache:
+        attaching drops the replica's stale entries and invalidates the
+        old cache's publisher.  The supervisor's warm reload happens
+        after the factory returns, so spilled entries re-publish
+        through the listener as they are re-inserted.
+        """
+        if self.fleet_index is None:
+            return
+        cache = getattr(engine, "prefix_cache", None)
+        if cache is None:
+            return
+        cache.listener = self.fleet_index.attach(name, cache)
 
     def _build_supervisor(self, factory: Callable[[], InferenceEngine],
                           name: str) -> EngineSupervisor:
@@ -443,7 +531,8 @@ class Router:
             self.admission.eligible(queued, cost_tokens, record_admit=False)
 
     def _place(self, prompt_ids: Sequence[int], cost: int,
-               exclude: Set[str], enforce_admission: bool) -> _Replica:
+               exclude: Set[str], enforce_admission: bool
+               ) -> Tuple[_Replica, _Placement]:
         candidates = {name: replica
                       for name, replica in self._replicas.items()
                       if name not in exclude
@@ -465,20 +554,42 @@ class Router:
             eligible = list(candidates)
         order = self._ring_order(prompt_ids)
         home = order[0]
-        affinity = next((name for name in order if name in eligible), None)
-        if affinity is None:
-            chosen = min(eligible, key=lambda name: queued[name])
-        elif (queued[affinity] + cost <= self.config.saturation_tokens
-              or len(eligible) == 1):
-            chosen = affinity
+        eligible_set = set(eligible)
+        # Cache-aware preference: the eligible replica holding the
+        # longest published matching prefix, tie-broken in ring order
+        # (so the home wins when it is itself a holder and cold traffic
+        # keeps the ring's disjoint working sets).
+        depth, holders = ((0, ()) if self.fleet_index is None
+                          else self.fleet_index.longest_match(prompt_ids))
+        target = None
+        if depth > 0:
+            target = next((name for name in order
+                           if name in holders and name in eligible_set), None)
+        if target is not None:
+            reason = "affinity" if target == home else "cache"
         else:
-            # Balance of two: the affinity target is saturated, so
+            target = next((name for name in order if name in eligible_set),
+                          None)
+            reason = "affinity" if target == home else "fallback"
+        if target is None:
+            chosen = min(eligible, key=lambda name: queued[name])
+            reason = "fallback"
+        elif (queued[target] + cost <= self.config.saturation_tokens
+              or len(eligible) == 1):
+            chosen = target
+        else:
+            # Balance of two: the preferred target is saturated, so
             # compare it against the least-queued alternative only —
             # enough to flatten skew without scattering every prefix.
-            alternative = min((name for name in eligible if name != affinity),
+            alternative = min((name for name in eligible if name != target),
                               key=lambda name: queued[name])
-            chosen = (alternative if queued[alternative] < queued[affinity]
-                      else affinity)
+            if queued[alternative] < queued[target]:
+                chosen = alternative
+                reason = "spill"
+                self._metrics.spill_total.inc()
+            else:
+                chosen = target
+        self._metrics.placement.labels(reason=reason).inc()
         if chosen == home:
             self._metrics.affinity_hits.inc()
         else:
@@ -486,7 +597,66 @@ class Router:
         hits = self._metrics.affinity_hits.value
         spills = self._metrics.affinity_spills.value
         self._metrics.affinity_hit_rate.set(hits / (hits + spills))
-        return candidates[chosen]
+        return candidates[chosen], _Placement(reason=reason, home=home,
+                                              depth=depth, holders=holders)
+
+    def _cache_of(self, replica: _Replica):
+        try:
+            return replica.supervisor.prefix_cache
+        except Exception:  # noqa: BLE001 - engine mid-restart or dead
+            return None
+
+    def _maybe_borrow(self, replica: _Replica, placement: _Placement,
+                      prompt_ids: Sequence[int]) -> bool:
+        """Read-through cross-replica KV borrow, best-effort.
+
+        When placement diverted off every holder of the longest
+        published prefix (saturation, drain, death, failover
+        exclusion), copy the owner's frozen snapshot into the chosen
+        replica's cache — marked ``borrowed`` so the spill layer never
+        persists it a second time — instead of recomputing prefill.
+        Sharing the snapshot object is safe because frozen
+        :class:`~repro.nn.KVCache` snapshots are copy-on-append and the
+        cached logits row is read-only by contract.  Every failure mode
+        (owner died, entry evicted since published, injected transfer
+        fault) degrades to a cold prefill, never to a failed request.
+        """
+        if (self.fleet_index is None or not self.config.borrow
+                or placement.depth == 0
+                or replica.name in placement.holders):
+            return False
+        try:
+            fault_check("fleet_cache.borrow")
+        except InjectedFault:
+            return False
+        key = tuple(int(token) for token in prompt_ids[:placement.depth])
+        target_cache = self._cache_of(replica)
+        if target_cache is None:
+            return False
+        if target_cache.match_depth(key) >= placement.depth:
+            return False  # already at least as warm locally
+        for owner_name in placement.holders:
+            owner = self._replicas.get(owner_name)
+            # A draining owner is alive and readable — diverting off it
+            # is precisely the case borrowing exists for; only a dead
+            # owner's cache is off limits.
+            if owner is None or owner.state == "dead":
+                continue
+            owner_cache = self._cache_of(owner)
+            if owner_cache is None:
+                continue
+            found = owner_cache.peek(key)
+            if found is None:
+                continue  # index lag: the owner evicted it after publishing
+            value, nbytes = found
+            # Pin the owner's copy: a fleet-hot prefix that other
+            # replicas borrow should outlive the owner's cold churn.
+            owner_cache.pin(key)
+            if target_cache.insert(key, value, nbytes, borrowed=True):
+                self._metrics.borrows.labels(replica=replica.name).inc()
+                self._metrics.borrow_tokens.inc(placement.depth)
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Serving surface (mirrors InferenceEngine)
@@ -540,8 +710,10 @@ class Router:
         exclude: Set[str] = set()
         failovers = 0
         while True:
-            replica = self._place(prompt_ids, config.max_new_tokens, exclude,
-                                  enforce_admission=not exclude)
+            replica, placement = self._place(prompt_ids,
+                                             config.max_new_tokens, exclude,
+                                             enforce_admission=not exclude)
+            self._maybe_borrow(replica, placement, prompt_ids)
             key = replica.track(None, config.max_new_tokens)
             self._note_dispatch(replica)
             try:
@@ -569,6 +741,11 @@ class Router:
     def _note_failover(self, replica: _Replica) -> None:
         replica.failovers += 1
         self._metrics.failovers.labels(replica=replica.name).inc()
+        if self.fleet_index is not None:
+            # The dead engine's published prefixes died with its cache;
+            # a restarted engine re-attaches (and republishes its warm
+            # reload) through the bound factory.
+            self.fleet_index.drop_replica(replica.name)
 
     def _dispatch(self, request: ClusterRequest, exclude: Set[str],
                   enforce_admission: bool) -> None:
@@ -581,8 +758,9 @@ class Router:
         last_error: Optional[BaseException] = None
         while True:
             try:
-                replica = self._place(request.prompt_ids, request.cost,
-                                      excluded, enforce_admission)
+                replica, placement = self._place(request.prompt_ids,
+                                                 request.cost, excluded,
+                                                 enforce_admission)
             except NoReplicaAvailableError:
                 if last_error is not None:
                     raise last_error
@@ -591,6 +769,9 @@ class Router:
             if remaining_ms is not None and remaining_ms <= 0:
                 raise DeadlineExceededError(request.request_id,
                                             request.deadline_ms or 0.0, [])
+            # Borrow before submit so the engine's prefill lookup finds
+            # the snapshot already in its cache.
+            self._maybe_borrow(replica, placement, request.prompt_ids)
             try:
                 handle = replica.supervisor.submit(
                     request.prompt_ids, request.config, request.processors,
@@ -750,6 +931,29 @@ class Router:
             "status": "ok" if worst == "healthy" else worst,
         }
 
+    def _cache_tier_snapshot(self) -> Dict[str, float]:
+        """Aggregate fleet hit-token accounting; refreshes the gauge.
+
+        Each replica contributes one atomic ``stats_snapshot`` taken
+        under that cache's lock, so a replica's numerator and
+        denominator are never torn; the cross-replica sum is then a
+        consistent-enough rollup for the
+        ``cluster_cache_hit_token_rate`` gauge.
+        """
+        hit_tokens = 0.0
+        lookup_tokens = 0.0
+        for replica in self._replicas.values():
+            cache = self._cache_of(replica)
+            if cache is None:
+                continue
+            snap = cache.stats_snapshot()
+            hit_tokens += snap["hit_tokens"]
+            lookup_tokens += snap["lookup_tokens"]
+        rate = (hit_tokens / lookup_tokens) if lookup_tokens else 0.0
+        self._metrics.cache_hit_token_rate.set(rate)
+        return {"hit_tokens": hit_tokens, "lookup_tokens": lookup_tokens,
+                "hit_token_rate": rate}
+
     def stats(self) -> Dict[str, Any]:
         """Point-in-time fleet stats (for ``/api/cluster`` and the CLI)."""
         hits = self._metrics.affinity_hits.value
@@ -781,6 +985,24 @@ class Router:
                 "spills": spills,
                 "hit_rate": (hits / lookups) if lookups else 0.0,
             },
+            "placement": {
+                "reasons": {
+                    reason: self._metrics.placement.labels(
+                        reason=reason).value
+                    for reason in ("affinity", "cache", "spill", "fallback")},
+                "spill_total": self._metrics.spill_total.value,
+            },
+            "cache_tier": {
+                "enabled": self.fleet_index is not None,
+                "borrow": (self.config.borrow
+                           and self.fleet_index is not None),
+                **self._cache_tier_snapshot(),
+                "borrows": sum(child.value for _, child
+                               in self._metrics.borrows.series()),
+                "borrow_tokens": self._metrics.borrow_tokens.value,
+                "index": (self.fleet_index.stats()
+                          if self.fleet_index is not None else None),
+            },
             "admission": self.admission.stats(),
         }
 
@@ -797,12 +1019,15 @@ class Router:
             state = replica.state
             healthy += state == "healthy"
             draining += state == "draining"
+            if state == "dead" and self.fleet_index is not None:
+                self.fleet_index.drop_replica(name)
             self._metrics.replica_up.labels(replica=name).set(
                 1 if state == "healthy" else 0)
             self._metrics.queued_tokens.labels(replica=name).set(
                 replica.queued_tokens())
         self._metrics.healthy.set(healthy)
         self._metrics.draining.set(draining)
+        self._cache_tier_snapshot()
 
     def stop(self, timeout: float = 5.0) -> None:
         """Stop the heartbeat and every replica's supervisor + engine.

@@ -61,6 +61,7 @@ FAULT_POINTS: Tuple[str, ...] = (
     "retrieval.search",
     "journal.append",
     "spill.save",
+    "fleet_cache.borrow",
 )
 
 

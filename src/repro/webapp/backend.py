@@ -203,6 +203,8 @@ def create_backend(pipeline: Ratatouille,
                    speculative_k: int = 0,
                    replicas: int = 1,
                    affinity_tokens: int = 32,
+                   fleet_cache: bool = True,
+                   publish_tokens: int = 128,
                    kernels: Optional[str] = None,
                    retrieval_index=None,
                    retrieve_k: int = 0,
@@ -249,6 +251,15 @@ def create_backend(pipeline: Ratatouille,
     watermark) apply per replica; fleet admission sheds only when
     every replica is past watermark.  A pre-built router can also be
     passed as ``engine=``.
+
+    ``fleet_cache`` (default on, with ``replicas > 1``) adds the
+    fleet-wide prefix-cache tier: each replica publishes its cached
+    prefixes — capped at ``publish_tokens`` deep — into a shared
+    :class:`~repro.cluster.FleetCacheIndex`, placement prefers the
+    replica holding the longest published match, and diverted requests
+    borrow the owner's frozen KV snapshot instead of recomputing
+    prefill.  ``GET /api/cluster`` exposes the tier under
+    ``cache_tier`` and placement-reason counters under ``placement``.
 
     ``kernels`` (``"fp32"`` or ``"int8"``, see ``docs/KERNELS.md``)
     routes decoding through the allocation-free inference kernels.
@@ -325,6 +336,8 @@ def create_backend(pipeline: Ratatouille,
             cluster_config = ClusterConfig(
                 replicas=replicas,
                 affinity_tokens=affinity_tokens,
+                fleet_cache=fleet_cache,
+                publish_tokens=publish_tokens,
                 watermark_tokens=(resilience.shed_watermark_tokens or None
                                   if resilience is not None else None),
                 tokens_per_second_hint=(

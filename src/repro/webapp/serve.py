@@ -82,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
     backend.add_argument("--affinity-tokens", type=int, default=32,
                          help="leading prompt tokens hashed for replica "
                               "placement (with --replicas > 1)")
+    backend.add_argument("--fleet-cache",
+                         action=argparse.BooleanOptionalAction, default=True,
+                         help="fleet-wide prefix-cache tier: cache-aware "
+                              "placement over published prefixes plus "
+                              "cross-replica KV borrowing (with "
+                              "--replicas > 1; see docs/CLUSTER.md)")
+    backend.add_argument("--publish-tokens", type=int, default=128,
+                         help="depth cap on prefixes replicas publish to "
+                              "the fleet cache index (deeper entries stay "
+                              "local-only)")
     backend.add_argument("--retrieval",
                          action=argparse.BooleanOptionalAction, default=False,
                          help="build (or load, with --index-dir) the "
@@ -197,6 +207,8 @@ def build_server(argv: List[str]) -> Server:
                              speculative_k=speculative_k,
                              replicas=args.replicas,
                              affinity_tokens=args.affinity_tokens,
+                             fleet_cache=args.fleet_cache,
+                             publish_tokens=args.publish_tokens,
                              kernels=(None if args.kernels == "off"
                                       else args.kernels),
                              retrieval_index=retrieval_index,

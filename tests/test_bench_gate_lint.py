@@ -1,0 +1,71 @@
+"""Lint: every benchmark gate is wired into the slow pytest tier.
+
+A ``benchmarks/run_*.py`` gate that no test invokes is a regression
+detector nobody runs — its thresholds rot silently.  This test greps
+``tests/`` so every gate stays reachable via ``pytest -m slow``
+(mirroring ``test_fault_registry_lint.py``, which does the same for
+fault points).  A benchmark may opt out only by appearing in
+``NON_GATES`` with a reason: scripts that *report* rather than
+pass/fail have no exit status worth asserting.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+pytestmark = pytest.mark.durability
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BENCHMARKS = REPO / "benchmarks"
+TESTS = REPO / "tests"
+
+#: Benchmarks that are reports, not gates: main() returns nothing and
+#: there is no pass/fail threshold to wire into CI.
+NON_GATES = {
+    "run_table1": "reproduces the paper's Table 1; reporting only",
+}
+
+
+def _slow_test_sources():
+    sources = {}
+    for path in sorted(TESTS.glob("test_*.py")):
+        text = path.read_text("utf-8")
+        if re.search(r"pytest\.mark\.slow", text):
+            sources[path.name] = text
+    return sources
+
+
+def _benchmarks():
+    return sorted(path.stem for path in BENCHMARKS.glob("run_*.py"))
+
+
+def test_every_benchmark_gate_has_a_slow_tier_test():
+    sources = _slow_test_sources()
+    unwired = [
+        name for name in _benchmarks()
+        if name not in NON_GATES
+        and not any(re.search(rf"\b{name}\b", text)
+                    for text in sources.values())]
+    assert not unwired, (
+        f"benchmark gate(s) with no slow-tier pytest wiring: {unwired} — "
+        f"add a tests/test_*_slow.py that imports the module and asserts "
+        f"main([]) == 0 (or register a reason in NON_GATES)")
+
+
+def test_every_slow_wrapper_asserts_the_gate():
+    # A wrapper that imports the benchmark but never checks main()'s
+    # exit status would green-light a failing gate.
+    for name, text in _slow_test_sources().items():
+        for bench in _benchmarks():
+            if re.search(rf"\bimport {bench}\b", text):
+                assert re.search(rf"{bench}\.main\(", text), (
+                    f"{name} imports {bench} but never calls "
+                    f"{bench}.main() — the gate is not actually asserted")
+
+
+def test_non_gates_exist_and_are_reasoned():
+    names = set(_benchmarks())
+    for name, reason in NON_GATES.items():
+        assert name in names, f"NON_GATES entry {name!r} is stale"
+        assert reason.strip(), f"NON_GATES entry {name!r} needs a reason"

@@ -1,0 +1,25 @@
+"""Fleet cache tier gate (slow tier).
+
+Runs ``benchmarks/run_cluster_cache.py`` — on a Zipf-skewed workload
+at 4 replicas under cache pressure, the fleet cache tier must beat the
+static hash ring by >= 1.3x on fleet hit-token rate and cut prefill
+compute tokens by >= 20%, lose zero requests across a mid-run replica
+kill, and stay bit-identical to the single-engine reference.
+Excluded from the tier-1 default run; invoke with ``pytest -m slow``.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.cluster]
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+
+import run_cluster_cache  # noqa: E402
+
+
+def test_fleet_cache_tier_clears_all_gates():
+    assert run_cluster_cache.main([]) == 0

@@ -189,10 +189,16 @@ class TestRollingOperations:
             router.readmit(home)
             assert router.fleet_health() == {
                 "replicas": 2, "healthy": 2, "draining": 0, "status": "ok"}
-            # The swapped replica serves its prefix again, identically.
+            # The rerouted traffic cached the prefix on the survivor and
+            # published it to the fleet index, so cache-aware placement
+            # now prefers the warm survivor over the cold swapped home —
+            # identically either way.
             landed = router.submit(prompt, CONFIG)
-            assert landed.replica == home
+            assert landed.replica == other
             assert landed.result(timeout=30) == expected
+            # With the fleet tier disabled, the ring would send the
+            # prefix back to its readmitted home.
+            assert router.affinity_replica(prompt) == home
             # The drain was observed on the metrics histogram.
             assert registry.histogram(
                 "cluster_drain_seconds").labels().count == 1

@@ -1,0 +1,23 @@
+"""Observability overhead gate (slow tier).
+
+Runs ``benchmarks/run_obs_overhead.py`` — the fully instrumented
+decode path (metrics + tracing) must stay within the overhead budget
+of the uninstrumented one, best-of-N with GC paused.  Excluded from
+the tier-1 default run; invoke with ``pytest -m slow``.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+
+import run_obs_overhead  # noqa: E402
+
+
+def test_obs_overhead_within_budget():
+    assert run_obs_overhead.main([]) == 0

@@ -94,8 +94,9 @@ class TestBudget:
         cache.lookup([1, 2])
         cache.lookup([9])
         expected = {"hits": 1, "misses": 1, "evictions": 0, "rejected": 0,
-                    "hit_tokens": 2, "bytes": 10, "entries": 1,
-                    "hit_rate": 0.5}
+                    "hit_tokens": 2, "lookup_tokens": 3, "bytes": 10,
+                    "entries": 1, "hit_rate": 0.5,
+                    "hit_token_rate": 2 / 3}
         assert cache.stats.as_dict() == expected
         # The locked variant reads under the cache lock — same content,
         # atomic with respect to concurrent insert/lookup/evict.
