@@ -73,6 +73,22 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--greedy", action="store_true")
     gen.add_argument("--checklist", action="store_true")
     gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--strategy", default=None,
+                     choices=["greedy", "sample", "beam", "mcts"],
+                     help="decoding strategy (default: sample, or greedy "
+                          "with --greedy; mcts = search-guided decoding, "
+                          "docs/DECODING.md)")
+    gen.add_argument("--constraints-json", default=None,
+                     help='hard constraints as JSON, e.g. \'{"diet": '
+                          '"vegan", "exclude_ingredients": ["peanut"]}\' '
+                          "(keys: include_ingredients, "
+                          "exclude_ingredients, diet, max_calories); "
+                          "output is grammar-constrained to the tagged "
+                          "recipe format")
+    gen.add_argument("--mcts-rollouts", type=int, default=12,
+                     help="rollouts per MCTS search (with --strategy mcts)")
+    gen.add_argument("--mcts-c-puct", type=float, default=1.4,
+                     help="PUCT exploration constant (with --strategy mcts)")
 
     ev = sub.add_parser("evaluate", help="BLEU-evaluate a checkpoint")
     ev.add_argument("--checkpoint", required=True)
@@ -156,6 +172,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--spill-dir", default=None,
                        help="prefix-cache spill directory: snapshotted on "
                             "clean shutdown, mmap-reloaded on start")
+    serve.add_argument("--max-mcts-rollouts", type=int, default=None,
+                       help="cap on per-request mcts_rollouts for "
+                            "strategy=mcts search decoding "
+                            "(docs/DECODING.md)")
     serve.add_argument("--drain-deadline", type=float, default=10.0,
                        help="graceful-shutdown budget in seconds (SIGTERM "
                             "drains in-flight jobs, flushes durable state, "
@@ -263,11 +283,66 @@ def cmd_generate(args: argparse.Namespace) -> int:
                    if part.strip()]
     if not ingredients:
         raise SystemExit("error: --ingredients parsed to an empty list")
+    strategy = args.strategy or ("greedy" if args.greedy else "sample")
+    constraints = None
+    if args.constraints_json:
+        import json
+
+        from .decoding import parse_constraints
+        try:
+            raw = json.loads(args.constraints_json)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(
+                f"error: --constraints-json is not valid JSON: {exc}")
+        try:
+            constraints = parse_constraints(raw)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        if strategy == "beam":
+            raise SystemExit("error: constrained decoding does not "
+                             "support beam search")
     app = Ratatouille.load(args.checkpoint)
     config = GenerationConfig(
-        max_new_tokens=args.max_new_tokens,
-        strategy="greedy" if args.greedy else "sample",
-        temperature=args.temperature, top_k=args.top_k, seed=args.seed)
+        max_new_tokens=args.max_new_tokens, strategy=strategy,
+        temperature=args.temperature, top_k=args.top_k, seed=args.seed,
+        mcts_rollouts=args.mcts_rollouts, mcts_c_puct=args.mcts_c_puct)
+    if constraints is not None or strategy == "mcts":
+        import time
+
+        from .decoding import (apply_constraints_to_prompt,
+                               run_constrained_generation)
+        from .recipedb import default_catalog
+        catalog = default_catalog()
+        config.constraints = constraints
+        try:
+            ingredients = apply_constraints_to_prompt(
+                ingredients, constraints, catalog)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        start = time.perf_counter()
+        prompt_text, new_ids, config, info = run_constrained_generation(
+            app, ingredients, config, checklist=args.checklist,
+            catalog=catalog)
+        recipe = app.finish_recipe(prompt_text, new_ids, ingredients,
+                                   elapsed=time.perf_counter() - start)
+        print(recipe.pretty())
+        status = [f"valid={recipe.is_valid}",
+                  f"coverage={recipe.ingredient_coverage:.0%}",
+                  f"latency={recipe.generation_seconds:.2f}s"]
+        if constraints is not None:
+            status.append(
+                f"constraints_satisfied={info['constraints_satisfied']}")
+        search = info.get("search")
+        if search is not None:
+            status.append(f"rollouts={search['rollouts']}")
+            status.append(f"nodes={search['nodes_expanded']}")
+            reward = search.get("reward")
+            if reward is not None:
+                status.append(f"reward={reward['total']:.3f}")
+        if info.get("search_degraded"):
+            status.append("search_degraded=True")
+        print(f"\n[{' '.join(status)}]")
+        return 0
     recipe = app.generate(ingredients, config, checklist=args.checklist)
     print(recipe.pretty())
     print(f"\n[valid={recipe.is_valid} coverage={recipe.ingredient_coverage:.0%} "
@@ -321,6 +396,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         argv += ["--journal-dir", args.journal_dir]
     if args.spill_dir:
         argv += ["--spill-dir", args.spill_dir]
+    if args.max_mcts_rollouts is not None:
+        argv += ["--max-mcts-rollouts", str(args.max_mcts_rollouts)]
     argv += ["--drain-deadline", str(args.drain_deadline)]
     from .webapp.serve import build_server, run_until_signalled
     server = build_server(argv)

@@ -1,0 +1,422 @@
+"""Hard generation constraints over the recipedb substrates.
+
+``constraints: {include_ingredients, exclude_ingredients, diet,
+max_calories}`` rides on every ``/api/generate*`` payload and on
+``repro generate --constraints-json``.  Enforcement is layered
+(``docs/DECODING.md``):
+
+* **Prompt-level** — ``include_ingredients`` are merged into the prompt
+  ingredient list (the ingredients section is part of the prompt, so
+  inclusion holds by construction); a prompt that already conflicts
+  (excluded/diet-banned ingredient requested, calorie estimate over the
+  ceiling) is a client error, named and rejected before any decoding.
+* **Mask-level** — excluded and diet-banned ingredient names compile to
+  canonical token phrases; :class:`PhraseBlocker` refuses the token
+  that would complete a banned phrase, alongside the grammar FSM.
+* **Predicate-level** — :func:`violations` re-checks the decoded text
+  (word-boundary substring match), which is what MCTS prunes branches
+  with and what single-shot constrained sampling retries against; it is
+  exact even where subword tokenizers could spell a banned word along a
+  non-canonical token path the mask cannot see.
+
+Validation errors carry stable machine-readable prefixes —
+``unknown_diet``, ``unknown_constraint``, ``conflicting_constraints``,
+``diet_conflict``, ``calories_exceeded`` — that surface as HTTP 400s.
+"""
+
+from __future__ import annotations
+
+import re
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.generation import LogitsProcessor
+from ..preprocess.formatting import normalize_text
+from ..tokenizers.special import is_special
+from ..preprocess.numbers import decode_numbers
+from ..recipedb.ingredients import BASE_INGREDIENTS, IngredientCatalog
+from ..recipedb.nutrition import UNIT_GRAMS, density_for, grams_of
+
+#: diet -> (catalog categories banned wholesale, extra banned names).
+#: Categories key into ``repro.recipedb``'s curated base catalog; the
+#: name lists catch cross-category offenders (eggs live in "baking",
+#: honey in "sweetener", wheat products in "grain").
+DIET_RULES: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "vegetarian": {"categories": ("meat", "seafood"), "names": ("gelatin",)},
+    "pescatarian": {"categories": ("meat",), "names": ()},
+    "vegan": {"categories": ("meat", "seafood", "dairy"),
+              "names": ("egg", "eggs", "egg white", "egg yolk", "honey",
+                        "gelatin", "mayonnaise")},
+    "dairy_free": {"categories": ("dairy",), "names": ()},
+    "gluten_free": {"categories": (),
+                    "names": ("wheat", "flour", "bread", "pasta", "noodle",
+                              "barley", "rye", "couscous", "semolina",
+                              "breadcrumbs", "cracker", "puff pastry",
+                              "phyllo dough", "pie crust")},
+    "nut_free": {"categories": ("nut",),
+                 "names": ("almond extract", "marzipan", "peanut butter")},
+}
+
+DIETS: Tuple[str, ...] = tuple(sorted(DIET_RULES))
+
+#: Server-side ceiling on names per include/exclude list.
+MAX_CONSTRAINT_NAMES = 20
+
+_CONSTRAINT_KEYS = ("include_ingredients", "exclude_ingredients", "diet",
+                    "max_calories")
+
+
+@dataclass
+class Constraints:
+    """Validated hard constraints for one generation request."""
+
+    include_ingredients: Tuple[str, ...] = ()
+    exclude_ingredients: Tuple[str, ...] = ()
+    diet: Optional[str] = None
+    max_calories: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        payload: dict = {}
+        if self.include_ingredients:
+            payload["include_ingredients"] = list(self.include_ingredients)
+        if self.exclude_ingredients:
+            payload["exclude_ingredients"] = list(self.exclude_ingredients)
+        if self.diet is not None:
+            payload["diet"] = self.diet
+        if self.max_calories is not None:
+            payload["max_calories"] = self.max_calories
+        return payload
+
+    def banned_names(self, catalog: Optional[IngredientCatalog] = None
+                     ) -> List[str]:
+        """Every name the generation must not mention: the explicit
+        exclusions plus the diet's banned categories/names.
+
+        Category bans expand through the curated *base* names: catalog
+        variants ("spicy chicken breast") all contain their base as a
+        substring, so the word-boundary predicate covers the whole
+        expanded catalog from the ~20-name base lists.
+        """
+        del catalog  # bases cover the variant expansion; see docstring
+        banned = list(self.exclude_ingredients)
+        if self.diet is not None:
+            rule = DIET_RULES[self.diet]
+            banned.extend(rule["names"])
+            for category in rule["categories"]:
+                banned.extend(BASE_INGREDIENTS[category])
+        seen = set()
+        unique = []
+        for name in banned:
+            if name not in seen:
+                seen.add(name)
+                unique.append(name)
+        return unique
+
+
+def _name_list(raw, key: str) -> Tuple[str, ...]:
+    if not isinstance(raw, (list, tuple)):
+        raise ValueError(f"unknown_constraint: '{key}' must be a list "
+                         f"of ingredient names, got {raw!r}")
+    if len(raw) > MAX_CONSTRAINT_NAMES:
+        raise ValueError(f"unknown_constraint: '{key}' is capped at "
+                         f"{MAX_CONSTRAINT_NAMES} names (got {len(raw)})")
+    names = []
+    for item in raw:
+        name = normalize_text(str(item)).strip()
+        if name:
+            names.append(name)
+    return tuple(names)
+
+
+def parse_constraints(raw) -> Constraints:
+    """Validate a ``constraints`` payload object; ValueError → HTTP 400.
+
+    Raises with a named error prefix on an unknown key
+    (``unknown_constraint``), an unsupported diet (``unknown_diet``) and
+    an include/exclude overlap (``conflicting_constraints``).
+    """
+    if not isinstance(raw, dict):
+        raise ValueError(
+            f"unknown_constraint: 'constraints' must be an object, "
+            f"got {type(raw).__name__}")
+    unknown = sorted(set(raw) - set(_CONSTRAINT_KEYS))
+    if unknown:
+        raise ValueError(
+            f"unknown_constraint: {unknown}; supported keys are "
+            f"{list(_CONSTRAINT_KEYS)}")
+    include = _name_list(raw.get("include_ingredients", ()),
+                         "include_ingredients")
+    exclude = _name_list(raw.get("exclude_ingredients", ()),
+                         "exclude_ingredients")
+    diet = raw.get("diet")
+    if diet is not None:
+        diet = normalize_text(str(diet)).strip().replace("-", "_")
+        diet = diet.replace(" ", "_")
+        if diet not in DIET_RULES:
+            raise ValueError(
+                f"unknown_diet: {diet!r}; supported diets are {list(DIETS)}")
+    max_calories = raw.get("max_calories")
+    if max_calories is not None:
+        if isinstance(max_calories, bool) or not isinstance(
+                max_calories, (int, float)):
+            raise ValueError("unknown_constraint: 'max_calories' must be "
+                             f"a number, got {max_calories!r}")
+        if max_calories <= 0:
+            raise ValueError("unknown_constraint: 'max_calories' must be "
+                             f"> 0, got {max_calories!r}")
+        max_calories = float(max_calories)
+    overlap = sorted(set(include) & set(exclude))
+    if overlap:
+        raise ValueError(
+            f"conflicting_constraints: {overlap} appear in both "
+            f"include_ingredients and exclude_ingredients")
+    return Constraints(include_ingredients=include,
+                       exclude_ingredients=exclude,
+                       diet=diet, max_calories=max_calories)
+
+
+# ---------------------------------------------------------------------
+# Prompt-level application
+# ---------------------------------------------------------------------
+
+#: leading "<qty> [unit]" prefix of an ingredient line ("2 cup flour").
+_QTY_PREFIX = re.compile(
+    r"^\s*(\d+(?:\.\d+)?(?:\s*/\s*\d+)?|\d+\s+\d+\s*/\s*\d+)\s*([a-z]+)?\s+")
+
+
+def _base_name(line: str) -> str:
+    """Strip a leading quantity/unit from an ingredient line."""
+    text = decode_numbers(normalize_text(line)).strip()
+    match = _QTY_PREFIX.match(text)
+    if match and match.group(2) in UNIT_GRAMS:
+        return text[match.end():].strip()
+    if match and match.group(2) is None:
+        return text[match.end():].strip()
+    return text
+
+
+def _quantity_grams(line: str) -> float:
+    """Grams implied by an ingredient line's quantity prefix (default:
+    one 80g piece, matching ``repro.recipedb.nutrition``'s unit table)."""
+    text = decode_numbers(normalize_text(line)).strip()
+    match = _QTY_PREFIX.match(text)
+    if not match:
+        return UNIT_GRAMS["piece"]
+    qty = re.sub(r"\s*/\s*", "/", match.group(1))
+    value = 0.0
+    for part in qty.split():
+        if "/" in part:
+            num, _, den = part.partition("/")
+            value += float(num) / float(den) if float(den) else 0.0
+        else:
+            value += float(part)
+    unit = match.group(2) if match.group(2) in UNIT_GRAMS else "piece"
+    return grams_of(value, unit)
+
+
+def estimate_calories(lines: Sequence[str],
+                      catalog: Optional[IngredientCatalog] = None) -> float:
+    """Deterministic kcal estimate for an ingredient list (per recipe).
+
+    Categories come from the catalog when the base name is known there;
+    unknown ingredients fall back to the median-ish "vegetable" density.
+    The same estimator backs the ``max_calories`` pre-check and the
+    MCTS reward, so the constraint and the search agree.
+    """
+    total = 0.0
+    for line in lines:
+        name = _base_name(line)
+        category = "vegetable"
+        if catalog is not None and name in catalog:
+            category = catalog.get(name).category
+        profile = density_for(name or "ingredient", category)
+        total += profile.calories_kcal * _quantity_grams(line) / 100.0
+    return round(total, 1)
+
+
+def apply_constraints_to_prompt(names: Sequence[str],
+                                constraints: Optional[Constraints],
+                                catalog: Optional[IngredientCatalog] = None,
+                                max_ingredients: Optional[int] = None
+                                ) -> List[str]:
+    """Merge includes into the prompt list and reject conflicts.
+
+    Returns the merged ingredient list; raises ValueError (→ HTTP 400)
+    with a named error when the *request itself* cannot satisfy the
+    constraints: an excluded/diet-banned ingredient in the prompt
+    (``conflicting_constraints`` / ``diet_conflict``) or a calorie
+    estimate over the ceiling (``calories_exceeded``).
+    """
+    merged = [str(name) for name in names]
+    if constraints is None:
+        return merged
+    normalized = {_base_name(line) for line in merged}
+    for name in constraints.include_ingredients:
+        if name not in normalized and name not in [n.strip().lower()
+                                                   for n in merged]:
+            merged.append(name)
+            normalized.add(name)
+    if max_ingredients is not None and len(merged) > max_ingredients:
+        raise ValueError(
+            f"conflicting_constraints: include_ingredients grows the "
+            f"prompt past {max_ingredients} ingredients")
+    banned = constraints.banned_names(catalog)
+    for line in merged:
+        base = _base_name(line)
+        for name in banned:
+            if _mentions(base, name):
+                code = ("diet_conflict" if name not in
+                        constraints.exclude_ingredients else
+                        "conflicting_constraints")
+                detail = (f"ingredient {line!r} violates the "
+                          f"{constraints.diet!r} diet"
+                          if code == "diet_conflict" else
+                          f"ingredient {line!r} is excluded")
+                raise ValueError(f"{code}: {detail}")
+    if constraints.max_calories is not None:
+        estimate = estimate_calories(merged, catalog)
+        if estimate > constraints.max_calories:
+            raise ValueError(
+                f"calories_exceeded: the requested ingredients estimate "
+                f"to {estimate} kcal, over the {constraints.max_calories} "
+                f"kcal ceiling")
+    return merged
+
+
+# ---------------------------------------------------------------------
+# Mask-level enforcement
+# ---------------------------------------------------------------------
+
+#: tokenizer -> {banned-name tuple -> surface-scan token id tuple}.
+#: The vocabulary scan below is O(vocab x names) with a normalize per
+#: piece; MCTS builds a fresh blocker per rollout, so the scan result
+#: is memoised per (tokenizer, banned set).
+_SURFACE_SCAN_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+#: BPE end-of-word marker; harmless to strip for other tokenizers.
+_WORD_END = "</w>"
+
+
+def _surface_banned_ids(tokenizer, names: Tuple[str, ...]) -> Tuple[int, ...]:
+    """Vocab ids whose decoded surface mentions a banned word.
+
+    Catches spellings the canonical-phrase mechanism cannot: merged
+    BPE pieces like ``garlic,`` or ``garlic.`` whose surface contains
+    the banned word at a word boundary even though they are not the
+    word's canonical encoding.
+    """
+    per_tokenizer = _SURFACE_SCAN_CACHE.setdefault(tokenizer, {})
+    cached = per_tokenizer.get(names)
+    if cached is not None:
+        return cached
+    patterns = [re.compile(rf"\b{re.escape(name)}\b")
+                for name in names if " " not in name]
+    found: List[int] = []
+    if patterns:
+        for idx in range(tokenizer.vocab_size):
+            piece = tokenizer.id_to_token(idx)
+            if is_special(piece):
+                continue
+            if piece.endswith(_WORD_END):
+                piece = piece[:-len(_WORD_END)]
+            norm = normalize_text(piece)
+            if norm and any(p.search(norm) for p in patterns):
+                found.append(idx)
+    result = tuple(found)
+    per_tokenizer[names] = result
+    return result
+
+
+class PhraseBlocker(LogitsProcessor):
+    """Refuse the token that would complete a banned token phrase.
+
+    Phrases are the canonical tokenizations of the banned ingredient
+    names.  Single-token phrases are banned outright; for a phrase
+    ``t1..tk`` the mask refuses ``tk`` whenever the history ends with
+    ``t1..tk-1``.  ``preamble`` supplies the tokens before this
+    decode's history (MCTS rollouts) so cross-boundary phrases are
+    caught too.  A one-off vocabulary surface scan additionally bans
+    every token whose decoded text mentions a banned word at a word
+    boundary (merged pieces like ``garlic,``).  Exact for word-level
+    tokenizers; for BPE the text-level :func:`violations` predicate
+    backstops the remaining non-canonical subword spellings.
+    """
+
+    def __init__(self, tokenizer, banned_names: Sequence[str],
+                 preamble: Sequence[int] = (),
+                 rejection_counter=None) -> None:
+        self.vocab_size = tokenizer.vocab_size
+        self.preamble = [int(t) for t in preamble]
+        self.rejections = rejection_counter
+        unk = tokenizer.unk_id
+        singles = set()
+        multi: List[Tuple[Tuple[int, ...], int]] = []
+        normalized = tuple(normalize_text(name) for name in banned_names)
+        for name in normalized:
+            ids = [i for i in tokenizer.encode(name) if i != unk]
+            if not ids:
+                continue  # the vocabulary cannot spell it at all
+            if len(ids) == 1:
+                singles.add(ids[0])
+            else:
+                multi.append((tuple(ids[:-1]), ids[-1]))
+        singles.update(_surface_banned_ids(tokenizer, normalized))
+        self._single_ids = np.asarray(sorted(singles), dtype=np.int64)
+        self._multi = multi
+        self._max_prefix = max((len(p) for p, _ in multi), default=0)
+
+    def __call__(self, logits: np.ndarray, generated: List[int]) -> np.ndarray:
+        out = logits
+        fired = False
+        if self._single_ids.size:
+            out = np.array(logits, copy=True)
+            out[self._single_ids] = -np.inf
+        if self._multi:
+            tail = (self.preamble + list(generated))[-self._max_prefix:]
+            blocked = [last for prefix, last in self._multi
+                       if len(tail) >= len(prefix)
+                       and tuple(tail[-len(prefix):]) == prefix]
+            if blocked:
+                if out is logits:
+                    out = np.array(logits, copy=True)
+                out[blocked] = -np.inf
+                fired = True
+        if fired and self.rejections is not None:
+            self.rejections.inc()
+        return out
+
+
+# ---------------------------------------------------------------------
+# Predicate-level checking
+# ---------------------------------------------------------------------
+
+def _mentions(text: str, name: str) -> bool:
+    return re.search(rf"\b{re.escape(name)}\b", text) is not None
+
+
+def violations(constraints: Optional[Constraints], raw_text: str,
+               catalog: Optional[IngredientCatalog] = None) -> List[str]:
+    """Constraint violations visible in a decoded recipe text.
+
+    The text-level predicate: MCTS prunes on it, single-shot constrained
+    sampling retries on it, and the benchmark gates on it being empty.
+    ``max_calories`` is enforced at the prompt (the ingredients section
+    *is* the prompt) so it cannot be violated here.
+    """
+    if constraints is None:
+        return []
+    text = decode_numbers(normalize_text(raw_text))
+    problems = []
+    for name in constraints.banned_names(catalog):
+        if _mentions(text, name):
+            label = ("diet" if constraints.diet is not None
+                     and name not in constraints.exclude_ingredients
+                     else "exclude")
+            problems.append(f"{label}:{name}")
+    for name in constraints.include_ingredients:
+        if not _mentions(text, name):
+            problems.append(f"include:{name}")
+    return problems

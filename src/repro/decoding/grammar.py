@@ -1,0 +1,212 @@
+"""Grammar-constrained decoding: a token-mask FSM over the tagged format.
+
+The recipe format is a regular language over the tokenizer's vocabulary
+(``docs/DECODING.md``):
+
+    <RECIPE_START> <INGR_START> ... <INGR_END> <INSTR_START>
+        step [<NEXT_INSTR> step]* <INSTR_END>
+    <TITLE_START> title <TITLE_END> <RECIPE_END> <EOS>
+
+Generation prompts end at ``<INSTR_START>`` (:func:`format_prompt`), so
+the automaton starts inside the instructions section and walks the tag
+order one state at a time.  :class:`RecipeGrammar` classifies every
+vocabulary id once (structure tags, control tokens, free text — number
+tokens like ``<QTY_1/2>``/``<NUM_350>`` are atomic vocabulary entries in
+all three tokenizers and count as free text); :class:`GrammarMask` is a
+:class:`~repro.models.generation.LogitsProcessor` that sets every
+illegal next token to ``-inf``, which composes with greedy argmax,
+temperature/top-k/top-p sampling and the speculative verify walk alike.
+
+Two properties the masks maintain (property-tested in
+``tests/test_properties_decoding.py``):
+
+* **No dead ends.**  Every reachable state admits at least one token.
+* **Budget-closable.**  A token is only legal if the shortest legal
+  completion from its successor state still fits in the remaining
+  ``max_new_tokens`` budget, so every decode closes the recipe —
+  ``<INSTR_END> ... <RECIPE_END> <EOS>`` — before the budget runs out
+  and the emitted text always parses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.generation import LogitsProcessor
+from ..obs import MetricsRegistry
+from ..preprocess.formatting import (INSTR_END, NEXT_INSTR, RECIPE_END,
+                                     STRUCTURE_TOKENS, TITLE_END, TITLE_START)
+
+# FSM states, ordered along the closing path.
+S_INSTR_EMPTY = 0    # inside instructions, current step still empty
+S_INSTR = 1          # inside instructions, current step has content
+S_BEFORE_TITLE = 2   # after <INSTR_END>, must open the title
+S_TITLE_EMPTY = 3    # inside the title, still empty
+S_TITLE = 4          # inside the title, has content
+S_BEFORE_END = 5     # after <TITLE_END>, must close the recipe
+S_FINAL = 6          # after <RECIPE_END>, must emit <EOS>
+S_DONE = 7           # absorbing
+
+#: Tokens needed to legally close the recipe (through ``<EOS>``) from
+#: each state along the shortest path.
+CLOSE_COST: Dict[int, int] = {
+    S_INSTR_EMPTY: 7, S_INSTR: 6, S_BEFORE_TITLE: 5, S_TITLE_EMPTY: 4,
+    S_TITLE: 3, S_BEFORE_END: 2, S_FINAL: 1, S_DONE: 0,
+}
+
+#: Smallest ``max_new_tokens`` for which a fresh decode can close the
+#: grammar (= ``CLOSE_COST[S_INSTR_EMPTY]``).
+MIN_BUDGET = CLOSE_COST[S_INSTR_EMPTY]
+
+
+class RecipeGrammar:
+    """One tokenizer's vocabulary classified for the recipe FSM.
+
+    Built once per tokenizer and shared across requests; the per-step
+    state lives in :class:`GrammarMask`.
+    """
+
+    def __init__(self, tokenizer) -> None:
+        self.tokenizer = tokenizer
+        self.vocab_size = tokenizer.vocab_size
+        self.eos_id = tokenizer.eos_id
+        tag_ids: Dict[str, int] = {}
+        for tag in STRUCTURE_TOKENS:
+            if tag in tokenizer:
+                tag_ids[tag] = tokenizer.token_to_id(tag)
+        missing = [t for t in (NEXT_INSTR, INSTR_END, TITLE_START,
+                               TITLE_END, RECIPE_END) if t not in tag_ids]
+        if missing:
+            raise ValueError(
+                f"tokenizer lacks structure tags {missing}; "
+                f"grammar-constrained decoding needs the tagged vocabulary")
+        self.tag_ids = tag_ids
+        forbidden = {tokenizer.pad_id, tokenizer.bos_id, tokenizer.unk_id,
+                     tokenizer.eos_id} | set(tag_ids.values())
+        content = np.ones(self.vocab_size, dtype=bool)
+        for idx in forbidden:
+            content[idx] = False
+        if not content.any():
+            raise ValueError("tokenizer has no free-text tokens")
+        #: Free-text token ids: everything but structure tags and
+        #: control tokens (number tokens are atomic and count as text).
+        self.content_ids = np.nonzero(content)[0]
+        one = lambda tag: np.asarray([tag_ids[tag]], dtype=np.int64)  # noqa: E731
+        eos = np.asarray([self.eos_id], dtype=np.int64)
+        #: state -> [(candidate token ids, successor state), ...]
+        self.transitions: Dict[int, List[Tuple[np.ndarray, int]]] = {
+            S_INSTR_EMPTY: [(self.content_ids, S_INSTR)],
+            S_INSTR: [(self.content_ids, S_INSTR),
+                      (one(NEXT_INSTR), S_INSTR_EMPTY),
+                      (one(INSTR_END), S_BEFORE_TITLE)],
+            S_BEFORE_TITLE: [(one(TITLE_START), S_TITLE_EMPTY)],
+            S_TITLE_EMPTY: [(self.content_ids, S_TITLE)],
+            S_TITLE: [(self.content_ids, S_TITLE),
+                      (one(TITLE_END), S_BEFORE_END)],
+            S_BEFORE_END: [(one(RECIPE_END), S_FINAL)],
+            S_FINAL: [(eos, S_DONE)],
+            S_DONE: [(eos, S_DONE)],
+        }
+        #: token id -> successor state (content ids resolved lazily via
+        #: the boolean array; tags/eos via this dict).
+        self._tag_next: Dict[int, Dict[int, int]] = {}
+        for state, edges in self.transitions.items():
+            table = {}
+            for ids, nxt in edges:
+                if ids is self.content_ids:
+                    continue
+                table[int(ids[0])] = nxt
+            self._tag_next[state] = table
+        self._is_content = content
+
+    def advance(self, state: int, token: int) -> int:
+        """Successor state after emitting ``token`` (best-effort for
+        tokens the mask would have rejected: stay put)."""
+        nxt = self._tag_next[state].get(int(token))
+        if nxt is not None:
+            return nxt
+        if self._is_content[int(token)]:
+            if state in (S_INSTR_EMPTY, S_INSTR):
+                return S_INSTR
+            if state in (S_TITLE_EMPTY, S_TITLE):
+                return S_TITLE
+        return state
+
+
+class GrammarMask(LogitsProcessor):
+    """Per-request FSM mask: illegal next tokens get ``-inf`` logits.
+
+    Stateful and incremental like the other processors: each call
+    consumes only the history suffix the previous call has not seen; a
+    shorter history (failover replay) resets and replays.  ``preamble``
+    seeds the automaton with tokens emitted *before* this processor's
+    history starts — MCTS rollouts branch mid-recipe, so a rollout's
+    mask must resume the parent prefix's state.  ``max_new_tokens`` is
+    this decode's budget; the mask refuses any token whose successor
+    state could no longer close the recipe within it.
+    """
+
+    def __init__(self, grammar: RecipeGrammar, max_new_tokens: int,
+                 preamble: Sequence[int] = (),
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.grammar = grammar
+        self.max_new_tokens = int(max_new_tokens)
+        self.preamble = [int(t) for t in preamble]
+        start = S_INSTR_EMPTY
+        for token in self.preamble:
+            start = grammar.advance(start, token)
+        self._start_state = start
+        if self.max_new_tokens < CLOSE_COST[start]:
+            raise ValueError(
+                f"max_new_tokens={self.max_new_tokens} cannot close the "
+                f"recipe grammar (needs >= {CLOSE_COST[start]})")
+        self._state = start
+        self._consumed = 0
+        self._mask_seconds = None
+        if registry is not None:
+            self._mask_seconds = registry.histogram(
+                "decoding_mask_seconds",
+                help="Wall time of one grammar-mask application").labels()
+
+    # -- state maintenance --------------------------------------------
+    def _sync(self, generated: List[int]) -> None:
+        if len(generated) < self._consumed:
+            self._state = self._start_state
+            self._consumed = 0
+        for token in generated[self._consumed:]:
+            self._state = self.grammar.advance(self._state, token)
+        self._consumed = len(generated)
+
+    def allowed_ids(self, generated: List[int]) -> np.ndarray:
+        """Legal next-token ids for the current history (test hook)."""
+        self._sync(generated)
+        return np.nonzero(self._allowed_mask(len(generated)))[0]
+
+    def _allowed_mask(self, emitted: int) -> np.ndarray:
+        remaining_after = self.max_new_tokens - emitted - 1
+        mask = np.zeros(self.grammar.vocab_size, dtype=bool)
+        edges = self.grammar.transitions[self._state]
+        hit = False
+        for ids, nxt in edges:
+            if CLOSE_COST[nxt] <= remaining_after:
+                mask[ids] = True
+                hit = True
+        if not hit:
+            # Budget already below the closing cost (only reachable via
+            # a mis-seeded preamble): best-effort shortest close rather
+            # than a dead end.
+            ids, _ = min(edges, key=lambda edge: CLOSE_COST[edge[1]])
+            mask[ids] = True
+        return mask
+
+    def __call__(self, logits: np.ndarray, generated: List[int]) -> np.ndarray:
+        start = time.perf_counter()
+        self._sync(generated)
+        mask = self._allowed_mask(len(generated))
+        out = np.where(mask, logits, -np.inf)
+        if self._mask_seconds is not None:
+            self._mask_seconds.observe(time.perf_counter() - start)
+        return out

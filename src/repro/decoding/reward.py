@@ -1,0 +1,152 @@
+"""Recipe-quality reward for search-guided decoding.
+
+The MCTS value function from arXiv:2401.05199's blueprint, grounded in
+this repo's substrates: format completeness
+(:func:`~repro.preprocess.formatting.structure_errors`), constraint
+satisfaction (:mod:`repro.decoding.constraints`), novelty against the
+retrieval index (:class:`~repro.retrieval.RecipeIndex`), FlavorDB
+ingredient-pairing strength, plus step-count and token-diversity shape
+terms that separate a repetitive greedy rollout from a well-formed
+sampled one.  Everything is deterministic, so a seeded search tree is
+bit-identical across runs.
+
+Reward evaluation is a registered fault point (``decoding.reward``):
+an injected or real failure here raises out of :meth:`RecipeReward.
+__call__`, which the MCTS driver catches to degrade the request to
+constrained greedy decoding (``"search_degraded": true``) instead of a
+500 — see ``docs/RESILIENCE.md``.  A *retrieval* failure inside the
+novelty term is NOT a reward failure: it degrades that one component
+to a neutral score, mirroring ``"retrieval_degraded"`` elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..preprocess.formatting import parse_recipe, structure_errors
+from ..recipedb.flavordb import molecules_for, pairing_score
+from ..recipedb.ingredients import IngredientCatalog
+from ..resilience import fault_check
+from .constraints import Constraints, violations
+
+#: Component weights (sum to 1.0); see ``docs/DECODING.md`` for the
+#: tuning rationale.
+WEIGHTS: Dict[str, float] = {
+    "format": 0.30,
+    "constraints": 0.25,
+    "novelty": 0.15,
+    "pairing": 0.10,
+    "diversity": 0.12,
+    "length": 0.08,
+}
+
+#: Neutral novelty when no retrieval index is configured (or a lookup
+#: degrades): the term neither rewards nor punishes.
+NEUTRAL_NOVELTY = 0.5
+
+#: Instruction step count the length term considers well-formed.
+GOOD_STEPS = (2, 8)
+
+
+@dataclass
+class RewardBreakdown:
+    total: float
+    components: Dict[str, float]
+
+    def as_dict(self) -> dict:
+        return {"total": round(self.total, 4),
+                "components": {k: round(v, 4)
+                               for k, v in self.components.items()}}
+
+
+class RecipeReward:
+    """Scores one finished (or rolled-out) recipe text in ``[0, 1]``."""
+
+    def __init__(self, prompt_ingredients: Sequence[str],
+                 constraints: Optional[Constraints] = None,
+                 catalog: Optional[IngredientCatalog] = None,
+                 retrieval_index=None) -> None:
+        self.prompt_ingredients = [str(n) for n in prompt_ingredients]
+        self.constraints = constraints
+        self.catalog = catalog
+        self.retrieval_index = retrieval_index
+        self._molecules = [self._molecules_of(name)
+                           for name in self.prompt_ingredients]
+
+    def _molecules_of(self, name: str):
+        category = "vegetable"
+        if self.catalog is not None and name in self.catalog:
+            category = self.catalog.get(name).category
+        return molecules_for(name, category)
+
+    # -- components ----------------------------------------------------
+    def _format_score(self, raw_text: str) -> float:
+        errors = structure_errors(raw_text)
+        return max(0.0, 1.0 - len(errors) / 6.0)
+
+    def _constraint_score(self, raw_text: str) -> float:
+        if self.constraints is None:
+            return 1.0
+        problems = violations(self.constraints, raw_text, self.catalog)
+        if not problems:
+            return 1.0
+        checks = (len(self.constraints.banned_names(self.catalog))
+                  + len(self.constraints.include_ingredients)) or 1
+        return max(0.0, 1.0 - len(problems) / checks)
+
+    def _novelty_score(self, raw_text: str) -> float:
+        if self.retrieval_index is None:
+            return NEUTRAL_NOVELTY
+        try:
+            return float(self.retrieval_index.novelty(raw_text).novelty)
+        except Exception:  # noqa: BLE001 - degrade the term, not the search
+            return NEUTRAL_NOVELTY
+
+    def _pairing_score(self) -> float:
+        mols = self._molecules
+        if len(mols) < 2:
+            return NEUTRAL_NOVELTY
+        total, pairs = 0.0, 0
+        for i in range(len(mols)):
+            for j in range(i + 1, len(mols)):
+                total += pairing_score(mols[i], mols[j])
+                pairs += 1
+        # Jaccard over a 5000-molecule universe is small in absolute
+        # terms; scale so a typical well-paired set lands mid-range.
+        return min(1.0, 10.0 * total / pairs)
+
+    def _shape_scores(self, raw_text: str) -> Tuple[float, float]:
+        parsed = parse_recipe(raw_text)
+        steps = parsed.instructions
+        words: List[str] = []
+        for step in steps:
+            words.extend(step.split())
+        diversity = (len(set(words)) / len(words)) if words else 0.0
+        lo, hi = GOOD_STEPS
+        if lo <= len(steps) <= hi:
+            length = 1.0
+        elif not steps:
+            length = 0.0
+        else:
+            length = max(0.0, 1.0 - 0.2 * (lo - len(steps)
+                                           if len(steps) < lo
+                                           else len(steps) - hi))
+        return diversity, length
+
+    def __call__(self, raw_text: str) -> RewardBreakdown:
+        """Reward for one decoded recipe; raises on injected
+        ``decoding.reward`` faults (the caller degrades the search)."""
+        fault_check("decoding.reward")
+        diversity, length = self._shape_scores(raw_text)
+        components = {
+            "format": self._format_score(raw_text),
+            "constraints": self._constraint_score(raw_text),
+            "novelty": self._novelty_score(raw_text),
+            "pairing": self._pairing_score(),
+            "diversity": diversity,
+            "length": length,
+        }
+        total = sum(WEIGHTS[name] * value
+                    for name, value in components.items())
+        return RewardBreakdown(total=total, components=components)

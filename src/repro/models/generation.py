@@ -61,9 +61,12 @@ class _GenerationMetrics:
 class GenerationConfig:
     """Decoding knobs.
 
-    ``strategy`` is one of ``greedy``, ``sample``, ``beam``.  For
-    ``sample``, ``temperature``/``top_k``/``top_p`` apply (set
-    ``top_k=0`` / ``top_p=1.0`` to disable each filter).
+    ``strategy`` is one of ``greedy``, ``sample``, ``beam``, ``mcts``.
+    For ``sample``, ``temperature``/``top_k``/``top_p`` apply (set
+    ``top_k=0`` / ``top_p=1.0`` to disable each filter).  ``mcts``
+    (search-guided decoding, ``docs/DECODING.md``) is decomposed by
+    :class:`repro.decoding.MCTSDecoder` into seeded greedy/sample
+    rollouts — the core decode loops and the engine never see it.
     """
 
     max_new_tokens: int = 200
@@ -85,9 +88,24 @@ class GenerationConfig:
     #: serving layer resolves against its training corpus.  ``None``
     #: means "use the caller's / engine's default draft".
     draft: Optional[object] = None
+    #: Hard generation constraints: a
+    #: :class:`repro.decoding.Constraints` instance (parsed/validated
+    #: by the API layer).  ``None`` — the default — leaves every decode
+    #: path bit-identical to the unconstrained engine.
+    constraints: Optional[object] = None
+    #: Rollouts per ``strategy="mcts"`` search; each is a full
+    #: constrained decode, so admission charges
+    #: ``max_new_tokens * (1 + mcts_rollouts)`` tokens.
+    mcts_rollouts: int = 12
+    #: PUCT exploration constant for the search tree.
+    mcts_c_puct: float = 1.4
+    #: Internal marker set by the MCTS driver on the rollout configs it
+    #: submits, so engine metrics attribute them to
+    #: ``strategy="mcts"``.  Not a client-facing knob.
+    mcts_rollout: bool = False
 
     def validate(self) -> None:
-        if self.strategy not in ("greedy", "sample", "beam"):
+        if self.strategy not in ("greedy", "sample", "beam", "mcts"):
             raise ValueError(f"unknown strategy {self.strategy!r}")
         if self.max_new_tokens < 1:
             raise ValueError("max_new_tokens must be >= 1")
@@ -108,6 +126,10 @@ class GenerationConfig:
         if self.draft is not None and not isinstance(self.draft,
                                                      (DraftModel, str)):
             raise ValueError("draft must be a DraftModel or a spec string")
+        if not 1 <= self.mcts_rollouts <= 256:
+            raise ValueError("mcts_rollouts must be in [1, 256]")
+        if not 0.0 < self.mcts_c_puct <= 10.0:
+            raise ValueError("mcts_c_puct must be in (0, 10]")
 
 
 class LogitsProcessor:
@@ -538,6 +560,11 @@ def generate(model: LanguageModel, prompt_ids: Sequence[int],
     """
     config = config or GenerationConfig()
     config.validate()
+    if config.strategy == "mcts":
+        raise ValueError(
+            "mcts is a search driver, not a decode loop; run it through "
+            "repro.decoding.MCTSDecoder (it submits greedy/sample "
+            "rollouts here)")
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
     metrics = _GenerationMetrics(registry, config.strategy)

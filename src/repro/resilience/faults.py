@@ -33,7 +33,13 @@ Registered failure points (see ``docs/RESILIENCE.md``):
                         and then lost;
 ``spill.save``          a prefix-cache spill snapshot — a failed spill
                         degrades the *next* restart to a cold cache, it
-                        never fails shutdown, swap, or serving.
+                        never fails shutdown, swap, or serving;
+``fleet_cache.borrow``  a cross-replica KV borrow — the replica falls back
+                        to recomputing the prefix locally;
+``decoding.reward``     an MCTS rollout-reward evaluation — the search
+                        degrades to constrained greedy decoding with
+                        ``"search_degraded": true``, never a failed or
+                        hung request.
 =====================  =====================================================
 
 Determinism contract: a given ``(seed, plan)`` produces the same fault
@@ -62,6 +68,7 @@ FAULT_POINTS: Tuple[str, ...] = (
     "journal.append",
     "spill.save",
     "fleet_cache.borrow",
+    "decoding.reward",
 )
 
 

@@ -125,12 +125,16 @@ class EngineRequest:
                  processors: Sequence[LogitsProcessor],
                  submitted_at: float,
                  deadline: Optional[float] = None,
-                 deadline_ms: Optional[float] = None) -> None:
+                 deadline_ms: Optional[float] = None,
+                 strategy_label: str = "plain") -> None:
         self.request_id = request_id
         self.prompt_ids = prompt_ids
         self.config = config
         self.processors = processors
         self.submitted_at = submitted_at
+        #: Decode-mode metric label (``plain``/``speculative``/``mcts``),
+        #: fixed at submit time; bounded cardinality by construction.
+        self.strategy_label = strategy_label
         #: Absolute expiry on the engine's metrics clock (None = no deadline).
         self.deadline = deadline
         #: The original relative budget, kept for error messages.
@@ -311,11 +315,13 @@ class _EngineMetrics:
         self._outcome_labels = engine_labels
         self.requests = registry.counter(
             "engine_requests_total",
-            help="Engine requests by final outcome")
-        self.tokens = registry.counter(
+            help="Engine requests by final outcome and decode strategy")
+        self._tokens_family = registry.counter(
             "engine_tokens_total",
-            help="Tokens emitted by the serving engine").labels(
-                **engine_labels)
+            help="Tokens emitted by the serving engine, by decode "
+                 "strategy")
+        self.tokens = self._tokens_family.labels(strategy="plain",
+                                                 **engine_labels)
         self.steps = registry.counter(
             "engine_steps_total",
             help="Batched decode steps executed").labels(**engine_labels)
@@ -371,9 +377,22 @@ class _EngineMetrics:
                  "(1.0 without speculation; higher means the draft is "
                  "amortizing target forwards)").labels(**engine_labels)
 
-    def outcome(self, outcome: str):
-        """The ``engine_requests_total`` child for one final outcome."""
-        return self.requests.labels(outcome=outcome, **self._outcome_labels)
+    def outcome(self, outcome: str, strategy: str = "plain"):
+        """The ``engine_requests_total`` child for one final outcome.
+
+        ``strategy`` attributes the request to its decode mode —
+        ``plain`` | ``speculative`` | ``mcts`` — so mixed-workload
+        dashboards can split throughput.  The label set is computed at
+        submit time from the request config (never client-supplied
+        text), which bounds the cardinality to those three values.
+        """
+        return self.requests.labels(outcome=outcome, strategy=strategy,
+                                    **self._outcome_labels)
+
+    def tokens_for(self, strategy: str = "plain"):
+        """The ``engine_tokens_total`` child for one decode strategy."""
+        return self._tokens_family.labels(strategy=strategy,
+                                          **self._outcome_labels)
 
 
 class InferenceEngine:
@@ -458,6 +477,11 @@ class InferenceEngine:
             raise ValueError(
                 "beam search is not continuously batched; use "
                 "InferenceEngine.generate() for the sequential fallback")
+        if config.strategy == "mcts":
+            raise ValueError(
+                "mcts is a search driver, not a batchable decode; run it "
+                "through repro.decoding.MCTSDecoder, which submits its "
+                "rollouts here")
         if deadline_ms is not None and deadline_ms <= 0:
             raise ValueError("deadline_ms must be > 0 (or None)")
         prompt = [int(t) for t in prompt_ids]
@@ -467,10 +491,17 @@ class InferenceEngine:
             self._next_id += 1
             request_id = self._next_id
         now = self.metrics.clock.now()
+        if getattr(config, "mcts_rollout", False):
+            strategy_label = "mcts"
+        elif config.speculative_k > 0 and (
+                isinstance(config.draft, DraftModel) or self.draft is not None):
+            strategy_label = "speculative"
+        else:
+            strategy_label = "plain"
         request = EngineRequest(
             request_id, prompt, config, list(processors), submitted_at=now,
             deadline=None if deadline_ms is None else now + deadline_ms / 1e3,
-            deadline_ms=deadline_ms)
+            deadline_ms=deadline_ms, strategy_label=strategy_label)
         try:
             self._queue.put_nowait(request)
         except queue.Full:
@@ -1038,9 +1069,9 @@ class InferenceEngine:
             return False
         if outcome is None:
             outcome = "failed" if error is not None else "completed"
-        self.metrics.outcome(outcome).inc()
+        self.metrics.outcome(outcome, request.strategy_label).inc()
         if error is None:
-            self.metrics.tokens.inc(tokens)
+            self.metrics.tokens_for(request.strategy_label).inc(tokens)
         return True
 
     def _finish(self, seq: _Sequence,

@@ -35,6 +35,9 @@ from typing import Dict, Optional, Sequence
 
 from ..cluster import ClusterConfig, NoReplicaAvailableError, Router
 from ..core.pipeline import Ratatouille
+from ..decoding import (MIN_BUDGET, apply_constraints_to_prompt,
+                        build_constrained_processors, parse_constraints,
+                        run_constrained_generation, violations)
 from ..durability import (CacheSpill, FleetCacheSpill, JobJournal,
                           JournalError)
 from ..models import GenerationConfig
@@ -69,6 +72,13 @@ MAX_SPECULATIVE_K = 16
 #: budget; larger asks are a 400.
 MAX_RETRIEVE_K = 8
 
+#: Server-side ceiling on per-request ``mcts_rollouts``.  Each rollout
+#: is a full decode, so admission charges MCTS requests
+#: ``max_new_tokens * (1 + mcts_rollouts)`` token-equivalents; the cap
+#: bounds what one request may ask the gate for.  ``repro serve
+#: --max-mcts-rollouts`` tunes it per deployment.
+MAX_MCTS_ROLLOUTS = 64
+
 #: Server-side ceiling on ``/api/search`` result count.
 MAX_SEARCH_K = 50
 
@@ -91,21 +101,36 @@ _CONFIG_FIELDS = (
     ("repetition_penalty", float, 1.0),
     ("seed", int, 0),
     ("speculative_k", int, 0),
+    ("mcts_rollouts", int, 12),
+    ("mcts_c_puct", float, 1.4),
 )
 
 
 def _parse_generation_request(payload: dict,
                               max_new_tokens_cap: int = MAX_NEW_TOKENS_CAP,
-                              default_speculative_k: int = 0) -> tuple:
+                              default_speculative_k: int = 0,
+                              catalog: Optional[IngredientCatalog] = None,
+                              max_mcts_rollouts: int = MAX_MCTS_ROLLOUTS
+                              ) -> tuple:
     """Validate a generation payload; returns (names, config, checklist).
 
     Raises :class:`ValueError` (→ HTTP 400) on anything malformed: a
     non-coercible knob, a value :meth:`GenerationConfig.validate`
     rejects, or a ``max_new_tokens`` beyond the server's cap.
+    Constraint errors carry named codes (``unknown_diet:``,
+    ``conflicting_constraints:``, ``diet_conflict:``,
+    ``calories_exceeded:``, ``unknown_constraint:``) so clients can
+    react without parsing prose.
 
     ``default_speculative_k`` is the server's speculative-decoding
     default (``repro serve --speculative``); a payload ``speculative_k``
     overrides it per request (``0`` opts out explicitly).
+
+    A ``constraints`` object in the payload is parsed into
+    :class:`~repro.decoding.Constraints`, ``include_ingredients`` are
+    merged into the returned ``names`` (inclusion by construction), and
+    conflicts are pre-checked here so an unsatisfiable request is a 400
+    before any model work.
     """
     selected = payload.get("ingredients")
     if not isinstance(selected, list) or not selected:
@@ -133,7 +158,40 @@ def _parse_generation_request(payload: dict,
         raise ValueError(
             f"speculative_k is capped at {MAX_SPECULATIVE_K} "
             f"(got {config.speculative_k})")
+    raw_constraints = payload.get("constraints")
+    if raw_constraints is not None:
+        constraints = parse_constraints(raw_constraints)
+        if config.strategy == "beam":
+            raise ValueError(
+                "constrained decoding does not support beam search; "
+                "use greedy, sample, or mcts")
+        config.constraints = constraints
+        names = apply_constraints_to_prompt(names, constraints, catalog,
+                                            MAX_INGREDIENTS)
+    if config.constraints is not None or config.strategy == "mcts":
+        if config.max_new_tokens < MIN_BUDGET:
+            raise ValueError(
+                f"constrained decoding needs max_new_tokens >= "
+                f"{MIN_BUDGET} to close the recipe grammar "
+                f"(got {config.max_new_tokens})")
+    if config.strategy == "mcts" and config.mcts_rollouts > max_mcts_rollouts:
+        raise ValueError(
+            f"mcts_rollouts is capped at {max_mcts_rollouts} "
+            f"(got {config.mcts_rollouts})")
     return names, config, bool(payload.get("checklist", False))
+
+
+def _admission_cost(config: GenerationConfig) -> int:
+    """Token-equivalents one request may cost the serving fleet.
+
+    MCTS decodes up to ``mcts_rollouts`` full rollouts plus the
+    degraded-fallback decode, so it is charged the whole tree, not one
+    decode — otherwise a saturated server would admit a request that
+    costs 13x what the gate thinks.
+    """
+    if config.strategy == "mcts":
+        return config.max_new_tokens * (1 + config.mcts_rollouts)
+    return config.max_new_tokens
 
 
 def _parse_retrieve_k(payload: dict, default_k: int,
@@ -209,7 +267,8 @@ def create_backend(pipeline: Ratatouille,
                    retrieval_index=None,
                    retrieve_k: int = 0,
                    journal_dir=None,
-                   spill_dir=None) -> App:
+                   spill_dir=None,
+                   max_mcts_rollouts: int = MAX_MCTS_ROLLOUTS) -> App:
     """Build the backend :class:`~repro.webapp.framework.App`.
 
     ``registry``/``tracer`` are what ``GET /api/metrics`` exposes and
@@ -298,9 +357,16 @@ def create_backend(pipeline: Ratatouille,
     admission (503 + ``Retry-After``), drain in-flight jobs under the
     deadline, flush journal and spill, stop the engine — which
     ``repro serve`` runs on SIGTERM/SIGINT.
+
+    ``max_mcts_rollouts`` caps the per-request ``mcts_rollouts`` knob
+    (``repro serve --max-mcts-rollouts``); see ``docs/DECODING.md`` for
+    the constrained/search-guided decoding surface
+    (``constraints`` / ``strategy: "mcts"`` in generation payloads).
     """
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
+    if max_mcts_rollouts < 1:
+        raise ValueError("max_mcts_rollouts must be >= 1")
     if kernels is not None:
         pipeline.model.enable_kernels(mode=kernels, freeze=True)
     catalog = catalog or default_catalog()
@@ -502,6 +568,67 @@ def create_backend(pipeline: Ratatouille,
             payload["retrieval_degraded"] = True
         return payload
 
+    def _engine_submit(state: dict):
+        """The decode callable constrained generation rolls out through.
+
+        ``None`` when the backend has no engine (the driver falls back
+        to the in-process sequential decoder).  ``state["degraded"]``
+        records a supervisor fallback so the payload can surface it.
+        """
+        if engine is None:
+            return None
+
+        def submit(prompt_ids, cfg, processors, submit_deadline_ms):
+            if supervisor is not None:
+                new_ids, deg = supervisor.generate_ex(
+                    prompt_ids, cfg, processors,
+                    deadline_ms=submit_deadline_ms)
+                if deg:
+                    state["degraded"] = True
+                return new_ids
+            return engine.generate(prompt_ids, cfg, processors,
+                                   deadline_ms=submit_deadline_ms)
+        return submit
+
+    def _run_constrained(names, config, checklist, deadline_ms,
+                         allow_partial: bool, exemplars,
+                         retrieval_degraded: bool) -> dict:
+        """Grammar/constraint/MCTS decoding through the shared driver."""
+        clock = registry.clock
+        start = clock.now()
+        state = {"degraded": False}
+        try:
+            prompt_text, new_ids, config, info = run_constrained_generation(
+                pipeline, names, config, checklist=checklist,
+                exemplars=exemplars, submit=_engine_submit(state),
+                catalog=catalog, retrieval_index=retrieval_index,
+                registry=registry, deadline_ms=deadline_ms)
+        except DeadlineExceededError as exc:
+            if not (allow_partial and exc.tokens):
+                raise
+            # The driver raised before returning the prompt; re-derive
+            # it (prepare_prompt is deterministic given the exemplars).
+            prompt_text = pipeline.prepare_prompt(
+                names, generation=config, checklist=checklist,
+                exemplars=exemplars)[0]
+            recipe = pipeline.finish_recipe(prompt_text, exc.tokens, names,
+                                            elapsed=clock.now() - start)
+            payload = _generation_payload(recipe, exemplars,
+                                          retrieval_degraded)
+            problems = violations(config.constraints, recipe.raw_text,
+                                  catalog)
+            payload["constraints_satisfied"] = not problems
+            payload["partial"] = True
+            payload["deadline_ms"] = exc.deadline_ms
+            return payload
+        recipe = pipeline.finish_recipe(prompt_text, new_ids, names,
+                                        elapsed=clock.now() - start)
+        payload = _generation_payload(recipe, exemplars, retrieval_degraded)
+        payload.update(info)
+        if state["degraded"]:
+            payload["degraded"] = True
+        return payload
+
     def _run_generation(names, config, checklist, deadline_ms,
                         allow_partial: bool, retrieve_count: int = 0) -> dict:
         """Generate through whatever decode path is configured.
@@ -512,6 +639,10 @@ def create_backend(pipeline: Ratatouille,
         """
         exemplars, retrieval_degraded = _fetch_exemplars(names,
                                                          retrieve_count)
+        if config.constraints is not None or config.strategy == "mcts":
+            return _run_constrained(names, config, checklist, deadline_ms,
+                                    allow_partial, exemplars,
+                                    retrieval_degraded)
         if engine is None:
             if config.speculative_k > 0 and config.draft is None:
                 config.draft = draft
@@ -597,6 +728,13 @@ def create_backend(pipeline: Ratatouille,
                 "journal": journal is not None,
                 "spill": spill is not None,
             },
+            "decoding": {
+                "strategies": ["greedy", "sample", "beam", "mcts"],
+                "max_mcts_rollouts": max_mcts_rollouts,
+                "constraints": ["include_ingredients",
+                                "exclude_ingredients", "diet",
+                                "max_calories"],
+            },
         })
 
     @app.route("/api/ingredients")
@@ -619,12 +757,13 @@ def create_backend(pipeline: Ratatouille,
     def generate_recipe(request: Request) -> Response:
         payload = request.json()
         names, config, checklist = _parse_generation_request(
-            payload, max_new_tokens_cap, default_speculative_k)
+            payload, max_new_tokens_cap, default_speculative_k,
+            catalog=catalog, max_mcts_rollouts=max_mcts_rollouts)
         deadline_ms = _parse_deadline(payload, default_deadline_ms)
         retrieve_count = _parse_retrieve_k(payload, default_retrieve_k,
                                            retrieval_index is not None)
         allow_partial = bool(payload.get("partial", False))
-        cost = config.max_new_tokens
+        cost = _admission_cost(config)
         shed = _admit(cost)
         if shed is not None:
             return shed
@@ -724,12 +863,13 @@ def create_backend(pipeline: Ratatouille,
         if idem_key is None and payload.get("idempotency_key") is not None:
             idem_key = str(payload["idempotency_key"])
         names, config, checklist = _parse_generation_request(
-            payload, max_new_tokens_cap, default_speculative_k)
+            payload, max_new_tokens_cap, default_speculative_k,
+            catalog=catalog, max_mcts_rollouts=max_mcts_rollouts)
         deadline_ms = _parse_deadline(payload, default_deadline_ms)
         retrieve_count = _parse_retrieve_k(payload, default_retrieve_k,
                                            retrieval_index is not None)
         allow_partial = bool(payload.get("partial", False))
-        cost = config.max_new_tokens
+        cost = _admission_cost(config)
         # The job id is minted before the journal append so journal and
         # queue agree; the idempotency claim is provisional until the
         # submit sticks (journal failure / full queue releases it).
@@ -799,7 +939,8 @@ def create_backend(pipeline: Ratatouille,
                 "(backend started with use_engine=False)", status=503)
         payload = request.json()
         names, config, checklist = _parse_generation_request(
-            payload, max_new_tokens_cap, default_speculative_k)
+            payload, max_new_tokens_cap, default_speculative_k,
+            catalog=catalog, max_mcts_rollouts=max_mcts_rollouts)
         deadline_ms = _parse_deadline(payload, default_deadline_ms)
         retrieve_count = _parse_retrieve_k(payload, default_retrieve_k,
                                            retrieval_index is not None)
@@ -808,12 +949,68 @@ def create_backend(pipeline: Ratatouille,
                 "beam search cannot stream; use /api/generate")
         exemplars, retrieval_degraded = _fetch_exemplars(names,
                                                          retrieve_count)
+        clock = registry.clock
+        start = clock.now()
+        cost = _admission_cost(config)
+        if config.strategy == "mcts":
+            # A tree search has no token stream until the search picks a
+            # winner; run it to completion, then replay the winning
+            # tokens as events so SSE clients keep one wire format.
+            shed = _admit(cost)
+            if shed is not None:
+                return shed
+            state = {"degraded": False}
+
+            def mcts_events():
+                try:
+                    try:
+                        prompt_text, new_ids, cfg, info = (
+                            run_constrained_generation(
+                                pipeline, names, config,
+                                checklist=checklist, exemplars=exemplars,
+                                submit=_engine_submit(state),
+                                catalog=catalog,
+                                retrieval_index=retrieval_index,
+                                registry=registry,
+                                deadline_ms=deadline_ms))
+                        recipe = pipeline.finish_recipe(
+                            prompt_text, new_ids, names,
+                            elapsed=clock.now() - start)
+                    except DeadlineExceededError as exc:
+                        yield {"error": str(exc),
+                               "deadline_exceeded": True,
+                               "tokens_emitted": 0}
+                        return
+                    except Exception as exc:  # noqa: BLE001 - headers sent
+                        yield {"error": str(exc)}
+                        return
+                    for token in new_ids:
+                        yield {"token": int(token),
+                               "text": pipeline.tokenizer.decode(
+                                   [int(token)])}
+                    body = _generation_payload(recipe, exemplars,
+                                               retrieval_degraded)
+                    body.update(info)
+                    if state["degraded"]:
+                        body["degraded"] = True
+                    yield {"done": True, "recipe": body}
+                finally:
+                    _release(cost)
+
+            return Response.event_stream(mcts_events())
         prompt_text, prompt_ids, config, processors = pipeline.prepare_prompt(
             names, generation=config, checklist=checklist,
             exemplars=exemplars)
-        clock = registry.clock
-        start = clock.now()
-        cost = config.max_new_tokens
+        if config.constraints is not None:
+            # Constraint decoding *can* stream: the grammar + phrase
+            # masks ride the engine's logits path token by token (the
+            # text-predicate retry of the non-streaming path is not
+            # available once tokens are on the wire, so the final event
+            # reports ``constraints_satisfied`` honestly instead).
+            processors = build_constrained_processors(
+                pipeline.tokenizer, config, config.constraints,
+                catalog=catalog, registry=registry,
+                user_processors=processors)
         shed = _admit(cost)
         if shed is not None:
             return shed
@@ -856,9 +1053,15 @@ def create_backend(pipeline: Ratatouille,
                 except Exception as exc:  # noqa: BLE001 - headers already sent
                     yield {"error": str(exc)}
                     return
-                yield {"done": True,
-                       "recipe": _generation_payload(recipe, exemplars,
-                                                     retrieval_degraded)}
+                body = _generation_payload(recipe, exemplars,
+                                           retrieval_degraded)
+                if config.constraints is not None:
+                    problems = violations(config.constraints,
+                                          recipe.raw_text, catalog)
+                    body["constraints_satisfied"] = not problems
+                    if problems:
+                        body["constraint_violations"] = problems
+                yield {"done": True, "recipe": body}
             finally:
                 # Runs on normal completion AND when the framework
                 # closes an abandoned stream (client disconnected):
@@ -1042,7 +1245,8 @@ def create_backend(pipeline: Ratatouille,
             payload = record.get("request") or {}
             try:
                 names, config, checklist = _parse_generation_request(
-                    payload, max_new_tokens_cap, default_speculative_k)
+                    payload, max_new_tokens_cap, default_speculative_k,
+                    catalog=catalog, max_mcts_rollouts=max_mcts_rollouts)
                 deadline_ms = _parse_deadline(payload, default_deadline_ms)
                 retrieve_count = _parse_retrieve_k(
                     payload, default_retrieve_k, retrieval_index is not None)

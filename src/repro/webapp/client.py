@@ -246,11 +246,31 @@ class RatatouilleClient:
             path += f"&category={category}"
         return self._request("GET", path)["ingredients"]
 
-    def generate(self, ingredients: List[str], **options) -> Dict[str, Any]:
+    def generate(self, ingredients: List[str],
+                 strategy: Optional[str] = None,
+                 constraints: Optional[Dict[str, Any]] = None,
+                 **options) -> Dict[str, Any]:
+        """Generate a recipe; see ``docs/DECODING.md`` for the knobs.
+
+        ``strategy`` selects the decode loop (``greedy`` / ``sample`` /
+        ``beam`` / ``mcts`` — the last is grammar-constrained tree
+        search).  ``constraints`` is a dict of hard constraints
+        (``include_ingredients``, ``exclude_ingredients``, ``diet``,
+        ``max_calories``); the server validates it and answers an
+        unsatisfiable request with HTTP 400 carrying a named error
+        code (``unknown_diet: ...``, ``conflicting_constraints: ...``)
+        raised here as :class:`ApiError`.
+        """
         payload = {"ingredients": ingredients, **options}
+        if strategy is not None:
+            payload["strategy"] = strategy
+        if constraints is not None:
+            payload["constraints"] = dict(constraints)
         return self._request("POST", "/api/generate", payload)
 
     def generate_stream(self, ingredients: List[str],
+                        strategy: Optional[str] = None,
+                        constraints: Optional[Dict[str, Any]] = None,
                         **options) -> Iterator[Dict[str, Any]]:
         """Stream a generation as it decodes (server-sent events).
 
@@ -260,8 +280,17 @@ class RatatouilleClient:
         *opening* the stream; once data has flowed, a disconnect
         before a terminal event raises :class:`StreamInterrupted` with
         the tokens received so far.
+
+        ``strategy``/``constraints`` as in :meth:`generate`; with
+        ``strategy="mcts"`` the token events arrive only after the
+        search completes (a tree has no stream until it picks a
+        winner).
         """
         payload = {"ingredients": ingredients, **options}
+        if strategy is not None:
+            payload["strategy"] = strategy
+        if constraints is not None:
+            payload["constraints"] = dict(constraints)
 
         def attempt():
             try:

@@ -115,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="prefix-cache spill directory: the KV cache "
                               "is snapshotted on clean shutdown and "
                               "mmap-reloaded on the next start")
+    backend.add_argument("--max-mcts-rollouts", type=int, default=None,
+                         help="cap on per-request mcts_rollouts for "
+                              "strategy=mcts search decoding; admission "
+                              "charges max_new_tokens * (1 + rollouts) "
+                              "(docs/DECODING.md)")
     backend.add_argument("--drain-deadline", type=float, default=10.0,
                          help="graceful-shutdown budget in seconds: "
                               "SIGTERM stops admission, waits this long "
@@ -214,7 +219,10 @@ def build_server(argv: List[str]) -> Server:
                              retrieval_index=retrieval_index,
                              retrieve_k=args.retrieve_k,
                              journal_dir=args.journal_dir,
-                             spill_dir=args.spill_dir)
+                             spill_dir=args.spill_dir,
+                             **({"max_mcts_rollouts": args.max_mcts_rollouts}
+                                if args.max_mcts_rollouts is not None
+                                else {}))
         app.drain_deadline = args.drain_deadline
     else:
         app = create_frontend(args.backend_url)

@@ -211,6 +211,44 @@ class TestEveryNamedPoint:
             spill.save(cache)
         assert spill.load_into(PrefixCache(max_bytes=1024)) == 1
 
+    def test_decoding_reward_fault_degrades_search_not_request(self):
+        # A reward failure mid-search must *degrade* the MCTS request
+        # to constrained greedy — flagged, 200 — never 500 or hang;
+        # and the next search (fault exhausted) runs normally.
+        import json as _json
+
+        from repro.webapp import Request, create_backend
+
+        pipeline = _tiny_pipeline()
+        app = create_backend(pipeline, registry=MetricsRegistry(),
+                             use_engine=False)
+
+        def post(payload):
+            return app.dispatch(Request(
+                "POST", "/api/generate", {}, {},
+                _json.dumps(payload).encode()))
+
+        payload = {"ingredients": ["onion", "tomato"],
+                   "strategy": "mcts", "mcts_rollouts": 3,
+                   "max_new_tokens": 24, "seed": 4,
+                   "constraints": {"exclude_ingredients": ["garlic"]}}
+        injector = FaultInjector(
+            {"decoding.reward": FaultSpec(schedule={0})})
+        with inject_faults(injector):
+            response = post(payload)
+            assert response.status == 200
+            body = _json.loads(response.body)
+            assert body["search_degraded"] is True
+            assert "reward" not in body["search"]  # no reward was scored
+            assert "title" in body
+            # Fault exhausted: the next search completes undegraded.
+            response = post(payload)
+            body = _json.loads(response.body)
+            assert response.status == 200
+            assert "search_degraded" not in body
+            assert body["search"]["rollouts"] == 3
+        assert injector.snapshot()["decoding.reward"]["faults"] == 1
+
     def test_all_points_are_exercised_by_this_suite(self):
         # Guard: a new fault point must come with chaos coverage.
         # fleet_cache.borrow is exercised in test_cluster_fleet_cache.py
@@ -218,7 +256,8 @@ class TestEveryNamedPoint:
         assert set(FAULT_POINTS) == {"model.forward", "prefix_cache.get",
                                      "jobs.worker", "framework.write",
                                      "retrieval.search", "journal.append",
-                                     "spill.save", "fleet_cache.borrow"}
+                                     "spill.save", "fleet_cache.borrow",
+                                     "decoding.reward"}
 
 
 class TestSpeculativeUnderFaults:

@@ -259,7 +259,7 @@ class TestLifecycle:
                   if replica["dispatches"]]
         assert len(served) == 1
         tokens = registry.counter("engine_tokens_total")
-        assert tokens.labels(engine=served[0]).value == 4
+        assert tokens.labels(engine=served[0], strategy="plain").value == 4
         hits = registry.counter("engine_prefix_cache_misses_total")
         assert hits.labels(cache=served[0]).value >= 1
         dispatches = registry.counter("cluster_dispatches_total")

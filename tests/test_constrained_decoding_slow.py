@@ -1,0 +1,26 @@
+"""Validity, search-quality and cache-reuse gates for constrained
+decoding (slow tier).
+
+Runs ``benchmarks/run_constrained_decoding.py`` — every constrained
+decode must parse and satisfy its constraints (100%), seeded MCTS must
+earn >= 1.15x the constrained-greedy mean reward at the same token
+budget, and >= 50% of the prompt tokens submitted within one search
+tree must be served from the engine's prefix KV cache.  Excluded from
+the tier-1 default run; invoke with ``pytest -m slow``.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+
+import run_constrained_decoding  # noqa: E402
+
+
+def test_constrained_decoding_clears_all_gates():
+    assert run_constrained_decoding.main([]) == 0

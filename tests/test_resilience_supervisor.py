@@ -148,7 +148,7 @@ class TestFailInflight:
         finally:
             engine.stop()
         failed = registry.counter("engine_requests_total").labels(
-            outcome="failed")
+            outcome="failed", strategy="plain")
         assert failed.value == 1
 
     def test_stats_report_supervisor_block(self):

@@ -78,7 +78,7 @@ class TestQueuedExpiry:
             gated.gate.set()
             engine.stop()
         outcome = registry.counter("engine_requests_total").labels(
-            outcome="deadline")
+            outcome="deadline", strategy="plain")
         assert outcome.value == 1
 
     def test_submit_validates_deadline(self, model):

@@ -295,7 +295,7 @@ class TestCancellation:
                                   GenerationConfig(max_new_tokens=3, seed=1))
             assert len(out) == 3
         cancelled = registry.counter("engine_requests_total").labels(
-            outcome="cancelled")
+            outcome="cancelled", strategy="plain")
         assert cancelled.value == 1
 
     def test_cancelled_queued_request_never_decodes(self):
@@ -360,9 +360,10 @@ class TestObservability:
             for handle in handles:
                 handle.result(timeout=60)
         completed = registry.counter("engine_requests_total").labels(
-            outcome="completed")
+            outcome="completed", strategy="plain")
         assert completed.value == 3
-        assert registry.counter("engine_tokens_total").labels().value == 15
+        assert registry.counter("engine_tokens_total").labels(
+            strategy="plain").value == 15
         assert registry.histogram("engine_ttft_seconds").labels().count == 3
         assert "engine_prefix_cache_hits_total" in registry
         prefills = [span for root in tracer.roots()

@@ -183,7 +183,7 @@ class TestStreamCancellation:
             assert next(stream).startswith(b"data:")  # tokens are flowing
             response.stream.close()                   # client went away
             cancelled = registry.counter("engine_requests_total").labels(
-                outcome="cancelled")
+                outcome="cancelled", strategy="plain")
             deadline = time.monotonic() + 30
             while cancelled.value < 1 and time.monotonic() < deadline:
                 time.sleep(0.01)
